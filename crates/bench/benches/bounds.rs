@@ -1,0 +1,42 @@
+//! Lower-bound machinery: `T_dep` (minimum-ratio cycle) and `T_res`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swp_loops::suite::{generate, SuiteConfig};
+use swp_machine::Machine;
+
+fn bench_bounds(c: &mut Criterion) {
+    let corpus = generate(&SuiteConfig {
+        num_loops: 200,
+        ..SuiteConfig::pldi95_default()
+    });
+    let machine = Machine::example_pldi95();
+    c.bench_function("t_dep_200_loops", |b| {
+        b.iter(|| {
+            corpus
+                .iter()
+                .filter_map(|l| std::hint::black_box(&l.ddg).t_dep())
+                .map(u64::from)
+                .sum::<u64>()
+        });
+    });
+    c.bench_function("t_res_200_loops", |b| {
+        b.iter(|| {
+            corpus
+                .iter()
+                .filter_map(|l| machine.t_res(std::hint::black_box(&l.ddg)).ok())
+                .map(u64::from)
+                .sum::<u64>()
+        });
+    });
+    c.bench_function("critical_cycle_200_loops", |b| {
+        b.iter(|| {
+            corpus
+                .iter()
+                .filter_map(|l| std::hint::black_box(&l.ddg).critical_cycle())
+                .count()
+        });
+    });
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

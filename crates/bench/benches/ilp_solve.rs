@@ -1,0 +1,65 @@
+//! ILP solve time vs. loop size (the scaling behind Tables 4/5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swp_core::{MappingMode, Objective, RateOptimalScheduler, SchedulerConfig};
+use swp_loops::suite::{generate, SuiteConfig};
+use swp_machine::Machine;
+
+fn pure_ilp_config() -> SchedulerConfig {
+    SchedulerConfig {
+        heuristic_incumbent: false,
+        time_limit_per_t: Some(std::time::Duration::from_secs(5)),
+        ..Default::default()
+    }
+}
+
+fn bench_by_size(c: &mut Criterion) {
+    let machine = Machine::example_pldi95();
+    let corpus = generate(&SuiteConfig {
+        num_loops: 400,
+        ..SuiteConfig::pldi95_default()
+    });
+    let mut group = c.benchmark_group("ilp_schedule_by_size");
+    group.sample_size(10);
+    for &target in &[4usize, 6, 8, 10] {
+        // A representative loop of each size that the pure ILP solves fast.
+        let sched = RateOptimalScheduler::new(machine.clone(), pure_ilp_config());
+        let Some(l) = corpus.iter().find(|l| {
+            l.ddg.num_nodes() == target
+                && sched
+                    .schedule(&l.ddg)
+                    .map(|r| r.total_elapsed() < std::time::Duration::from_millis(300))
+                    .unwrap_or(false)
+        }) else {
+            continue;
+        };
+        group.bench_with_input(BenchmarkId::new("nodes", target), &l.ddg, |b, ddg| {
+            let sched = RateOptimalScheduler::new(machine.clone(), pure_ilp_config());
+            b.iter(|| sched.schedule(std::hint::black_box(ddg)).expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_formulation_build(c: &mut Criterion) {
+    let machine = Machine::example_pldi95();
+    let ddg = swp_loops::kernels::motivating_example();
+    c.bench_function("formulation_build_T4", |b| {
+        b.iter(|| {
+            swp_core::formulation::build(
+                std::hint::black_box(&ddg),
+                &machine,
+                4,
+                swp_core::formulation::FormulationOptions {
+                    mapping: MappingMode::UnifiedColoring,
+                    objective: Objective::Feasible,
+                    ..swp_core::formulation::FormulationOptions::standard()
+                },
+            )
+            .expect("builds")
+        });
+    });
+}
+
+criterion_group!(benches, bench_by_size, bench_formulation_build);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! ILP vs. heuristic schedulers on the kernel library: wall-clock per
+//! engine (quality comparison lives in the `heuristic_vs_ilp` example
+//! and EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swp_core::{RateOptimalScheduler, SchedulerConfig};
+use swp_heuristics::{IterativeModuloScheduler, ListModuloScheduler};
+use swp_loops::{kernels, ClassConvention};
+use swp_machine::Machine;
+
+fn bench_engines(c: &mut Criterion) {
+    let machine = Machine::example_pldi95();
+    let conv = ClassConvention::example();
+    let picks = ["daxpy", "ddot", "livermore5", "stencil3"];
+    let mut group = c.benchmark_group("schedulers");
+    group.sample_size(10);
+    for k in kernels::all(&machine, conv) {
+        if !picks.contains(&k.name.as_str()) {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("ilp", &k.name), &k.ddg, |b, ddg| {
+            let s = RateOptimalScheduler::new(
+                machine.clone(),
+                SchedulerConfig {
+                    heuristic_incumbent: false,
+                    ..Default::default()
+                },
+            );
+            b.iter(|| s.schedule(std::hint::black_box(ddg)).expect("feasible"));
+        });
+        group.bench_with_input(BenchmarkId::new("ims", &k.name), &k.ddg, |b, ddg| {
+            let s = IterativeModuloScheduler::new(machine.clone());
+            b.iter(|| s.schedule(std::hint::black_box(ddg)).expect("feasible"));
+        });
+        group.bench_with_input(BenchmarkId::new("list", &k.name), &k.ddg, |b, ddg| {
+            let s = ListModuloScheduler::new(machine.clone());
+            b.iter(|| s.schedule(std::hint::black_box(ddg)).expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Table 4 — scheduling performance over the 1066-loop corpus: how many
+//! loops achieve `T = T_lb`, `T_lb + k`, with the mean DDG size per
+//! bucket (the paper reports 735 loops at `T_lb` with mean 6 nodes, and
+//! a small large-loop tail at `T_lb+2` / `T_lb+4` with means 16–17).
+//!
+//! Run: `cargo run -p swp-bench --release --bin table4 [num_loops] [per-T seconds] [machine]`
+//! where `machine` is `example` (default) or `ppc604`.
+
+use swp_bench::{render_table, run_suite, SuiteOutcome, SuiteRunConfig};
+use swp_loops::suite::SuiteConfig;
+use swp_machine::Machine;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let num_loops: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1066);
+    let secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let which = args.get(3).map(String::as_str).unwrap_or("example");
+    let (machine, corpus) = match which {
+        "ppc604" => (Machine::ppc604(), SuiteConfig::ppc604()),
+        _ => (Machine::example_pldi95(), SuiteConfig::pldi95_default()),
+    };
+    let run = SuiteRunConfig {
+        num_loops,
+        time_limit_per_t: Duration::from_secs(secs),
+        ..Default::default()
+    };
+    println!(
+        "== Table 4: scheduling performance ({num_loops} loops, {secs}s per period, {which} machine) ==\n"
+    );
+    let started = std::time::Instant::now();
+    let recs = run_suite(&machine, &corpus, &run);
+    let elapsed = started.elapsed();
+
+    // Bucket by slack above the paper's counting T_lb (what the paper's
+    // Table 4 measures). Our refined packing bound proves most of the
+    // nonzero buckets rate-optimal anyway; that is reported separately.
+    let mut buckets: std::collections::BTreeMap<u32, (usize, usize)> =
+        std::collections::BTreeMap::new();
+    let mut unscheduled = (0usize, 0usize);
+    for r in &recs {
+        match (&r.outcome, r.period) {
+            (SuiteOutcome::Scheduled { .. }, Some(p)) => {
+                let slack = p.saturating_sub(r.t_lb_counting);
+                let e = buckets.entry(slack).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += r.num_nodes;
+            }
+            _ => {
+                unscheduled.0 += 1;
+                unscheduled.1 += r.num_nodes;
+            }
+        }
+    }
+    let mut rows: Vec<Vec<String>> = buckets
+        .iter()
+        .map(|(slack, (count, nodes))| {
+            vec![
+                count.to_string(),
+                if *slack == 0 {
+                    "T = T_lb".into()
+                } else {
+                    format!("T = T_lb + {slack}")
+                },
+                format!("{:.0}", *nodes as f64 / *count as f64),
+            ]
+        })
+        .collect();
+    if unscheduled.0 > 0 {
+        rows.push(vec![
+            unscheduled.0.to_string(),
+            "not scheduled in range".into(),
+            format!("{:.0}", unscheduled.1 as f64 / unscheduled.0 as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Number of Loops", "Initiation Interval", "Mean # Nodes in DDG"],
+            &rows,
+        )
+    );
+    let scheduled: usize = buckets.values().map(|(c, _)| c).sum();
+    let at_lb = buckets.get(&0).map(|(c, _)| *c).unwrap_or(0);
+    let proven = recs
+        .iter()
+        .filter(|r| matches!(r.outcome, SuiteOutcome::Scheduled { slack: 0, .. }))
+        .count();
+    println!(
+        "scheduled {scheduled}/{} loops; {at_lb} ({:.0}%) at the counting T_lb;\n\
+         {proven} ({:.0}%) provably rate-optimal under the packing-refined bound; total {elapsed:?}",
+        recs.len(),
+        100.0 * at_lb as f64 / scheduled.max(1) as f64,
+        100.0 * proven as f64 / scheduled.max(1) as f64,
+    );
+    println!(
+        "\nPaper's shape for comparison: 735 loops at T = T_lb (mean 6 nodes);\n\
+         20 at T_lb+2 (mean 16); 11 at T_lb+4 (mean 17) — most loops rate-optimal\n\
+         at the bound, larger DDGs dominating the slack tail."
+    );
+}

@@ -1,0 +1,87 @@
+//! Table 5 (reconstructed) — ILP effort over the corpus: how many loops
+//! settle within which time budget, engine mix, and branch-and-bound
+//! effort. The paper's "10/30" note records its own per-loop solver
+//! budgets; here the distribution is regenerated on the synthetic corpus
+//! with the pure ILP (heuristic certificates off).
+//!
+//! Run: `cargo run -p swp-bench --release --bin table5 [num_loops] [per-T seconds]`
+
+use std::time::Duration;
+use swp_bench::{render_table, run_suite, SuiteOutcome, SuiteRunConfig};
+use swp_core::SolvedBy;
+use swp_loops::suite::SuiteConfig;
+use swp_machine::Machine;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let num_loops: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    println!(
+        "== Table 5: ILP solve effort ({num_loops} loops, pure ILP, {secs}s per period) ==\n"
+    );
+    let run = SuiteRunConfig {
+        num_loops,
+        time_limit_per_t: Duration::from_secs(secs),
+        heuristic_incumbent: false,
+        ..Default::default()
+    };
+    let recs = run_suite(
+        &Machine::example_pldi95(),
+        &SuiteConfig::pldi95_default(),
+        &run,
+    );
+
+    let budgets_ms = [10u128, 100, 1000, 10_000, 60_000];
+    let scheduled: Vec<_> = recs
+        .iter()
+        .filter(|r| matches!(r.outcome, SuiteOutcome::Scheduled { .. }))
+        .collect();
+    let rows: Vec<Vec<String>> = budgets_ms
+        .iter()
+        .map(|&b| {
+            let within = scheduled
+                .iter()
+                .filter(|r| r.elapsed.as_millis() <= b)
+                .count();
+            vec![
+                format!("<= {} ms", b),
+                within.to_string(),
+                format!("{:.1}%", 100.0 * within as f64 / recs.len() as f64),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["total budget", "loops solved", "of corpus"], &rows)
+    );
+
+    let ilp_solved = scheduled
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.outcome,
+                SuiteOutcome::Scheduled {
+                    solved_by: SolvedBy::Ilp,
+                    ..
+                }
+            )
+        })
+        .count();
+    let timeouts = recs.iter().filter(|r| r.any_timeout).count();
+    let total_nodes: u64 = recs.iter().map(|r| r.bb_nodes).sum();
+    let mean_nodes = total_nodes as f64 / scheduled.len().max(1) as f64;
+    println!("scheduled           : {}/{}", scheduled.len(), recs.len());
+    println!("solved by the ILP   : {ilp_solved} (heuristic certificates disabled)");
+    println!("loops with a timeout: {timeouts}");
+    println!("mean B&B nodes/loop : {mean_nodes:.0}");
+    let mut times: Vec<u128> = scheduled.iter().map(|r| r.elapsed.as_millis()).collect();
+    times.sort_unstable();
+    if !times.is_empty() {
+        println!(
+            "solve time p50/p90/max: {} / {} / {} ms",
+            times[times.len() / 2],
+            times[times.len() * 9 / 10],
+            times.last().expect("nonempty"),
+        );
+    }
+}

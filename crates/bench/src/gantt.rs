@@ -1,0 +1,101 @@
+//! Gantt-style text views of periodic schedules (paper Figure 2 /
+//! Tables 1–2).
+
+use swp_ddg::Ddg;
+use swp_machine::{Machine, PipelinedSchedule};
+
+/// One repetitive-pattern period, one row per physical unit: which
+/// operation *issues* on it at each step, `.` when idle.
+pub fn kernel_gantt(schedule: &PipelinedSchedule, ddg: &Ddg, machine: &Machine) -> String {
+    let t = schedule.initiation_interval();
+    let mut rows: Vec<(String, Vec<String>)> = Vec::new();
+    for (ci, fu_type) in machine.types().iter().enumerate() {
+        for fu in 0..fu_type.count {
+            let mut cells = vec![".".to_string(); t as usize];
+            for (id, node) in ddg.nodes() {
+                if node.class.index() == ci && schedule.fu(id) == Some(fu) {
+                    cells[schedule.offset(id) as usize] = format!("i{}", id.index());
+                }
+            }
+            rows.push((format!("{}[{fu}]", fu_type.name), cells));
+        }
+    }
+    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(4);
+    let cell_w = rows
+        .iter()
+        .flat_map(|(_, cs)| cs.iter().map(|c| c.len()))
+        .max()
+        .unwrap_or(1);
+    let mut out = format!("{:name_w$} |", "unit");
+    for step in 0..t {
+        out.push_str(&format!(" {step:^cell_w$}"));
+    }
+    out.push('\n');
+    for (name, cells) in rows {
+        out.push_str(&format!("{name:<name_w$} |"));
+        for c in cells {
+            out.push_str(&format!(" {c:^cell_w$}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The flat view of the first `iterations` iterations: one row per
+/// iteration, `iN` markers at issue cycles (the paper's Table 1/2 shape
+/// with prolog, repetitive pattern, epilog visible).
+pub fn flat_gantt(schedule: &PipelinedSchedule, iterations: u32) -> String {
+    let flat = schedule.flat(iterations);
+    let total: u64 = flat.iter().map(|&(_, _, c)| c).max().map_or(0, |m| m + 1);
+    let mut out = format!("{:9} |", "cycle");
+    for c in 0..total {
+        out.push_str(&format!(" {c:>3}"));
+    }
+    out.push('\n');
+    for j in 0..iterations {
+        let mut cells = vec!["  .".to_string(); total as usize];
+        for &(jj, n, c) in &flat {
+            if jj == j {
+                cells[c as usize] = format!("{:>3}", format!("i{}", n.index()));
+            }
+        }
+        out.push_str(&format!("iter {j:<4} |"));
+        for c in cells {
+            out.push_str(&format!(" {c}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swp_loops::kernels;
+    use swp_machine::Machine;
+
+    #[test]
+    fn kernel_gantt_shows_all_ops() {
+        let g = kernels::motivating_example();
+        let m = Machine::example_pldi95();
+        let s = PipelinedSchedule::new(
+            4,
+            vec![0, 1, 3, 5, 7, 11],
+            vec![Some(0), Some(0), Some(0), Some(0), Some(1), Some(0)],
+        );
+        let out = kernel_gantt(&s, &g, &m);
+        for i in 0..6 {
+            assert!(out.contains(&format!("i{i}")), "missing i{i} in:\n{out}");
+        }
+        assert!(out.contains("FP[0]"));
+        assert!(out.contains("Ld/St[0]"));
+    }
+
+    #[test]
+    fn flat_gantt_rows_match_iterations() {
+        let s = PipelinedSchedule::new(2, vec![0, 1], vec![None, None]);
+        let out = flat_gantt(&s, 3);
+        assert_eq!(out.lines().count(), 4); // header + 3 iterations
+        assert!(out.contains("iter 2"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Minimal ASCII table rendering for the experiment binaries.
+
+/// Renders `rows` under `headers` with column-wise alignment.
+///
+/// ```
+/// let t = swp_bench::render_table(
+///     &["loop", "T"],
+///     &[vec!["daxpy".into(), "2".into()]],
+/// );
+/// assert!(t.contains("daxpy"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for &w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, &w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in rows {
+        out.push('|');
+        for (i, &w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = row.get(i).unwrap_or(&empty);
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::render_table;
+
+    #[test]
+    fn renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("| name   | value |"));
+        assert!(t.contains("| longer | 22    |"));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let t = render_table(&["a", "b"], &[vec!["only".into()]]);
+        assert!(t.contains("| only |"));
+    }
+}

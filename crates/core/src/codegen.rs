@@ -1,0 +1,345 @@
+//! Kernel code generation: turning a periodic schedule into the flat
+//! prolog / kernel / epilog structure a compiler back end would emit
+//! (the shape of the paper's Table 2), with *modulo variable expansion*
+//! for values whose lifetimes span multiple iterations.
+//!
+//! The schedule says instruction `i` of iteration `j` issues at
+//! `j·T + t_i`. With `S = max_i k_i + 1` pipeline stages, the steady
+//! state overlaps `S` iterations: the **kernel** is one period of that
+//! steady state, the **prolog** ramps iterations `0..S−1` in, and the
+//! **epilog** drains them. A value produced by `i` and still live while
+//! `i` executes again needs more than one register; each node gets
+//! `copies(i) = max over out-edges (i, j) of ⌈(t_j − t_i)/T⌉ + m_ij`
+//! names, cycled per iteration (`v3#0, v3#1, …`) — Lam's modulo variable
+//! expansion, sized by the Ning–Gao buffer count.
+
+use std::fmt;
+use swp_ddg::{Ddg, NodeId};
+use swp_machine::{Machine, PipelinedSchedule};
+
+/// One operation slot in the flat program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotOp {
+    /// The DDG node.
+    pub node: NodeId,
+    /// Which iteration instance this is (0-based).
+    pub iteration: u32,
+    /// The physical unit, if the schedule is mapped.
+    pub fu: Option<u32>,
+    /// The destination register name after modulo variable expansion.
+    pub dest: String,
+    /// Source register names, one per incoming dependence.
+    pub sources: Vec<String>,
+}
+
+/// One cycle of the flat program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CycleRow {
+    /// Absolute cycle.
+    pub cycle: u64,
+    /// Operations issuing this cycle.
+    pub ops: Vec<SlotOp>,
+}
+
+/// Which phase a cycle belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Ramp-in: iterations are still being started for the first time.
+    Prolog,
+    /// One period of the steady state — the loop body that repeats.
+    Kernel,
+    /// Drain: no new iterations start, in-flight ones finish.
+    Epilog,
+}
+
+/// The generated flat program.
+#[derive(Debug, Clone)]
+pub struct KernelCode {
+    rows: Vec<CycleRow>,
+    kernel_start: u64,
+    kernel_end: u64,
+    steady_end: u64,
+    copies: Vec<u32>,
+    period: u32,
+}
+
+impl KernelCode {
+    /// All cycles in order (empty cycles included inside phases).
+    pub fn rows(&self) -> &[CycleRow] {
+        &self.rows
+    }
+
+    /// The phase of an absolute cycle. The kernel phase covers the whole
+    /// steady-state region (the pattern repeating once per period while
+    /// new iterations still issue); [`KernelCode::kernel_range`] gives
+    /// one canonical period of it.
+    pub fn phase(&self, cycle: u64) -> Phase {
+        if cycle < self.kernel_start || self.kernel_start >= self.steady_end {
+            if cycle < self.steady_end {
+                Phase::Prolog
+            } else {
+                Phase::Epilog
+            }
+        } else if cycle < self.steady_end {
+            Phase::Kernel
+        } else {
+            Phase::Epilog
+        }
+    }
+
+    /// Cycle range `[start, end)` of the kernel (one steady-state period).
+    pub fn kernel_range(&self) -> (u64, u64) {
+        (self.kernel_start, self.kernel_end)
+    }
+
+    /// Register copies allocated to each node by modulo variable
+    /// expansion (1 = no expansion needed).
+    pub fn register_copies(&self) -> &[u32] {
+        &self.copies
+    }
+
+    /// Total register names emitted.
+    pub fn total_registers(&self) -> u32 {
+        self.copies.iter().sum()
+    }
+
+    /// The initiation interval of the underlying schedule.
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+}
+
+/// Generates the flat program for `iterations` iterations of the loop.
+///
+/// `iterations` should be at least the pipeline depth `S` for a kernel
+/// to exist; fewer iterations produce a prolog/epilog-only program.
+///
+/// # Panics
+///
+/// Panics if the schedule and DDG disagree on the number of nodes.
+pub fn generate(
+    schedule: &PipelinedSchedule,
+    ddg: &Ddg,
+    _machine: &Machine,
+    iterations: u32,
+) -> KernelCode {
+    assert_eq!(
+        schedule.num_ops(),
+        ddg.num_nodes(),
+        "schedule and DDG must describe the same loop"
+    );
+    let t = schedule.initiation_interval();
+    let n = ddg.num_nodes();
+
+    // Modulo-variable-expansion copy counts from buffer demand.
+    let mut copies = vec![1u32; n];
+    let (per_edge, _) = schedule.buffer_requirements(ddg);
+    for (e, &b) in ddg.edges().zip(&per_edge) {
+        let c = &mut copies[e.src.index()];
+        *c = (*c).max(b.max(1));
+    }
+
+    let reg_name = |node: NodeId, iteration: u32| {
+        let c = copies[node.index()];
+        format!("v{}#{}", node.index(), iteration % c)
+    };
+
+    // Emit all issue events.
+    let mut rows: std::collections::BTreeMap<u64, CycleRow> = std::collections::BTreeMap::new();
+    for j in 0..iterations {
+        for (id, _) in ddg.nodes() {
+            let cycle = j as u64 * t as u64 + schedule.start_time(id) as u64;
+            let sources = ddg
+                .edges()
+                .filter(|e| e.dst == id)
+                .filter_map(|e| {
+                    // The producing instance is from iteration j − m.
+                    let src_iter = j.checked_sub(e.distance)?;
+                    Some(reg_name(e.src, src_iter))
+                })
+                .collect();
+            let row = rows.entry(cycle).or_insert_with(|| CycleRow {
+                cycle,
+                ops: Vec::new(),
+            });
+            row.ops.push(SlotOp {
+                node: id,
+                iteration: j,
+                fu: schedule.fu(id),
+                dest: reg_name(id, j),
+                sources,
+            });
+        }
+    }
+
+    // Steady state exists once the deepest-stage iteration has started:
+    // kernel = the period starting at (S − 1)·T, where S = max k + 1.
+    let s = ddg
+        .node_ids()
+        .map(|id| schedule.k(id))
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let kernel_start = (s.saturating_sub(1)) as u64 * t as u64;
+    let kernel_end = kernel_start + t as u64;
+    // New iterations stop issuing after the last one starts; everything
+    // from there on is drain.
+    let steady_end = iterations as u64 * t as u64;
+
+    KernelCode {
+        rows: rows.into_values().collect(),
+        kernel_start,
+        kernel_end,
+        steady_end,
+        copies,
+        period: t,
+    }
+}
+
+impl fmt::Display for KernelCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut phase = None;
+        for row in &self.rows {
+            let p = self.phase(row.cycle);
+            if phase != Some(p) {
+                writeln!(
+                    f,
+                    "; ---- {} ----",
+                    match p {
+                        Phase::Prolog => "prolog",
+                        Phase::Kernel => "kernel (the T-cycle pattern, repeating)",
+                        Phase::Epilog => "epilog",
+                    }
+                )?;
+                phase = Some(p);
+            }
+            write!(f, "{:>5}: ", row.cycle)?;
+            for (i, op) in row.ops.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " || ")?;
+                }
+                let unit = match op.fu {
+                    Some(u) => format!("@fu{u}"),
+                    None => String::new(),
+                };
+                write!(
+                    f,
+                    "{} = op{}.it{}({}){}",
+                    op.dest,
+                    op.node.index(),
+                    op.iteration,
+                    op.sources.join(", "),
+                    unit
+                )?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RateOptimalScheduler, SchedulerConfig};
+    use swp_ddg::OpClass;
+
+    fn schedule_motivating() -> (Ddg, Machine, PipelinedSchedule) {
+        let mut g = Ddg::new();
+        let ld = g.add_node("load", OpClass::new(2), 3);
+        let fm = g.add_node("fmul", OpClass::new(1), 2);
+        let st = g.add_node("store", OpClass::new(2), 3);
+        g.add_edge(ld, fm, 0).unwrap();
+        g.add_edge(fm, fm, 1).unwrap();
+        g.add_edge(fm, st, 0).unwrap();
+        let m = Machine::example_pldi95();
+        let r = RateOptimalScheduler::new(m.clone(), SchedulerConfig::default())
+            .schedule(&g)
+            .expect("schedulable");
+        (g, m, r.schedule)
+    }
+
+    #[test]
+    fn kernel_contains_every_op_exactly_once() {
+        let (g, m, s) = schedule_motivating();
+        let code = generate(&s, &g, &m, 8);
+        let (ks, ke) = code.kernel_range();
+        let kernel_ops: Vec<_> = code
+            .rows()
+            .iter()
+            .filter(|r| r.cycle >= ks && r.cycle < ke)
+            .flat_map(|r| r.ops.iter())
+            .collect();
+        assert_eq!(kernel_ops.len(), g.num_nodes());
+        let mut nodes: Vec<usize> = kernel_ops.iter().map(|o| o.node.index()).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn phases_partition_the_program() {
+        let (g, m, s) = schedule_motivating();
+        let code = generate(&s, &g, &m, 6);
+        let mut seen_kernel = false;
+        let mut seen_epilog = false;
+        for row in code.rows() {
+            match code.phase(row.cycle) {
+                Phase::Prolog => {
+                    assert!(!seen_kernel && !seen_epilog, "prolog after kernel");
+                }
+                Phase::Kernel => {
+                    assert!(!seen_epilog, "kernel after epilog");
+                    seen_kernel = true;
+                }
+                Phase::Epilog => seen_epilog = true,
+            }
+        }
+        assert!(seen_kernel);
+        assert!(seen_epilog);
+    }
+
+    #[test]
+    fn modulo_variable_expansion_sizes_from_buffers() {
+        let (g, m, s) = schedule_motivating();
+        let code = generate(&s, &g, &m, 6);
+        let (per_edge, _) = s.buffer_requirements(&g);
+        // Every producing node gets at least its largest edge demand.
+        for (e, &b) in g.edges().zip(&per_edge) {
+            assert!(code.register_copies()[e.src.index()] >= b.max(1));
+        }
+        assert!(code.total_registers() >= g.num_nodes() as u32);
+    }
+
+    #[test]
+    fn sources_reference_previously_written_names() {
+        let (g, m, s) = schedule_motivating();
+        let code = generate(&s, &g, &m, 8);
+        let mut written = std::collections::HashSet::new();
+        for row in code.rows() {
+            // Reads of this cycle must have been written strictly earlier
+            // (latencies are >= 1, so same-cycle forwarding cannot occur).
+            for op in &row.ops {
+                for src in &op.sources {
+                    assert!(
+                        written.contains(src),
+                        "cycle {}: {src} read before written",
+                        row.cycle
+                    );
+                }
+            }
+            for op in &row.ops {
+                written.insert(op.dest.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn display_marks_all_phases() {
+        let (g, m, s) = schedule_motivating();
+        let text = generate(&s, &g, &m, 6).to_string();
+        assert!(text.contains("prolog"));
+        assert!(text.contains("kernel"));
+        assert!(text.contains("epilog"));
+        assert!(text.contains("v1#"));
+    }
+}

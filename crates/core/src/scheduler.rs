@@ -1,0 +1,499 @@
+//! The rate-optimal scheduling driver.
+//!
+//! Finding the minimum `T` is done exactly as in the paper's evaluation:
+//! compute `T_lb = max(T_dep, T_res)`, then solve the unified ILP at
+//! `T = T_lb, T_lb+1, …` until one is feasible. The first feasible period
+//! is rate-optimal by construction (every smaller period is infeasible —
+//! either proven by the ILP or excluded by the lower bound).
+
+use crate::formulation::{self, FormulationOptions, MappingMode, Objective};
+use crate::ScheduleError;
+use swp_heuristics::IterativeModuloScheduler;
+use swp_machine::PipelinedSchedule;
+use std::time::Duration;
+use swp_ddg::Ddg;
+use swp_machine::Machine;
+use swp_milp::{SolveError, SolveLimits};
+
+/// Configuration for [`RateOptimalScheduler`].
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// How mapping is handled (default: the paper's unified coloring).
+    pub mapping: MappingMode,
+    /// Objective at each fixed `T` (default: pure feasibility).
+    pub objective: Objective,
+    /// ILP budget per candidate period (default 10 s).
+    pub time_limit_per_t: Option<Duration>,
+    /// Give up after `T_lb + max_t_above_lb` (default 16).
+    pub max_t_above_lb: u32,
+    /// Prune rotation and color-permutation symmetry (default on).
+    pub symmetry_breaking: bool,
+    /// Use the exact class-packing capacity to refine `T_res` and reject
+    /// impossible periods before solving (default on; ablatable).
+    pub packing_bound: bool,
+    /// Try iterative modulo scheduling at each candidate period before
+    /// the ILP (default on). A heuristic schedule at `T` is a feasibility
+    /// certificate, so rate-optimality is unaffected: every smaller
+    /// period has still been refuted exactly. Turn off to measure pure
+    /// ILP behaviour (Table 5).
+    pub heuristic_incumbent: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            mapping: MappingMode::default(),
+            objective: Objective::default(),
+            time_limit_per_t: Some(Duration::from_secs(10)),
+            max_t_above_lb: 16,
+            symmetry_breaking: true,
+            packing_bound: true,
+            heuristic_incumbent: true,
+        }
+    }
+}
+
+/// Which engine settled a candidate period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolvedBy {
+    /// The unified ILP.
+    Ilp,
+    /// The iterative-modulo-scheduling certificate (see
+    /// [`SchedulerConfig::heuristic_incumbent`]).
+    Heuristic,
+}
+
+/// Outcome of one candidate period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeriodOutcome {
+    /// A schedule was found.
+    Feasible(SolvedBy),
+    /// The ILP proved no schedule exists at this period.
+    Infeasible,
+    /// Rejected before solving (modulo constraint / self-loop test).
+    RejectedAtBuild,
+    /// The time or node budget ran out undecided.
+    TimedOut,
+}
+
+/// Statistics for one candidate period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeriodAttempt {
+    /// The candidate period.
+    pub period: u32,
+    /// What happened.
+    pub outcome: PeriodOutcome,
+    /// Branch-and-bound nodes explored.
+    pub nodes: u64,
+    /// Simplex iterations across the search.
+    pub lp_iterations: u64,
+    /// Wall-clock spent on this period.
+    pub elapsed: Duration,
+    /// Variables in the ILP (0 if rejected at build).
+    pub num_vars: usize,
+    /// Constraints in the ILP (0 if rejected at build).
+    pub num_constrs: usize,
+}
+
+/// A schedule together with how it was found.
+#[derive(Debug, Clone)]
+pub struct ScheduleResult {
+    /// The schedule.
+    pub schedule: PipelinedSchedule,
+    /// Recurrence bound `T_dep`.
+    pub t_dep: u32,
+    /// Resource bound `T_res`.
+    pub t_res: u32,
+    /// Per-period solve log, in the order attempted.
+    pub attempts: Vec<PeriodAttempt>,
+}
+
+impl ScheduleResult {
+    /// Combined lower bound `max(T_dep, T_res)`.
+    pub fn t_lb(&self) -> u32 {
+        self.t_dep.max(self.t_res)
+    }
+
+    /// `T − T_lb`: zero means provably rate-optimal.
+    pub fn slack_above_lb(&self) -> u32 {
+        self.schedule.initiation_interval() - self.t_lb()
+    }
+
+    /// Whether the achieved period equals the lower bound.
+    pub fn is_rate_optimal(&self) -> bool {
+        self.slack_above_lb() == 0
+    }
+
+    /// Total branch-and-bound nodes over all attempted periods.
+    pub fn total_nodes(&self) -> u64 {
+        self.attempts.iter().map(|a| a.nodes).sum()
+    }
+
+    /// Total wall-clock over all attempted periods.
+    pub fn total_elapsed(&self) -> Duration {
+        self.attempts.iter().map(|a| a.elapsed).sum()
+    }
+}
+
+/// Schedules loops at the fastest feasible initiation rate using the
+/// paper's unified ILP.
+///
+/// ```
+/// use swp_core::{RateOptimalScheduler, SchedulerConfig};
+/// use swp_ddg::{Ddg, OpClass};
+/// use swp_machine::Machine;
+///
+/// # fn main() -> Result<(), swp_core::ScheduleError> {
+/// let mut g = Ddg::new();
+/// let ld = g.add_node("load", OpClass::new(2), 3);
+/// let fm = g.add_node("fmul", OpClass::new(1), 2);
+/// g.add_edge(ld, fm, 0).unwrap();
+///
+/// let sched = RateOptimalScheduler::new(Machine::example_pldi95(), SchedulerConfig::default())
+///     .schedule(&g)?;
+/// assert!(sched.schedule.validate(&g, &Machine::example_pldi95()).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RateOptimalScheduler {
+    machine: Machine,
+    config: SchedulerConfig,
+}
+
+impl RateOptimalScheduler {
+    /// Creates a scheduler for `machine` under `config`.
+    pub fn new(machine: Machine, config: SchedulerConfig) -> Self {
+        RateOptimalScheduler { machine, config }
+    }
+
+    /// The machine this scheduler targets.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Finds a schedule at the smallest feasible period `≥ T_lb`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ScheduleError::NoFinitePeriod`] — zero-distance cycle;
+    /// * [`ScheduleError::UnknownClass`] — DDG/machine mismatch;
+    /// * [`ScheduleError::NotFound`] — every period up to the configured
+    ///   cap was infeasible or timed out (the attempts log tells which).
+    pub fn schedule(&self, ddg: &Ddg) -> Result<ScheduleResult, ScheduleError> {
+        let t_dep = ddg.t_dep().ok_or(ScheduleError::NoFinitePeriod)?;
+        let t_res = match (self.config.mapping, self.config.packing_bound) {
+            // Fixed-assignment problem: counting bound, optionally
+            // strengthened by the exact packing capacity.
+            (MappingMode::UnifiedColoring, true) => self.machine.t_res(ddg),
+            (MappingMode::UnifiedColoring, false) => self.machine.t_res_counting(ddg),
+            // Run-time unit choice: instances may rotate across units, so
+            // only pure stage-demand counting is a valid bound.
+            (MappingMode::CapacityOnly, _) => self.machine.t_res_capacity(ddg),
+        }
+            .map_err(|e| match e {
+                swp_machine::MachineError::UnknownClass(c) => ScheduleError::UnknownClass(c),
+                swp_machine::MachineError::NoUnits(n) => ScheduleError::BadMachine(n),
+            })?;
+        let t_lb = t_dep.max(t_res);
+        let mut attempts = Vec::new();
+
+        for period in t_lb..=t_lb + self.config.max_t_above_lb {
+            match self.try_period(ddg, period, &mut attempts)? {
+                Some(schedule) => {
+                    return Ok(ScheduleResult {
+                        schedule,
+                        t_dep,
+                        t_res,
+                        attempts,
+                    })
+                }
+                None => continue,
+            }
+        }
+        Err(ScheduleError::NotFound {
+            t_lb,
+            t_max: t_lb + self.config.max_t_above_lb,
+            attempts,
+        })
+    }
+
+    /// Attempts exactly one period. `Ok(None)` means "move on".
+    fn try_period(
+        &self,
+        ddg: &Ddg,
+        period: u32,
+        attempts: &mut Vec<PeriodAttempt>,
+    ) -> Result<Option<PipelinedSchedule>, ScheduleError> {
+        let started = std::time::Instant::now();
+        // The heuristic produces *mapped* schedules; under CapacityOnly
+        // the point is to study the capacity-only ILP, so skip it there.
+        if self.config.heuristic_incumbent && self.config.mapping == MappingMode::UnifiedColoring {
+            let ims = IterativeModuloScheduler::new(self.machine.clone());
+            if let Some(schedule) = ims.schedule_at(ddg, period) {
+                attempts.push(PeriodAttempt {
+                    period,
+                    outcome: PeriodOutcome::Feasible(SolvedBy::Heuristic),
+                    nodes: 0,
+                    lp_iterations: 0,
+                    elapsed: started.elapsed(),
+                    num_vars: 0,
+                    num_constrs: 0,
+                });
+                return Ok(Some(schedule));
+            }
+        }
+        let f = match formulation::build(
+            ddg,
+            &self.machine,
+            period,
+            FormulationOptions {
+                mapping: self.config.mapping,
+                objective: self.config.objective,
+                symmetry_breaking: self.config.symmetry_breaking,
+                packing_bound: self.config.packing_bound,
+                ..FormulationOptions::standard()
+            },
+        ) {
+            Ok(f) => f,
+            Err(ScheduleError::PeriodInfeasible { .. }) => {
+                attempts.push(PeriodAttempt {
+                    period,
+                    outcome: PeriodOutcome::RejectedAtBuild,
+                    nodes: 0,
+                    lp_iterations: 0,
+                    elapsed: started.elapsed(),
+                    num_vars: 0,
+                    num_constrs: 0,
+                });
+                return Ok(None);
+            }
+            Err(e) => return Err(e),
+        };
+        let mut limits = SolveLimits {
+            time_limit: self.config.time_limit_per_t,
+            ..SolveLimits::default()
+        };
+        if self.config.objective == Objective::Feasible {
+            limits.stop_at_first_incumbent = true;
+        }
+        let (num_vars, num_constrs) = (f.model.num_vars(), f.model.num_constrs());
+        match f.model.solve_with(&limits) {
+            Ok(sol) => {
+                let stats = *sol.stats();
+                let (starts, colors) = f.extract(&sol);
+                let assignment = self.complete_assignment(ddg, period, &starts, &colors)?;
+                let schedule = PipelinedSchedule::new(period, starts, assignment);
+                attempts.push(PeriodAttempt {
+                    period,
+                    outcome: PeriodOutcome::Feasible(SolvedBy::Ilp),
+                    nodes: stats.nodes,
+                    lp_iterations: stats.lp_iterations,
+                    elapsed: started.elapsed(),
+                    num_vars,
+                    num_constrs,
+                });
+                Ok(Some(schedule))
+            }
+            Err(SolveError::Infeasible) => {
+                attempts.push(PeriodAttempt {
+                    period,
+                    outcome: PeriodOutcome::Infeasible,
+                    nodes: 0,
+                    lp_iterations: 0,
+                    elapsed: started.elapsed(),
+                    num_vars,
+                    num_constrs,
+                });
+                Ok(None)
+            }
+            Err(SolveError::LimitReached(_)) => {
+                attempts.push(PeriodAttempt {
+                    period,
+                    outcome: PeriodOutcome::TimedOut,
+                    nodes: 0,
+                    lp_iterations: 0,
+                    elapsed: started.elapsed(),
+                    num_vars,
+                    num_constrs,
+                });
+                Ok(None)
+            }
+            Err(e) => Err(ScheduleError::Solver(e)),
+        }
+    }
+
+    /// Fills unit assignments: colored nodes take their color; classes
+    /// without coloring variables are mapped first-fit per class (always
+    /// possible for clean or single-unit classes given capacity holds;
+    /// under [`MappingMode::CapacityOnly`] first-fit may fail, and the
+    /// schedule is returned unmapped — exactly the gap the paper closes).
+    fn complete_assignment(
+        &self,
+        ddg: &Ddg,
+        period: u32,
+        starts: &[u32],
+        colors: &[Option<u32>],
+    ) -> Result<Vec<Option<u32>>, ScheduleError> {
+        use std::collections::HashMap;
+        let mut assignment: Vec<Option<u32>> = colors.to_vec();
+        // usage: (class, fu, stage, residue) occupied?
+        let mut usage: HashMap<(usize, u32, usize, u32), ()> = HashMap::new();
+        // Commit colored nodes first.
+        for (id, node) in ddg.nodes() {
+            if let Some(fu) = assignment[id.index()] {
+                let rt = &self
+                    .machine
+                    .fu_type(node.class)
+                    .map_err(|_| ScheduleError::UnknownClass(node.class))?
+                    .reservation;
+                for s in 0..rt.stages() {
+                    for l in rt.stage_offsets(s) {
+                        let residue = (starts[id.index()] + l as u32) % period;
+                        usage.insert((node.class.index(), fu, s, residue), ());
+                    }
+                }
+            }
+        }
+        // First-fit the rest.
+        for (id, node) in ddg.nodes() {
+            if assignment[id.index()].is_some() {
+                continue;
+            }
+            let fu_type = self
+                .machine
+                .fu_type(node.class)
+                .map_err(|_| ScheduleError::UnknownClass(node.class))?;
+            let rt = &fu_type.reservation;
+            let mut chosen = None;
+            'fu: for fu in 0..fu_type.count {
+                for s in 0..rt.stages() {
+                    for l in rt.stage_offsets(s) {
+                        let residue = (starts[id.index()] + l as u32) % period;
+                        if usage.contains_key(&(node.class.index(), fu, s, residue)) {
+                            continue 'fu;
+                        }
+                    }
+                }
+                chosen = Some(fu);
+                break;
+            }
+            if let Some(fu) = chosen {
+                for s in 0..rt.stages() {
+                    for l in rt.stage_offsets(s) {
+                        let residue = (starts[id.index()] + l as u32) % period;
+                        usage.insert((node.class.index(), fu, s, residue), ());
+                    }
+                }
+                assignment[id.index()] = Some(fu);
+            } else if self.config.mapping == MappingMode::UnifiedColoring {
+                // Should be impossible: coloring covered every class that
+                // could fail first-fit.
+                return Err(ScheduleError::MappingGap {
+                    node: id,
+                    period,
+                });
+            }
+            // CapacityOnly: leave unmapped; caller sees is_mapped() == false.
+        }
+        Ok(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swp_ddg::OpClass;
+
+    /// A small FP loop with a recurrence on the hazard machine.
+    fn fp_loop() -> Ddg {
+        let mut g = Ddg::new();
+        let ld = g.add_node("load", OpClass::new(2), 3);
+        let m1 = g.add_node("fmul", OpClass::new(1), 2);
+        let a1 = g.add_node("fadd", OpClass::new(1), 2);
+        let st = g.add_node("store", OpClass::new(2), 3);
+        g.add_edge(ld, m1, 0).unwrap();
+        g.add_edge(m1, a1, 0).unwrap();
+        g.add_edge(a1, st, 0).unwrap();
+        g.add_edge(a1, a1, 1).unwrap(); // accumulator: T_dep = 2
+        g
+    }
+
+    #[test]
+    fn schedules_at_lower_bound_on_hazard_machine() {
+        let machine = Machine::example_pldi95();
+        let s = RateOptimalScheduler::new(machine.clone(), SchedulerConfig::default())
+            .schedule(&fp_loop())
+            .expect("schedulable");
+        assert_eq!(s.t_dep, 2);
+        assert!(s.is_rate_optimal(), "expected T = T_lb, got slack {}", s.slack_above_lb());
+        assert!(s.schedule.is_mapped());
+        assert_eq!(s.schedule.validate(&fp_loop(), &machine), Ok(()));
+    }
+
+    #[test]
+    fn capacity_only_schedule_validates_capacity() {
+        let machine = Machine::example_pldi95();
+        let cfg = SchedulerConfig {
+            mapping: MappingMode::CapacityOnly,
+            ..Default::default()
+        };
+        let s = RateOptimalScheduler::new(machine.clone(), cfg)
+            .schedule(&fp_loop())
+            .expect("schedulable");
+        assert_eq!(s.schedule.validate(&fp_loop(), &machine), Ok(()));
+    }
+
+    #[test]
+    fn reports_bounds_and_attempts() {
+        let machine = Machine::example_pldi95();
+        let s = RateOptimalScheduler::new(machine, SchedulerConfig::default())
+            .schedule(&fp_loop())
+            .expect("schedulable");
+        assert!(!s.attempts.is_empty());
+        assert!(matches!(
+            s.attempts.last().map(|a| a.outcome.clone()),
+            Some(PeriodOutcome::Feasible(_))
+        ));
+        assert_eq!(s.t_lb(), s.t_dep.max(s.t_res));
+    }
+
+    #[test]
+    fn zero_distance_cycle_is_an_error() {
+        let mut g = Ddg::new();
+        let a = g.add_node("a", OpClass::new(1), 2);
+        let b = g.add_node("b", OpClass::new(1), 2);
+        g.add_edge(a, b, 0).unwrap();
+        g.add_edge(b, a, 0).unwrap();
+        let err = RateOptimalScheduler::new(Machine::example_pldi95(), SchedulerConfig::default())
+            .schedule(&g)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::NoFinitePeriod));
+    }
+
+    #[test]
+    fn min_start_times_objective_compacts() {
+        let machine = Machine::example_clean();
+        let cfg = SchedulerConfig {
+            objective: Objective::MinStartTimes,
+            ..Default::default()
+        };
+        let s = RateOptimalScheduler::new(machine.clone(), cfg)
+            .schedule(&fp_loop())
+            .expect("schedulable");
+        // Chain lengths: ld@0, fmul@3, fadd@5, store@7 is the compact optimum.
+        assert_eq!(s.schedule.start_times(), &[0, 3, 5, 7]);
+    }
+
+    #[test]
+    fn non_pipelined_machine_raises_t() {
+        // 3 FP ops on 2 non-pipelined lat-2 units: T_res = ceil(6/2)... the
+        // fp_loop has 2 FP ops -> ceil(4/2) = 2; with recurrence T_dep = 2.
+        let machine = Machine::example_non_pipelined();
+        let s = RateOptimalScheduler::new(machine.clone(), SchedulerConfig::default())
+            .schedule(&fp_loop())
+            .expect("schedulable");
+        assert!(s.schedule.initiation_interval() >= 2);
+        assert_eq!(s.schedule.validate(&fp_loop(), &machine), Ok(()));
+    }
+}

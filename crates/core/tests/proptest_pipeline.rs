@@ -1,0 +1,118 @@
+//! Property tests over the whole scheduling pipeline on random loops.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use swp_core::{RateOptimalScheduler, SchedulerConfig};
+use swp_ddg::{Ddg, OpClass};
+use swp_machine::{simulate, Machine, UnitPolicy};
+
+/// Random well-formed loop against the 3-class example machines:
+/// forward edges keep distance 0 acyclic; carried edges have distance 1-2.
+fn arb_loop() -> impl Strategy<Value = Ddg> {
+    (2usize..7).prop_flat_map(|n| {
+        let classes = proptest::collection::vec(0usize..3, n);
+        let fwd = proptest::collection::vec((any::<u16>(), any::<u16>()), n - 1);
+        let carried = proptest::option::of((0..n, 1u32..3));
+        (classes, fwd, carried).prop_map(move |(classes, fwd, carried)| {
+            let mut g = Ddg::new();
+            let lat = [1u32, 2, 3];
+            let ids: Vec<_> = classes
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| g.add_node(format!("n{i}"), OpClass::new(c), lat[c]))
+                .collect();
+            for (i, &(a, b)) in fwd.iter().enumerate() {
+                // Edge into node i+1 from some earlier node.
+                let src = (a as usize) % (i + 1);
+                g.add_edge(ids[src], ids[i + 1], 0).expect("valid");
+                if b % 3 == 0 && i >= 1 {
+                    let src2 = (b as usize) % i;
+                    g.add_edge(ids[src2], ids[i + 1], 0).expect("valid");
+                }
+            }
+            if let Some((k, d)) = carried {
+                g.add_edge(ids[k], ids[k], d).expect("valid");
+            }
+            g
+        })
+    })
+}
+
+fn scheduler(machine: Machine) -> RateOptimalScheduler {
+    RateOptimalScheduler::new(
+        machine,
+        SchedulerConfig {
+            time_limit_per_t: Some(Duration::from_secs(2)),
+            ..Default::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every schedule the driver returns validates, is mapped, meets its
+    /// bounds, and executes on the cycle-accurate simulator at rate 1/T.
+    #[test]
+    fn pipeline_invariants_hazard_machine(g in arb_loop()) {
+        let machine = Machine::example_pldi95();
+        let r = scheduler(machine.clone()).schedule(&g).expect("small loops schedule");
+        let s = &r.schedule;
+        prop_assert_eq!(s.validate(&g, &machine), Ok(()));
+        prop_assert!(s.is_mapped());
+        prop_assert!(s.initiation_interval() >= r.t_lb());
+        // Offsets and k decompose start times.
+        for id in g.node_ids() {
+            prop_assert_eq!(
+                s.k(id) * s.initiation_interval() + s.offset(id),
+                s.start_time(id)
+            );
+        }
+        // Simulation sustains the rate.
+        let iters = 40;
+        let rep = simulate(&machine, &g, s, iters, UnitPolicy::Fixed).expect("runs");
+        let ideal = iters as f64 / s.initiation_interval() as f64;
+        prop_assert!(rep.makespan as f64 <= (ideal.recip() * iters as f64 + 64.0) * s.initiation_interval() as f64);
+        prop_assert!(rep.rate > 0.0);
+    }
+
+    /// The same invariants on the non-pipelined machine.
+    #[test]
+    fn pipeline_invariants_non_pipelined(g in arb_loop()) {
+        let machine = Machine::example_non_pipelined();
+        let r = scheduler(machine.clone()).schedule(&g).expect("small loops schedule");
+        prop_assert_eq!(r.schedule.validate(&g, &machine), Ok(()));
+        let rep = simulate(&machine, &g, &r.schedule, 20, UnitPolicy::Fixed).expect("runs");
+        prop_assert!(rep.rate <= 1.0 / r.schedule.initiation_interval() as f64 + 1e-9);
+    }
+
+    /// Buffer accounting matches the codegen register expansion: total
+    /// registers equal Σ max(1, per-node max edge demand).
+    #[test]
+    fn codegen_registers_match_buffers(g in arb_loop()) {
+        let machine = Machine::example_pldi95();
+        let r = scheduler(machine.clone()).schedule(&g).expect("schedules");
+        let code = swp_core::codegen::generate(&r.schedule, &g, &machine, 6);
+        let (per_edge, _) = r.schedule.buffer_requirements(&g);
+        let mut want = vec![1u32; g.num_nodes()];
+        for (e, &b) in g.edges().zip(&per_edge) {
+            want[e.src.index()] = want[e.src.index()].max(b.max(1));
+        }
+        prop_assert_eq!(code.register_copies(), &want[..]);
+    }
+
+    /// Rotating a schedule by one period (adding T to every start) stays
+    /// valid — the symmetry the formulation's offset pinning exploits.
+    #[test]
+    fn schedules_are_shift_invariant(g in arb_loop()) {
+        let machine = Machine::example_pldi95();
+        let r = scheduler(machine.clone()).schedule(&g).expect("schedules");
+        let t = r.schedule.initiation_interval();
+        let shifted = swp_machine::PipelinedSchedule::new(
+            t,
+            r.schedule.start_times().iter().map(|&x| x + t).collect(),
+            r.schedule.assignment().to_vec(),
+        );
+        prop_assert_eq!(shifted.validate(&g, &machine), Ok(()));
+    }
+}

@@ -1,0 +1,346 @@
+//! The recurrence lower bound `T_dep` and the critical cycle.
+//!
+//! For a candidate period `T`, every dependence `(i, j)` induces the
+//! constraint `t_j − t_i ≥ d_i − T·m_ij`. A feasible assignment of the
+//! `t_i` exists iff the constraint graph with edge weights
+//! `d_i − T·m_ij` has no positive cycle. `T_dep` is the smallest integer
+//! `T ≥ 1` with that property, equal to
+//! `max over cycles C of ⌈Σ_C d_i / Σ_C m_ij⌉` (the critical cycle).
+//!
+//! Detection uses Bellman–Ford on longest paths; `T_dep` itself is found
+//! by binary search, since positive cycles are monotone in `T`.
+
+use crate::graph::{Ddg, NodeId};
+
+/// A dependence cycle achieving (or witnessing) the recurrence bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalCycle {
+    /// Nodes on the cycle, in order.
+    pub nodes: Vec<NodeId>,
+    /// Sum of latencies `Σ d_i` around the cycle.
+    pub total_latency: u32,
+    /// Sum of distances `Σ m_ij` around the cycle.
+    pub total_distance: u32,
+}
+
+impl CriticalCycle {
+    /// The bound `⌈Σ d / Σ m⌉` this cycle imposes on the period.
+    pub fn bound(&self) -> u32 {
+        self.total_latency.div_ceil(self.total_distance)
+    }
+}
+
+impl Ddg {
+    /// Whether the dependence constraints are satisfiable at period `t`
+    /// (ignoring resources): no positive cycle in the constraint graph.
+    pub fn feasible_at(&self, t: u32) -> bool {
+        self.find_positive_cycle(t).is_none()
+    }
+
+    /// The recurrence lower bound `T_dep`.
+    ///
+    /// Returns `None` if the graph has a zero-distance cycle with positive
+    /// latency (no finite period works); `Some(1)` for acyclic graphs.
+    pub fn t_dep(&self) -> Option<u32> {
+        if self.num_nodes() == 0 {
+            return Some(1);
+        }
+        let hi_cap = self.total_latency().max(1);
+        if !self.feasible_at(hi_cap) {
+            // Σd over one cycle can never exceed total latency unless some
+            // cycle has zero distance.
+            return None;
+        }
+        let (mut lo, mut hi) = (1u32, hi_cap);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.feasible_at(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(lo)
+    }
+
+    /// Earliest dependence-feasible start times at period `t`: the
+    /// longest-path potentials of the constraint graph (edge weights
+    /// `d_i − t·m_ij`) from the all-zeros source. Any schedule at period
+    /// `t` with non-negative starts satisfies `t_i ≥ starts[i]`, so these
+    /// are valid ILP lower bounds. Returns `None` when period `t` is
+    /// dependence-infeasible.
+    pub fn earliest_starts(&self, t: u32) -> Option<Vec<i64>> {
+        if self.find_positive_cycle(t).is_some() {
+            return None;
+        }
+        let n = self.num_nodes();
+        let mut dist = vec![0i64; n];
+        for _ in 0..n {
+            let mut changed = false;
+            for e in self.edges() {
+                let w = self.node(e.src).latency as i64 - t as i64 * e.distance as i64;
+                if dist[e.src.0] + w > dist[e.dst.0] {
+                    dist[e.dst.0] = dist[e.src.0] + w;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Some(dist)
+    }
+
+    /// A cycle witnessing that period `t` is infeasible, if any.
+    ///
+    /// At `t = T_dep − 1` the returned cycle is a critical cycle.
+    pub fn find_positive_cycle(&self, t: u32) -> Option<CriticalCycle> {
+        let n = self.num_nodes();
+        if n == 0 {
+            return None;
+        }
+        // Longest-path Bellman–Ford from a virtual source connected to all
+        // nodes with weight 0; relax n rounds, the n-th relaxation marks a
+        // positive cycle.
+        let mut dist = vec![0i64; n];
+        let mut pred = vec![usize::MAX; n];
+        let mut changed_node = None;
+        for round in 0..n {
+            let mut changed = false;
+            for e in self.edges() {
+                let w = self.node(e.src).latency as i64 - t as i64 * e.distance as i64;
+                if dist[e.src.0] + w > dist[e.dst.0] {
+                    dist[e.dst.0] = dist[e.src.0] + w;
+                    pred[e.dst.0] = e.src.0;
+                    changed = true;
+                    if round == n - 1 {
+                        changed_node = Some(e.dst.0);
+                    }
+                }
+            }
+            if !changed {
+                return None;
+            }
+        }
+        let start = changed_node?;
+        // Walk predecessors n times to land inside the cycle, then extract.
+        let mut v = start;
+        for _ in 0..n {
+            v = pred[v];
+        }
+        let mut cycle = vec![v];
+        let mut u = pred[v];
+        while u != v {
+            cycle.push(u);
+            u = pred[u];
+        }
+        cycle.reverse();
+        // Tally latency/distance around the cycle. For multigraphs pick,
+        // for each consecutive pair, the edge maximizing d − t·m (the one
+        // Bellman–Ford used).
+        let mut total_latency = 0u32;
+        let mut total_distance = 0u32;
+        for k in 0..cycle.len() {
+            let a = NodeId(cycle[k]);
+            let b = NodeId(cycle[(k + 1) % cycle.len()]);
+            let best = self
+                .edges()
+                .filter(|e| e.src == a && e.dst == b)
+                .max_by_key(|e| {
+                    self.node(e.src).latency as i64 - t as i64 * e.distance as i64
+                })
+                .expect("predecessor chain follows real edges");
+            total_latency += self.node(a).latency;
+            total_distance += best.distance;
+        }
+        Some(CriticalCycle {
+            nodes: cycle.into_iter().map(NodeId).collect(),
+            total_latency,
+            total_distance,
+        })
+    }
+
+    /// The critical cycle: a cycle whose ratio bound equals `T_dep`.
+    ///
+    /// Returns `None` for acyclic graphs (where `T_dep = 1` trivially) or
+    /// graphs whose `T_dep` is undefined.
+    pub fn critical_cycle(&self) -> Option<CriticalCycle> {
+        let t_dep = self.t_dep()?;
+        if t_dep <= 1 {
+            // A cycle might still bind at exactly 1; probe at 0 only if
+            // there are edges (t = 0 means "would any cycle bind at all").
+            return self.find_positive_cycle(0).filter(|c| c.bound() >= 1);
+        }
+        self.find_positive_cycle(t_dep - 1)
+    }
+
+    /// Exhaustively enumerates all simple cycles and returns the maximum
+    /// ratio bound. Exponential; intended for cross-checking `t_dep` on
+    /// small graphs in tests.
+    pub fn t_dep_bruteforce(&self) -> Option<u32> {
+        let n = self.num_nodes();
+        let mut best: Option<u32> = Some(1);
+        // DFS over simple paths from each root (only allow nodes >= root to
+        // avoid duplicates).
+        for root in 0..n {
+            let mut path = vec![root];
+            let mut on_path = vec![false; n];
+            on_path[root] = true;
+            // Stack of edge iterators by index.
+            let mut iters = vec![0usize];
+            let edges: Vec<_> = self.edges().collect();
+            while let Some(&v) = path.last() {
+                let i = *iters.last().expect("parallel to path");
+                // Find next edge from v.
+                let mut advanced = false;
+                for (k, e) in edges.iter().enumerate().skip(i) {
+                    if e.src.0 != v || e.dst.0 < root {
+                        continue;
+                    }
+                    *iters.last_mut().expect("nonempty") = k + 1;
+                    let w = e.dst.0;
+                    if w == root {
+                        // Found a cycle: tally it.
+                        let mut lat = 0u32;
+                        let mut dist = e.distance;
+                        for idx in 0..path.len() {
+                            lat += self.node(NodeId(path[idx])).latency;
+                            if idx + 1 < path.len() {
+                                // distance of the edge used between
+                                // path[idx] and path[idx+1] is not tracked
+                                // here; recompute via min over parallel
+                                // edges is wrong for max-ratio. For test
+                                // graphs we assume simple graphs (no
+                                // parallel edges), which holds for all
+                                // fixtures.
+                                let pe = edges
+                                    .iter()
+                                    .find(|pe| pe.src.0 == path[idx] && pe.dst.0 == path[idx + 1])
+                                    .expect("path edge");
+                                dist += pe.distance;
+                            }
+                        }
+                        if dist > 0 {
+                            let b = lat.div_ceil(dist);
+                            best = Some(best.map_or(b, |x| x.max(b)));
+                        } else if lat > 0 {
+                            return None; // zero-distance cycle
+                        }
+                        advanced = true;
+                        break;
+                    } else if !on_path[w] {
+                        path.push(w);
+                        on_path[w] = true;
+                        iters.push(0);
+                        advanced = true;
+                        break;
+                    }
+                }
+                if !advanced {
+                    path.pop();
+                    on_path[v] = false;
+                    iters.pop();
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OpClass;
+
+    fn node(g: &mut Ddg, name: &str, lat: u32) -> NodeId {
+        g.add_node(name, OpClass::new(0), lat)
+    }
+
+    #[test]
+    fn acyclic_t_dep_is_one() {
+        let mut g = Ddg::new();
+        let a = node(&mut g, "a", 5);
+        let b = node(&mut g, "b", 3);
+        g.add_edge(a, b, 0).unwrap();
+        assert_eq!(g.t_dep(), Some(1));
+    }
+
+    #[test]
+    fn self_loop_bound() {
+        // latency 2, distance 1 -> T_dep = 2 (paper's i2).
+        let mut g = Ddg::new();
+        let a = node(&mut g, "i2", 2);
+        g.add_edge(a, a, 1).unwrap();
+        assert_eq!(g.t_dep(), Some(2));
+        let c = g.critical_cycle().expect("cycle");
+        assert_eq!(c.bound(), 2);
+        assert_eq!(c.nodes, vec![a]);
+    }
+
+    #[test]
+    fn two_node_recurrence_ceiling() {
+        // d = 3 + 2 = 5 over distance 2 -> ceil(5/2) = 3.
+        let mut g = Ddg::new();
+        let a = node(&mut g, "a", 3);
+        let b = node(&mut g, "b", 2);
+        g.add_edge(a, b, 0).unwrap();
+        g.add_edge(b, a, 2).unwrap();
+        assert_eq!(g.t_dep(), Some(3));
+        let c = g.critical_cycle().expect("cycle");
+        assert_eq!(c.total_latency, 5);
+        assert_eq!(c.total_distance, 2);
+    }
+
+    #[test]
+    fn max_over_multiple_cycles() {
+        let mut g = Ddg::new();
+        let a = node(&mut g, "a", 1);
+        let b = node(&mut g, "b", 1);
+        let c = node(&mut g, "c", 6);
+        g.add_edge(a, b, 0).unwrap();
+        g.add_edge(b, a, 1).unwrap(); // bound 2
+        g.add_edge(c, c, 2).unwrap(); // bound 3
+        assert_eq!(g.t_dep(), Some(3));
+    }
+
+    #[test]
+    fn zero_distance_cycle_undefined() {
+        let mut g = Ddg::new();
+        let a = node(&mut g, "a", 1);
+        let b = node(&mut g, "b", 1);
+        g.add_edge(a, b, 0).unwrap();
+        g.add_edge(b, a, 0).unwrap();
+        assert_eq!(g.t_dep(), None);
+    }
+
+    #[test]
+    fn feasible_at_matches_t_dep() {
+        let mut g = Ddg::new();
+        let a = node(&mut g, "a", 4);
+        g.add_edge(a, a, 2).unwrap(); // bound 2
+        assert!(!g.feasible_at(1));
+        assert!(g.feasible_at(2));
+        assert!(g.feasible_at(10));
+    }
+
+    #[test]
+    fn bruteforce_agrees_on_fixtures() {
+        let mut g = Ddg::new();
+        let a = node(&mut g, "a", 2);
+        let b = node(&mut g, "b", 3);
+        let c = node(&mut g, "c", 1);
+        g.add_edge(a, b, 0).unwrap();
+        g.add_edge(b, c, 1).unwrap();
+        g.add_edge(c, a, 1).unwrap();
+        g.add_edge(b, b, 1).unwrap();
+        assert_eq!(g.t_dep(), g.t_dep_bruteforce());
+        assert_eq!(g.t_dep(), Some(3)); // max(ceil(6/2)=3, ceil(3/1)=3)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Ddg::new();
+        assert_eq!(g.t_dep(), Some(1));
+        assert!(g.critical_cycle().is_none());
+    }
+}

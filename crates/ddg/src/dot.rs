@@ -1,0 +1,66 @@
+//! Graphviz DOT export (used by the figure-regeneration binaries).
+
+use crate::graph::Ddg;
+use std::fmt::Write as _;
+
+impl Ddg {
+    /// Renders the graph in Graphviz DOT syntax.
+    ///
+    /// Nodes are labelled `name (class, latency)`; loop-carried edges are
+    /// dashed and labelled with their distance.
+    ///
+    /// ```
+    /// use swp_ddg::{Ddg, OpClass};
+    /// let mut g = Ddg::new();
+    /// let a = g.add_node("a", OpClass::new(0), 1);
+    /// g.add_edge(a, a, 1).unwrap();
+    /// assert!(g.to_dot().contains("digraph ddg"));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph ddg {\n  rankdir=TB;\n");
+        for (id, n) in self.nodes() {
+            let _ = writeln!(
+                s,
+                "  n{} [label=\"{}\\n{} lat={}\"];",
+                id.index(),
+                n.name,
+                n.class,
+                n.latency
+            );
+        }
+        for e in self.edges() {
+            if e.distance == 0 {
+                let _ = writeln!(s, "  n{} -> n{};", e.src.index(), e.dst.index());
+            } else {
+                let _ = writeln!(
+                    s,
+                    "  n{} -> n{} [style=dashed, label=\"{}\"];",
+                    e.src.index(),
+                    e.dst.index(),
+                    e.distance
+                );
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::{Ddg, OpClass};
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut g = Ddg::new();
+        let a = g.add_node("load", OpClass::new(0), 3);
+        let b = g.add_node("fmul", OpClass::new(1), 2);
+        g.add_edge(a, b, 0).unwrap();
+        g.add_edge(b, b, 1).unwrap();
+        let dot = g.to_dot();
+        assert!(dot.contains("load"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,348 @@
+//! The dependence-graph data structure.
+
+use std::error::Error;
+use std::fmt;
+
+/// Identifies a function-unit *class* (e.g. "FP", "Load/Store", "Integer").
+///
+/// The mapping from classes to physical function units, latencies, and
+/// reservation tables lives in `swp-machine`; the DDG only records which
+/// class each instruction needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct OpClass(usize);
+
+impl OpClass {
+    /// Creates a class from its index in the machine description.
+    pub const fn new(index: usize) -> Self {
+        OpClass(index)
+    }
+
+    /// Index of the class in the machine description.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class{}", self.0)
+    }
+}
+
+/// Identifies a node (instruction) of a [`Ddg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Index of the node in creation order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds an id from an index previously obtained via
+    /// [`NodeId::index`]. The caller must ensure the index belongs to the
+    /// graph it will be used with.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index)
+    }
+}
+
+/// Identifies an edge (dependence) of a [`Ddg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub(crate) usize);
+
+impl EdgeId {
+    /// Index of the edge in creation order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An instruction in the loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Human-readable name (e.g. `"i2"` or `"fmul t3, t1, t2"`).
+    pub name: String,
+    /// Function-unit class the instruction executes on.
+    pub class: OpClass,
+    /// Latency `d_i`: cycles before a dependent instruction may start.
+    pub latency: u32,
+}
+
+/// A dependence `(src, dst)` with iteration distance `m_ij`.
+///
+/// `dst` of iteration `j + distance` must start at least
+/// `latency(src)` cycles after `src` of iteration `j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Producing instruction.
+    pub src: NodeId,
+    /// Consuming instruction.
+    pub dst: NodeId,
+    /// Iteration distance `m_ij` (0 = intra-iteration).
+    pub distance: u32,
+}
+
+/// Errors raised while building or analyzing a [`Ddg`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DdgError {
+    /// An edge referenced a node id not in this graph.
+    UnknownNode(NodeId),
+    /// A dependence cycle has total distance zero, so no schedule of any
+    /// period can satisfy it (it would require an instruction to precede
+    /// itself within one iteration).
+    ZeroDistanceCycle(Vec<NodeId>),
+}
+
+impl fmt::Display for DdgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdgError::UnknownNode(n) => write!(f, "unknown node id {}", n.0),
+            DdgError::ZeroDistanceCycle(c) => write!(
+                f,
+                "dependence cycle with zero total distance through {} nodes",
+                c.len()
+            ),
+        }
+    }
+}
+
+impl Error for DdgError {}
+
+/// A data-dependence graph for one loop body.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ddg {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl Ddg {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an instruction and returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>, class: OpClass, latency: u32) -> NodeId {
+        self.nodes.push(Node {
+            name: name.into(),
+            class,
+            latency,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a dependence edge.
+    ///
+    /// # Errors
+    ///
+    /// [`DdgError::UnknownNode`] if either endpoint is not in this graph.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, distance: u32) -> Result<EdgeId, DdgError> {
+        for n in [src, dst] {
+            if n.0 >= self.nodes.len() {
+                return Err(DdgError::UnknownNode(n));
+            }
+        }
+        self.edges.push(Edge { src, dst, distance });
+        Ok(EdgeId(self.edges.len() - 1))
+    }
+
+    /// Number of instructions.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of dependences.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The instruction behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this graph.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// The dependence behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this graph.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0]
+    }
+
+    /// Iterates over `(NodeId, &Node)` in creation order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Iterates over all dependences.
+    pub fn edges(&self) -> impl Iterator<Item = &Edge> {
+        self.edges.iter()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Successors of `n` as `(dst, distance)` pairs.
+    pub fn successors(&self, n: NodeId) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        self.edges
+            .iter()
+            .filter(move |e| e.src == n)
+            .map(|e| (e.dst, e.distance))
+    }
+
+    /// Nodes of the given class, in creation order.
+    pub fn nodes_of_class(&self, class: OpClass) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|(_, n)| n.class == class)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// All distinct classes appearing in this graph, ascending.
+    pub fn classes(&self) -> Vec<OpClass> {
+        let mut v: Vec<OpClass> = self.nodes.iter().map(|n| n.class).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Sum of latencies of all instructions (a crude schedule-length cap).
+    pub fn total_latency(&self) -> u32 {
+        self.nodes.iter().map(|n| n.latency).sum()
+    }
+
+    /// Checks the structural invariants: every cycle carries distance.
+    ///
+    /// # Errors
+    ///
+    /// [`DdgError::ZeroDistanceCycle`] if some dependence cycle has total
+    /// distance zero — such a loop can never be scheduled.
+    pub fn validate(&self) -> Result<(), DdgError> {
+        // Restrict to distance-0 edges; any cycle there is a zero-distance
+        // cycle. Detect with an iterative DFS.
+        let n = self.nodes.len();
+        let mut adj = vec![Vec::new(); n];
+        for e in &self.edges {
+            if e.distance == 0 {
+                adj[e.src.0].push(e.dst.0);
+            }
+        }
+        // 0 = unvisited, 1 = on stack, 2 = done
+        let mut state = vec![0u8; n];
+        for start in 0..n {
+            if state[start] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            state[start] = 1;
+            let mut path = vec![start];
+            while let Some(&(v, i)) = stack.last() {
+                if i < adj[v].len() {
+                    stack.last_mut().expect("nonempty").1 += 1;
+                    let w = adj[v][i];
+                    match state[w] {
+                        0 => {
+                            state[w] = 1;
+                            stack.push((w, 0));
+                            path.push(w);
+                        }
+                        1 => {
+                            let pos = path.iter().position(|&x| x == w).unwrap_or(0);
+                            return Err(DdgError::ZeroDistanceCycle(
+                                path[pos..].iter().map(|&x| NodeId(x)).collect(),
+                            ));
+                        }
+                        _ => {}
+                    }
+                } else {
+                    state[v] = 2;
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> (Ddg, Vec<NodeId>) {
+        let mut g = Ddg::new();
+        let a = g.add_node("a", OpClass::new(0), 1);
+        let b = g.add_node("b", OpClass::new(1), 2);
+        let c = g.add_node("c", OpClass::new(0), 3);
+        g.add_edge(a, b, 0).unwrap();
+        g.add_edge(b, c, 0).unwrap();
+        (g, vec![a, b, c])
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (g, ids) = chain3();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.node(ids[1]).name, "b");
+        assert_eq!(g.node(ids[1]).latency, 2);
+        assert_eq!(
+            g.successors(ids[0]).collect::<Vec<_>>(),
+            vec![(ids[1], 0)]
+        );
+        assert_eq!(g.total_latency(), 6);
+    }
+
+    #[test]
+    fn classes_are_deduped_sorted() {
+        let (g, _) = chain3();
+        assert_eq!(g.classes(), vec![OpClass::new(0), OpClass::new(1)]);
+        assert_eq!(g.nodes_of_class(OpClass::new(0)).len(), 2);
+    }
+
+    #[test]
+    fn edge_to_unknown_node_rejected() {
+        let mut g = Ddg::new();
+        let a = g.add_node("a", OpClass::new(0), 1);
+        let bogus = NodeId(7);
+        assert_eq!(
+            g.add_edge(a, bogus, 0).unwrap_err(),
+            DdgError::UnknownNode(bogus)
+        );
+    }
+
+    #[test]
+    fn zero_distance_cycle_detected() {
+        let (mut g, ids) = chain3();
+        g.add_edge(ids[2], ids[0], 0).unwrap();
+        assert!(matches!(
+            g.validate(),
+            Err(DdgError::ZeroDistanceCycle(_))
+        ));
+    }
+
+    #[test]
+    fn carried_cycle_is_fine() {
+        let (mut g, ids) = chain3();
+        g.add_edge(ids[2], ids[0], 1).unwrap();
+        assert_eq!(g.validate(), Ok(()));
+    }
+
+    #[test]
+    fn self_loop_with_distance_ok_without_not() {
+        let mut g = Ddg::new();
+        let a = g.add_node("a", OpClass::new(0), 1);
+        g.add_edge(a, a, 2).unwrap();
+        assert_eq!(g.validate(), Ok(()));
+        g.add_edge(a, a, 0).unwrap();
+        assert!(g.validate().is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Strongly connected components (iterative Tarjan).
+
+use crate::graph::{Ddg, NodeId};
+
+/// Computes the strongly connected components of `g`.
+///
+/// Components are returned in reverse topological order (Tarjan's order);
+/// each component lists node ids in discovery order. Singleton nodes
+/// without self-loops form their own components.
+///
+/// ```
+/// use swp_ddg::{sccs, Ddg, OpClass};
+/// let mut g = Ddg::new();
+/// let a = g.add_node("a", OpClass::new(0), 1);
+/// let b = g.add_node("b", OpClass::new(0), 1);
+/// g.add_edge(a, b, 0).unwrap();
+/// g.add_edge(b, a, 1).unwrap();
+/// assert_eq!(sccs(&g).len(), 1);
+/// ```
+pub fn sccs(g: &Ddg) -> Vec<Vec<NodeId>> {
+    let n = g.num_nodes();
+    let mut adj = vec![Vec::new(); n];
+    for e in g.edges() {
+        adj[e.src.index()].push(e.dst.index());
+    }
+
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        // Iterative Tarjan: (node, next child position).
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&(v, ci)) = call.last() {
+            if ci < adj[v].len() {
+                call.last_mut().expect("nonempty").1 += 1;
+                let w = adj[v][ci];
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("scc stack nonempty");
+                        on_stack[w] = false;
+                        comp.push(NodeId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.reverse();
+                    out.push(comp);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Components that contain a dependence cycle: more than one node, or a
+/// single node with a self-edge. Only these constrain `T_dep`.
+pub fn cyclic_sccs(g: &Ddg) -> Vec<Vec<NodeId>> {
+    sccs(g)
+        .into_iter()
+        .filter(|comp| {
+            comp.len() > 1
+                || g.edges()
+                    .any(|e| e.src == comp[0] && e.dst == comp[0])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OpClass;
+
+    fn graph() -> (Ddg, Vec<NodeId>) {
+        // a -> b -> c -> a (one SCC), d -> e (two singletons)
+        let mut g = Ddg::new();
+        let ids: Vec<NodeId> = (0..5)
+            .map(|i| g.add_node(format!("n{i}"), OpClass::new(0), 1))
+            .collect();
+        g.add_edge(ids[0], ids[1], 0).unwrap();
+        g.add_edge(ids[1], ids[2], 0).unwrap();
+        g.add_edge(ids[2], ids[0], 1).unwrap();
+        g.add_edge(ids[3], ids[4], 0).unwrap();
+        (g, ids)
+    }
+
+    #[test]
+    fn finds_components() {
+        let (g, ids) = graph();
+        let comps = sccs(&g);
+        assert_eq!(comps.len(), 3);
+        let big = comps.iter().find(|c| c.len() == 3).expect("3-cycle");
+        let mut sorted = big.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![ids[0], ids[1], ids[2]]);
+    }
+
+    #[test]
+    fn cyclic_filter() {
+        let (mut g, ids) = graph();
+        let cyc = cyclic_sccs(&g);
+        assert_eq!(cyc.len(), 1);
+        // A self-loop promotes a singleton to cyclic.
+        g.add_edge(ids[3], ids[3], 1).unwrap();
+        assert_eq!(cyclic_sccs(&g).len(), 2);
+    }
+
+    #[test]
+    fn every_node_in_exactly_one_component() {
+        let (g, _) = graph();
+        let comps = sccs(&g);
+        let mut seen = vec![0; g.num_nodes()];
+        for c in &comps {
+            for n in c {
+                seen[n.index()] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn empty_graph_no_components() {
+        assert!(sccs(&Ddg::new()).is_empty());
+    }
+}

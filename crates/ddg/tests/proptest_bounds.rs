@@ -1,0 +1,68 @@
+//! Property tests: the binary-search/Bellman–Ford `T_dep` agrees with
+//! exhaustive cycle enumeration on random small graphs.
+
+use proptest::prelude::*;
+use swp_ddg::{Ddg, OpClass};
+
+/// Builds a random simple graph (no parallel edges) with `n` nodes.
+fn arb_ddg() -> impl Strategy<Value = Ddg> {
+    (2usize..6).prop_flat_map(|n| {
+        let edges = prop::collection::btree_set((0..n, 0..n), 0..(n * 2));
+        let lats = prop::collection::vec(1u32..6, n);
+        let dists = prop::collection::vec(0u32..3, n * n);
+        (edges, lats, dists).prop_map(move |(edges, lats, dists)| {
+            let mut g = Ddg::new();
+            let ids: Vec<_> = lats
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| g.add_node(format!("n{i}"), OpClass::new(i % 3), l))
+                .collect();
+            for (a, b) in edges {
+                let d = dists[a * n + b];
+                g.add_edge(ids[a], ids[b], d).expect("valid ids");
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn t_dep_matches_bruteforce(g in arb_ddg()) {
+        prop_assert_eq!(g.t_dep(), g.t_dep_bruteforce());
+    }
+
+    /// t_dep is the threshold of feasible_at.
+    #[test]
+    fn t_dep_is_threshold(g in arb_ddg()) {
+        if let Some(t) = g.t_dep() {
+            prop_assert!(g.feasible_at(t));
+            if t > 1 {
+                prop_assert!(!g.feasible_at(t - 1));
+            }
+            prop_assert!(g.feasible_at(t + 7));
+        }
+    }
+
+    /// validate() rejects exactly the graphs with undefined t_dep...
+    /// (zero-distance cycles) on zero-latency-free graphs.
+    #[test]
+    fn validate_iff_t_dep_defined(g in arb_ddg()) {
+        // All latencies are >= 1 by construction, so a zero-distance cycle
+        // is simultaneously a validation error and an undefined t_dep.
+        prop_assert_eq!(g.validate().is_ok(), g.t_dep().is_some());
+    }
+
+    /// A critical cycle, when present, actually achieves T_dep.
+    #[test]
+    fn critical_cycle_achieves_bound(g in arb_ddg()) {
+        if let (Some(t), Some(c)) = (g.t_dep(), g.critical_cycle()) {
+            prop_assert!(c.total_distance > 0);
+            prop_assert_eq!(c.bound(), t.max(c.bound()));
+            // The cycle's bound can never exceed T_dep...
+            prop_assert!(c.bound() <= t || t == 1);
+        }
+    }
+}

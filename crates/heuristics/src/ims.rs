@@ -1,0 +1,440 @@
+//! Iterative modulo scheduling (Rau, MICRO '94) and a non-backtracking
+//! list-scheduling variant.
+
+use crate::mrt::ModuloReservationTable;
+use std::error::Error;
+use std::fmt;
+use swp_machine::PipelinedSchedule;
+use swp_ddg::{Ddg, NodeId};
+use swp_machine::Machine;
+
+/// Why a heuristic gave up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeuristicError {
+    /// Zero-distance dependence cycle: no period works.
+    NoFinitePeriod,
+    /// The DDG uses a class the machine does not define.
+    UnknownClass(swp_ddg::OpClass),
+    /// No schedule found for any `II` up to the cap.
+    NotFound {
+        /// The minimum II the search started from.
+        mii: u32,
+        /// The largest II attempted.
+        ii_max: u32,
+    },
+}
+
+impl fmt::Display for HeuristicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeuristicError::NoFinitePeriod => {
+                write!(f, "zero-distance dependence cycle: no finite period")
+            }
+            HeuristicError::UnknownClass(c) => write!(f, "machine does not define {c}"),
+            HeuristicError::NotFound { mii, ii_max } => {
+                write!(f, "no schedule found for II in [{mii}, {ii_max}]")
+            }
+        }
+    }
+}
+
+impl Error for HeuristicError {}
+
+/// A heuristic schedule plus how hard it was to find.
+#[derive(Debug, Clone)]
+pub struct HeuristicResult {
+    /// The (mapped) schedule.
+    pub schedule: PipelinedSchedule,
+    /// The `MII = max(RecMII, ResMII)` lower bound.
+    pub mii: u32,
+    /// Initiation intervals attempted, in order (last one succeeded).
+    pub tried: Vec<u32>,
+    /// Number of evictions performed (0 for the list scheduler).
+    pub evictions: u64,
+}
+
+impl HeuristicResult {
+    /// `II − MII`: zero means the heuristic hit the lower bound.
+    pub fn slack_above_mii(&self) -> u32 {
+        self.schedule.initiation_interval() - self.mii
+    }
+}
+
+/// Rau's iterative modulo scheduling with reservation tables and fixed
+/// unit binding.
+///
+/// ```
+/// use swp_ddg::{Ddg, OpClass};
+/// use swp_heuristics::IterativeModuloScheduler;
+/// use swp_machine::Machine;
+///
+/// # fn main() -> Result<(), swp_heuristics::HeuristicError> {
+/// let mut g = Ddg::new();
+/// let a = g.add_node("ld", OpClass::new(2), 3);
+/// let b = g.add_node("fmul", OpClass::new(1), 2);
+/// g.add_edge(a, b, 0).unwrap();
+/// let machine = Machine::example_pldi95();
+/// let res = IterativeModuloScheduler::new(machine.clone()).schedule(&g)?;
+/// assert!(res.schedule.validate(&g, &machine).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IterativeModuloScheduler {
+    machine: Machine,
+    /// Eviction budget per candidate II, as a multiple of the op count.
+    budget_ratio: u32,
+    /// Give up after `MII + ii_span`.
+    ii_span: u32,
+}
+
+impl IterativeModuloScheduler {
+    /// Creates a scheduler with Rau's customary budget (6× ops) and an
+    /// II span of 32.
+    pub fn new(machine: Machine) -> Self {
+        IterativeModuloScheduler {
+            machine,
+            budget_ratio: 6,
+            ii_span: 32,
+        }
+    }
+
+    /// Overrides the eviction budget multiplier.
+    pub fn with_budget_ratio(mut self, ratio: u32) -> Self {
+        self.budget_ratio = ratio;
+        self
+    }
+
+    /// Overrides the II search span.
+    pub fn with_ii_span(mut self, span: u32) -> Self {
+        self.ii_span = span;
+        self
+    }
+
+    /// Schedules `ddg`, trying `II = MII, MII+1, …`.
+    ///
+    /// # Errors
+    ///
+    /// See [`HeuristicError`].
+    pub fn schedule(&self, ddg: &Ddg) -> Result<HeuristicResult, HeuristicError> {
+        run(
+            &self.machine,
+            ddg,
+            self.ii_span,
+            Some(self.budget_ratio),
+        )
+    }
+
+    /// Attempts exactly one initiation interval; `None` means the
+    /// heuristic failed there (which proves nothing — the ILP may still
+    /// succeed). Used by `swp-core`'s driver as a fast feasibility
+    /// certificate before falling back to the ILP.
+    pub fn schedule_at(&self, ddg: &Ddg, ii: u32) -> Option<PipelinedSchedule> {
+        let mut evictions = 0;
+        try_ii(&self.machine, ddg, ii, Some(self.budget_ratio), &mut evictions)
+    }
+}
+
+/// Modulo list scheduling: identical priorities and placement windows,
+/// but the first unplaceable operation aborts to the next `II`.
+#[derive(Debug, Clone)]
+pub struct ListModuloScheduler {
+    machine: Machine,
+    ii_span: u32,
+}
+
+impl ListModuloScheduler {
+    /// Creates a list scheduler with an II span of 32.
+    pub fn new(machine: Machine) -> Self {
+        ListModuloScheduler {
+            machine,
+            ii_span: 32,
+        }
+    }
+
+    /// Schedules `ddg` without backtracking.
+    ///
+    /// # Errors
+    ///
+    /// See [`HeuristicError`].
+    pub fn schedule(&self, ddg: &Ddg) -> Result<HeuristicResult, HeuristicError> {
+        run(&self.machine, ddg, self.ii_span, None)
+    }
+}
+
+/// Height priority: longest latency-weighted path to any sink, with
+/// loop-carried edges discounted by `II·distance`. Computed by fixed
+/// point (bounded passes, cycles contribute only via their discounted
+/// edges, which cannot diverge when `II ≥ RecMII`).
+fn heights(ddg: &Ddg, ii: u32) -> Vec<i64> {
+    let n = ddg.num_nodes();
+    let mut h: Vec<i64> = ddg.nodes().map(|(_, nd)| nd.latency as i64).collect();
+    for _ in 0..n.max(1) {
+        let mut changed = false;
+        for e in ddg.edges() {
+            let d = ddg.node(e.src).latency as i64;
+            let v = h[e.dst.index()] + d - ii as i64 * e.distance as i64;
+            if v > h[e.src.index()] {
+                h[e.src.index()] = v;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    h
+}
+
+fn run(
+    machine: &Machine,
+    ddg: &Ddg,
+    ii_span: u32,
+    budget_ratio: Option<u32>,
+) -> Result<HeuristicResult, HeuristicError> {
+    let t_dep = ddg.t_dep().ok_or(HeuristicError::NoFinitePeriod)?;
+    let t_res = machine.t_res(ddg).map_err(|e| match e {
+        swp_machine::MachineError::UnknownClass(c) => HeuristicError::UnknownClass(c),
+        swp_machine::MachineError::NoUnits(_) => HeuristicError::NoFinitePeriod,
+    })?;
+    let mii = t_dep.max(t_res);
+    let mut tried = Vec::new();
+    let mut evictions = 0u64;
+    for ii in mii..=mii + ii_span {
+        tried.push(ii);
+        if let Some(schedule) = try_ii(machine, ddg, ii, budget_ratio, &mut evictions) {
+            return Ok(HeuristicResult {
+                schedule,
+                mii,
+                tried,
+                evictions,
+            });
+        }
+    }
+    Err(HeuristicError::NotFound {
+        mii,
+        ii_max: mii + ii_span,
+    })
+}
+
+fn try_ii(
+    machine: &Machine,
+    ddg: &Ddg,
+    ii: u32,
+    budget_ratio: Option<u32>,
+    evictions: &mut u64,
+) -> Option<PipelinedSchedule> {
+    let n = ddg.num_nodes();
+    if n == 0 {
+        return Some(PipelinedSchedule::new(ii, Vec::new(), Vec::new()));
+    }
+    // The modulo constraint and class packing capacity must hold
+    // regardless of placement.
+    for class in ddg.classes() {
+        let fu = machine.fu_type(class).ok()?;
+        if !fu.reservation.modulo_feasible(ii) {
+            return None;
+        }
+    }
+    if !machine.classes_pack(ddg, ii).ok()? {
+        return None;
+    }
+    let h = heights(ddg, ii);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(h[i]));
+
+    let mut mrt = ModuloReservationTable::new(machine, ii);
+    let mut time: Vec<Option<u32>> = vec![None; n];
+    let mut unit: Vec<u32> = vec![0; n];
+    let mut prev_time: Vec<Option<u32>> = vec![None; n];
+    let mut budget: i64 = match budget_ratio {
+        Some(r) => (r as i64) * n as i64,
+        None => n as i64, // list mode: exactly one placement per op
+    };
+    // Worklist stack of ops to (re)place; `pop` must yield the highest
+    // priority first, so push in ascending-priority order.
+    let mut pending: Vec<usize> = order.iter().rev().copied().collect();
+
+    while let Some(i) = pending.pop() {
+        if budget <= 0 {
+            return None;
+        }
+        budget -= 1;
+        let id = NodeId::from_index(i);
+        let node = ddg.node(id);
+
+        // Earliest start from *scheduled* predecessors.
+        let mut estart: i64 = 0;
+        for e in ddg.edges().filter(|e| e.dst == id) {
+            if let Some(tp) = time[e.src.index()] {
+                let d = ddg.node(e.src).latency as i64;
+                estart = estart.max(tp as i64 + d - ii as i64 * e.distance as i64);
+            }
+        }
+        let estart = estart.max(0) as u32;
+
+        // Scan the II-wide window for a slot with a free unit.
+        let mut placed_at: Option<(u32, u32)> = None;
+        for dt in 0..ii {
+            let t = estart + dt;
+            if let Some(fu) = mrt.find_free_unit(machine, node.class, t) {
+                placed_at = Some((t, fu));
+                break;
+            }
+        }
+
+        let (t, fu) = match placed_at {
+            Some(tf) => tf,
+            None => {
+                let Some(_) = budget_ratio else {
+                    return None; // list mode: no backtracking
+                };
+                // Forced placement (Rau): at estart, or one past the last
+                // try to guarantee progress; evict whatever is in the way.
+                let t = match prev_time[i] {
+                    Some(p) if p >= estart => p + 1,
+                    _ => estart,
+                };
+                // Evict resource conflicts on the least-loaded unit
+                // (first unit with fewest conflicts).
+                let fu_type = machine.fu_type(node.class).ok()?;
+                let fu = (0..fu_type.count)
+                    .min_by_key(|&fu| mrt.conflicting_ops(machine, node.class, fu, t).len())
+                    .expect("count >= 1");
+                for victim in mrt.conflicting_ops(machine, node.class, fu, t) {
+                    let vid = NodeId::from_index(victim);
+                    let vt = time[victim].expect("victim was scheduled");
+                    mrt.remove(machine, ddg.node(vid).class, unit[victim], vt, victim);
+                    time[victim] = None;
+                    pending.push(victim);
+                    *evictions += 1;
+                }
+                (t, fu)
+            }
+        };
+
+        mrt.place(machine, node.class, fu, t, i);
+        time[i] = Some(t);
+        unit[i] = fu;
+        prev_time[i] = Some(t);
+
+        // Evict scheduled successors whose dependence is now violated.
+        for e in ddg.edges().filter(|e| e.src == id && e.dst != id) {
+            if let Some(ts) = time[e.dst.index()] {
+                let need = t as i64 + node.latency as i64 - ii as i64 * e.distance as i64;
+                if (ts as i64) < need {
+                    let j = e.dst.index();
+                    let jd = NodeId::from_index(j);
+                    mrt.remove(machine, ddg.node(jd).class, unit[j], ts, j);
+                    time[j] = None;
+                    pending.push(j);
+                    *evictions += 1;
+                }
+            }
+        }
+    }
+
+    let starts: Vec<u32> = time.into_iter().map(|t| t.expect("all placed")).collect();
+    let assignment: Vec<Option<u32>> = unit.into_iter().map(Some).collect();
+    let schedule = PipelinedSchedule::new(ii, starts, assignment);
+    // The eviction loop guarantees dependences w.r.t. scheduled ops, but a
+    // final audit keeps the heuristic honest (and catches budget races).
+    schedule.validate(ddg, machine).ok()?;
+    Some(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swp_ddg::OpClass;
+
+    fn fp_loop() -> Ddg {
+        let mut g = Ddg::new();
+        let ld = g.add_node("load", OpClass::new(2), 3);
+        let m1 = g.add_node("fmul", OpClass::new(1), 2);
+        let a1 = g.add_node("fadd", OpClass::new(1), 2);
+        let st = g.add_node("store", OpClass::new(2), 3);
+        g.add_edge(ld, m1, 0).unwrap();
+        g.add_edge(m1, a1, 0).unwrap();
+        g.add_edge(a1, st, 0).unwrap();
+        g.add_edge(a1, a1, 1).unwrap();
+        g
+    }
+
+    #[test]
+    fn ims_schedules_and_validates() {
+        let machine = Machine::example_pldi95();
+        let res = IterativeModuloScheduler::new(machine.clone())
+            .schedule(&fp_loop())
+            .expect("schedulable");
+        assert_eq!(res.mii, 2);
+        assert!(res.schedule.validate(&fp_loop(), &machine).is_ok());
+        assert!(res.schedule.is_mapped());
+    }
+
+    #[test]
+    fn list_scheduler_never_beats_ims() {
+        let machine = Machine::example_pldi95();
+        let g = fp_loop();
+        let ims = IterativeModuloScheduler::new(machine.clone())
+            .schedule(&g)
+            .expect("ims");
+        let list = ListModuloScheduler::new(machine)
+            .schedule(&g)
+            .expect("list");
+        assert!(ims.schedule.initiation_interval() <= list.schedule.initiation_interval());
+    }
+
+    #[test]
+    fn heights_prefer_long_chains() {
+        let g = fp_loop();
+        let h = heights(&g, 2);
+        // load heads the longest chain, store ends it.
+        assert!(h[0] > h[3]);
+    }
+
+    #[test]
+    fn non_pipelined_machine_handled() {
+        let machine = Machine::example_non_pipelined();
+        let g = fp_loop();
+        let res = IterativeModuloScheduler::new(machine.clone())
+            .schedule(&g)
+            .expect("schedulable");
+        assert!(res.schedule.validate(&g, &machine).is_ok());
+    }
+
+    #[test]
+    fn zero_distance_cycle_rejected() {
+        let mut g = Ddg::new();
+        let a = g.add_node("a", OpClass::new(1), 2);
+        let b = g.add_node("b", OpClass::new(1), 2);
+        g.add_edge(a, b, 0).unwrap();
+        g.add_edge(b, a, 0).unwrap();
+        let err = IterativeModuloScheduler::new(Machine::example_pldi95())
+            .schedule(&g)
+            .unwrap_err();
+        assert_eq!(err, HeuristicError::NoFinitePeriod);
+    }
+
+    #[test]
+    fn empty_ddg_trivially_scheduled() {
+        let g = Ddg::new();
+        let res = IterativeModuloScheduler::new(Machine::example_pldi95())
+            .schedule(&g)
+            .expect("empty ok");
+        assert_eq!(res.schedule.num_ops(), 0);
+    }
+
+    #[test]
+    fn tight_budget_fails_gracefully_to_higher_ii() {
+        let machine = Machine::example_non_pipelined();
+        let g = fp_loop();
+        // Budget 1 means almost no rescheduling; IMS should still find a
+        // schedule at some (possibly larger) II.
+        let res = IterativeModuloScheduler::new(machine.clone())
+            .with_budget_ratio(1)
+            .schedule(&g)
+            .expect("eventually schedulable");
+        assert!(res.schedule.validate(&g, &machine).is_ok());
+    }
+}

@@ -1,0 +1,179 @@
+//! The modulo reservation table (MRT) with per-unit stage tracking.
+//!
+//! Classic modulo scheduling keeps one row per resource and time step
+//! mod `II` [16, 20]. Because this workspace targets machines with
+//! structural hazards, the MRT here tracks *every stage of every
+//! physical unit*: placing an operation claims the `(stage, residue)`
+//! cells of one concrete unit, which is exactly the fixed FU assignment
+//! the paper's ILP computes via coloring — done greedily here.
+
+use swp_ddg::OpClass;
+use swp_machine::Machine;
+
+/// Occupancy of all units of all classes over one period.
+#[derive(Debug, Clone)]
+pub struct ModuloReservationTable {
+    period: u32,
+    /// `cells[class][fu][stage][residue]` = occupying op index, or `NONE`.
+    cells: Vec<Vec<Vec<Vec<usize>>>>,
+}
+
+const NONE: usize = usize::MAX;
+
+impl ModuloReservationTable {
+    /// An empty MRT for `machine` at the given period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(machine: &Machine, period: u32) -> Self {
+        assert!(period > 0, "period must be positive");
+        let cells = machine
+            .types()
+            .iter()
+            .map(|t| {
+                vec![
+                    vec![vec![NONE; period as usize]; t.reservation.stages()];
+                    t.count as usize
+                ]
+            })
+            .collect();
+        ModuloReservationTable { period, cells }
+    }
+
+    /// The period this table wraps at.
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// Finds a unit of `class` whose cells are all free for an operation
+    /// issued at `time` (first fit). Returns the unit index.
+    pub fn find_free_unit(&self, machine: &Machine, class: OpClass, time: u32) -> Option<u32> {
+        let fu_type = machine.fu_type(class).ok()?;
+        let rt = &fu_type.reservation;
+        (0..fu_type.count).find(|&fu| {
+            (0..rt.stages()).all(|s| {
+                rt.stage_offsets(s).iter().all(|&l| {
+                    let r = ((time + l as u32) % self.period) as usize;
+                    self.cells[class.index()][fu as usize][s][r] == NONE
+                })
+            })
+        })
+    }
+
+    /// Claims the cells of `op` (an arbitrary caller-chosen tag) issued
+    /// at `time` on `fu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any needed cell is already occupied (callers must use
+    /// [`ModuloReservationTable::find_free_unit`] first).
+    pub fn place(&mut self, machine: &Machine, class: OpClass, fu: u32, time: u32, op: usize) {
+        let rt = &machine.fu_type(class).expect("known class").reservation;
+        for s in 0..rt.stages() {
+            for l in rt.stage_offsets(s) {
+                let r = ((time + l as u32) % self.period) as usize;
+                let cell = &mut self.cells[class.index()][fu as usize][s][r];
+                assert_eq!(*cell, NONE, "cell already occupied");
+                *cell = op;
+            }
+        }
+    }
+
+    /// Releases the cells of `op` issued at `time` on `fu`.
+    pub fn remove(&mut self, machine: &Machine, class: OpClass, fu: u32, time: u32, op: usize) {
+        let rt = &machine.fu_type(class).expect("known class").reservation;
+        for s in 0..rt.stages() {
+            for l in rt.stage_offsets(s) {
+                let r = ((time + l as u32) % self.period) as usize;
+                let cell = &mut self.cells[class.index()][fu as usize][s][r];
+                debug_assert_eq!(*cell, op, "removing someone else's reservation");
+                *cell = NONE;
+            }
+        }
+    }
+
+    /// Ops occupying any cell that an operation of `class` issued at
+    /// `time` on `fu` would need — the eviction set for a forced
+    /// placement.
+    pub fn conflicting_ops(
+        &self,
+        machine: &Machine,
+        class: OpClass,
+        fu: u32,
+        time: u32,
+    ) -> Vec<usize> {
+        let rt = &machine.fu_type(class).expect("known class").reservation;
+        let mut out = Vec::new();
+        for s in 0..rt.stages() {
+            for l in rt.stage_offsets(s) {
+                let r = ((time + l as u32) % self.period) as usize;
+                let cell = self.cells[class.index()][fu as usize][s][r];
+                if cell != NONE && !out.contains(&cell) {
+                    out.push(cell);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swp_machine::Machine;
+
+    const FP: OpClass = OpClass::new(1);
+
+    #[test]
+    fn place_find_remove_roundtrip() {
+        let m = Machine::example_pldi95();
+        let mut mrt = ModuloReservationTable::new(&m, 4);
+        let fu = mrt.find_free_unit(&m, FP, 0).expect("free");
+        mrt.place(&m, FP, fu, 0, 7);
+        // Offset 1 collides on stage 3 with offset 0 on the same unit...
+        let fu2 = mrt.find_free_unit(&m, FP, 1).expect("second unit free");
+        assert_ne!(fu, fu2);
+        mrt.remove(&m, FP, fu, 0, 7);
+        assert_eq!(mrt.find_free_unit(&m, FP, 1), Some(0));
+    }
+
+    #[test]
+    fn exhausted_units_return_none() {
+        let m = Machine::example_pldi95();
+        let mut mrt = ModuloReservationTable::new(&m, 4);
+        mrt.place(&m, FP, 0, 0, 1);
+        mrt.place(&m, FP, 1, 0, 2);
+        // Offset 1 overlaps offset 0 on stage 3 for both units.
+        assert_eq!(mrt.find_free_unit(&m, FP, 1), None);
+        // Offset 2 does not overlap offset 0.
+        assert!(mrt.find_free_unit(&m, FP, 2).is_some());
+    }
+
+    #[test]
+    fn conflicting_ops_lists_evictees() {
+        let m = Machine::example_pldi95();
+        let mut mrt = ModuloReservationTable::new(&m, 4);
+        mrt.place(&m, FP, 0, 0, 1);
+        assert_eq!(mrt.conflicting_ops(&m, FP, 0, 1), vec![1]);
+        assert!(mrt.conflicting_ops(&m, FP, 0, 2).is_empty());
+    }
+
+    #[test]
+    fn wrapping_claims_respected() {
+        let m = Machine::example_non_pipelined();
+        let mut mrt = ModuloReservationTable::new(&m, 4);
+        // lat-2 non-pipelined at offset 3 wraps into residues {3, 0}.
+        mrt.place(&m, FP, 0, 3, 9);
+        assert_eq!(mrt.conflicting_ops(&m, FP, 0, 0), vec![9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell already occupied")]
+    fn double_placement_panics() {
+        let m = Machine::example_pldi95();
+        let mut mrt = ModuloReservationTable::new(&m, 4);
+        mrt.place(&m, FP, 0, 0, 1);
+        mrt.place(&m, FP, 0, 1, 2);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests on the heuristic schedulers: everything they emit
+//! validates, IMS dominates the list scheduler, and `schedule_at`
+//! certificates are honest.
+
+use proptest::prelude::*;
+use swp_ddg::{Ddg, OpClass};
+use swp_heuristics::{IterativeModuloScheduler, ListModuloScheduler};
+use swp_machine::Machine;
+
+fn arb_loop() -> impl Strategy<Value = Ddg> {
+    (2usize..8).prop_flat_map(|n| {
+        let classes = proptest::collection::vec(0usize..3, n);
+        let preds = proptest::collection::vec(any::<u16>(), n - 1);
+        let carried = proptest::option::of((0..n, 1u32..3));
+        (classes, preds, carried).prop_map(move |(classes, preds, carried)| {
+            let mut g = Ddg::new();
+            let lat = [1u32, 2, 3];
+            let ids: Vec<_> = classes
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| g.add_node(format!("n{i}"), OpClass::new(c), lat[c]))
+                .collect();
+            for (i, &p) in preds.iter().enumerate() {
+                let src = (p as usize) % (i + 1);
+                g.add_edge(ids[src], ids[i + 1], 0).expect("valid");
+            }
+            if let Some((k, d)) = carried {
+                g.add_edge(ids[k], ids[k], d).expect("valid");
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// IMS output always validates against the independent checker, on
+    /// both the hazard and non-pipelined machines.
+    #[test]
+    fn ims_validates_everywhere(g in arb_loop()) {
+        for machine in [Machine::example_pldi95(), Machine::example_non_pipelined()] {
+            let r = IterativeModuloScheduler::new(machine.clone())
+                .schedule(&g)
+                .expect("small loops schedule");
+            prop_assert_eq!(r.schedule.validate(&g, &machine), Ok(()));
+            prop_assert!(r.schedule.is_mapped());
+            prop_assert!(r.schedule.initiation_interval() >= r.mii);
+            prop_assert_eq!(
+                r.tried.last().copied(),
+                Some(r.schedule.initiation_interval())
+            );
+        }
+    }
+
+    /// Backtracking can only help: IMS's II <= the list scheduler's II.
+    #[test]
+    fn ims_dominates_list(g in arb_loop()) {
+        let machine = Machine::example_pldi95();
+        let ims = IterativeModuloScheduler::new(machine.clone()).schedule(&g);
+        let list = ListModuloScheduler::new(machine).schedule(&g);
+        if let (Ok(a), Ok(b)) = (ims, list) {
+            prop_assert!(
+                a.schedule.initiation_interval() <= b.schedule.initiation_interval()
+            );
+        }
+    }
+
+    /// A `schedule_at(ii)` certificate really is a schedule at that ii.
+    #[test]
+    fn schedule_at_is_honest(g in arb_loop(), bump in 0u32..4) {
+        let machine = Machine::example_pldi95();
+        let ims = IterativeModuloScheduler::new(machine.clone());
+        let full = ims.schedule(&g).expect("schedulable");
+        let ii = full.schedule.initiation_interval() + bump;
+        if let Some(s) = ims.schedule_at(&g, ii) {
+            prop_assert_eq!(s.initiation_interval(), ii);
+            prop_assert_eq!(s.validate(&g, &machine), Ok(()));
+        } else {
+            // Failing at the achieved ii itself would be inconsistent.
+            prop_assert!(bump > 0, "schedule_at failed at an ii the full search achieved");
+        }
+    }
+}

@@ -1,0 +1,574 @@
+//! Hand-written kernel DDGs.
+//!
+//! Each builder takes the target [`Machine`] and a [`ClassConvention`]
+//! and derives node latencies from the machine, so the same kernel can be
+//! scheduled on the example machines and the PowerPC-604 model alike.
+//! [`motivating_example`] is the paper's Figure 1 and is pinned to the
+//! example convention.
+
+use crate::ClassConvention;
+use swp_ddg::{Ddg, NodeId, OpClass};
+use swp_machine::Machine;
+
+/// A named loop.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Human-readable kernel name.
+    pub name: String,
+    /// Its dependence graph.
+    pub ddg: Ddg,
+}
+
+struct B<'a> {
+    g: Ddg,
+    m: &'a Machine,
+    c: ClassConvention,
+}
+
+impl<'a> B<'a> {
+    fn new(m: &'a Machine, c: ClassConvention) -> Self {
+        B { g: Ddg::new(), m, c }
+    }
+
+    fn node(&mut self, name: &str, class: OpClass) -> NodeId {
+        let lat = self.c.latency(self.m, class);
+        self.g.add_node(name, class, lat)
+    }
+
+    fn ld(&mut self, name: &str) -> NodeId {
+        self.node(name, self.c.ldst)
+    }
+
+    fn st(&mut self, name: &str) -> NodeId {
+        self.node(name, self.c.ldst)
+    }
+
+    fn fp(&mut self, name: &str) -> NodeId {
+        self.node(name, self.c.fp)
+    }
+
+    fn int(&mut self, name: &str) -> NodeId {
+        self.node(name, self.c.int)
+    }
+
+    fn div(&mut self, name: &str) -> NodeId {
+        self.node(name, self.c.fdiv_or_fp())
+    }
+
+    fn dep(&mut self, a: NodeId, b: NodeId) {
+        self.g.add_edge(a, b, 0).expect("builder ids are valid");
+    }
+
+    fn carried(&mut self, a: NodeId, b: NodeId, dist: u32) {
+        self.g.add_edge(a, b, dist).expect("builder ids are valid");
+    }
+
+    fn finish(self, name: &str) -> Kernel {
+        debug_assert_eq!(self.g.validate(), Ok(()));
+        Kernel {
+            name: name.to_string(),
+            ddg: self.g,
+        }
+    }
+}
+
+/// The paper's motivating example (Figure 1, reconstructed): six
+/// instructions — two loads, a multiply with a distance-1 self-
+/// dependence (`T_dep = 2`), two dependent FP ops, and a store.
+/// Schedule B of the paper (`T = 4`, `t = [0,1,3,5,7,11]`) satisfies
+/// exactly these dependences on [`Machine::example_pldi95`].
+pub fn motivating_example() -> Ddg {
+    let m = Machine::example_pldi95();
+    let mut b = B::new(&m, ClassConvention::example());
+    let i0 = b.ld("i0: load");
+    let i1 = b.ld("i1: load");
+    let i2 = b.fp("i2: fmul");
+    let i3 = b.fp("i3: fadd");
+    let i4 = b.fp("i4: fadd");
+    let i5 = b.st("i5: store");
+    b.dep(i0, i2);
+    b.carried(i2, i2, 1);
+    b.dep(i2, i3);
+    b.dep(i1, i4);
+    b.dep(i3, i4);
+    b.dep(i4, i5);
+    b.finish("motivating").ddg
+}
+
+/// `y[i] = y[i] + a * x[i]` — linpack daxpy.
+pub fn daxpy(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let lx = b.ld("load x[i]");
+    let ly = b.ld("load y[i]");
+    let mul = b.fp("a*x[i]");
+    let add = b.fp("y[i]+ax");
+    let st = b.st("store y[i]");
+    b.dep(lx, mul);
+    b.dep(ly, add);
+    b.dep(mul, add);
+    b.dep(add, st);
+    b.finish("daxpy")
+}
+
+/// `s += x[i] * y[i]` — linpack ddot (sum recurrence).
+pub fn ddot(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let lx = b.ld("load x[i]");
+    let ly = b.ld("load y[i]");
+    let mul = b.fp("x*y");
+    let acc = b.fp("s += xy");
+    b.dep(lx, mul);
+    b.dep(ly, mul);
+    b.dep(mul, acc);
+    b.carried(acc, acc, 1);
+    b.finish("ddot")
+}
+
+/// Livermore loop 1 (hydro fragment):
+/// `x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])`.
+pub fn livermore1(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let lz10 = b.ld("load z[k+10]");
+    let lz11 = b.ld("load z[k+11]");
+    let ly = b.ld("load y[k]");
+    let m1 = b.fp("r*z10");
+    let m2 = b.fp("t*z11");
+    let a1 = b.fp("m1+m2");
+    let m3 = b.fp("y*a1");
+    let a2 = b.fp("q+m3");
+    let st = b.st("store x[k]");
+    b.dep(lz10, m1);
+    b.dep(lz11, m2);
+    b.dep(m1, a1);
+    b.dep(m2, a1);
+    b.dep(ly, m3);
+    b.dep(a1, m3);
+    b.dep(m3, a2);
+    b.dep(a2, st);
+    b.finish("livermore1")
+}
+
+/// Livermore loop 5 (tridiagonal elimination):
+/// `x[i] = z[i] * (y[i] - x[i-1])` — a tight carried recurrence.
+pub fn livermore5(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let ly = b.ld("load y[i]");
+    let lz = b.ld("load z[i]");
+    let sub = b.fp("y - x[i-1]");
+    let mul = b.fp("z * sub");
+    let st = b.st("store x[i]");
+    b.dep(ly, sub);
+    b.dep(lz, mul);
+    b.dep(sub, mul);
+    b.dep(mul, st);
+    b.carried(mul, sub, 1); // x[i-1] feeds the next subtract
+    b.finish("livermore5")
+}
+
+/// Livermore loop 7 (equation of state fragment) — wide FP tree.
+pub fn livermore7(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let lu = b.ld("load u[k]");
+    let lz = b.ld("load z[k]");
+    let ly = b.ld("load y[k]");
+    let m1 = b.fp("r*z");
+    let a1 = b.fp("u+m1");
+    let m2 = b.fp("t*a1");
+    let m3 = b.fp("y*m2");
+    let a2 = b.fp("u+m3");
+    let m4 = b.fp("r*a2");
+    let a3 = b.fp("u+m4");
+    let st = b.st("store x[k]");
+    b.dep(lu, a1);
+    b.dep(lz, m1);
+    b.dep(m1, a1);
+    b.dep(a1, m2);
+    b.dep(ly, m3);
+    b.dep(m2, m3);
+    b.dep(m3, a2);
+    b.dep(lu, a2);
+    b.dep(a2, m4);
+    b.dep(m4, a3);
+    b.dep(lu, a3);
+    b.dep(a3, st);
+    b.finish("livermore7")
+}
+
+/// Livermore loop 11 (first sum): `x[k] = x[k-1] + y[k]`.
+pub fn livermore11(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let ly = b.ld("load y[k]");
+    let add = b.fp("x[k-1] + y[k]");
+    let st = b.st("store x[k]");
+    b.dep(ly, add);
+    b.carried(add, add, 1);
+    b.dep(add, st);
+    b.finish("livermore11")
+}
+
+/// Livermore loop 12 (first difference): `x[k] = y[k+1] - y[k]`.
+pub fn livermore12(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let l1 = b.ld("load y[k+1]");
+    let l0 = b.ld("load y[k]");
+    let sub = b.fp("y1 - y0");
+    let st = b.st("store x[k]");
+    b.dep(l1, sub);
+    b.dep(l0, sub);
+    b.dep(sub, st);
+    b.finish("livermore12")
+}
+
+/// 3-point stencil: `b[i] = w0*a[i-1] + w1*a[i] + w2*a[i+1]`.
+pub fn stencil3(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let l0 = b.ld("load a[i-1]");
+    let l1 = b.ld("load a[i]");
+    let l2 = b.ld("load a[i+1]");
+    let m0 = b.fp("w0*a0");
+    let m1 = b.fp("w1*a1");
+    let m2 = b.fp("w2*a2");
+    let a1 = b.fp("m0+m1");
+    let a2 = b.fp("a1+m2");
+    let st = b.st("store b[i]");
+    b.dep(l0, m0);
+    b.dep(l1, m1);
+    b.dep(l2, m2);
+    b.dep(m0, a1);
+    b.dep(m1, a1);
+    b.dep(a1, a2);
+    b.dep(m2, a2);
+    b.dep(a2, st);
+    b.finish("stencil3")
+}
+
+/// Complex multiply: `(cr, ci) = (ar*br − ai*bi, ar*bi + ai*br)`.
+pub fn complex_multiply(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let lar = b.ld("load ar");
+    let lai = b.ld("load ai");
+    let lbr = b.ld("load br");
+    let lbi = b.ld("load bi");
+    let m1 = b.fp("ar*br");
+    let m2 = b.fp("ai*bi");
+    let m3 = b.fp("ar*bi");
+    let m4 = b.fp("ai*br");
+    let sub = b.fp("m1-m2");
+    let add = b.fp("m3+m4");
+    let scr = b.st("store cr");
+    let sci = b.st("store ci");
+    b.dep(lar, m1);
+    b.dep(lbr, m1);
+    b.dep(lai, m2);
+    b.dep(lbi, m2);
+    b.dep(lar, m3);
+    b.dep(lbi, m3);
+    b.dep(lai, m4);
+    b.dep(lbr, m4);
+    b.dep(m1, sub);
+    b.dep(m2, sub);
+    b.dep(m3, add);
+    b.dep(m4, add);
+    b.dep(sub, scr);
+    b.dep(add, sci);
+    b.finish("complex_multiply")
+}
+
+/// Horner polynomial evaluation: `p = p*x + c[i]` (serial recurrence).
+pub fn horner(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let lc = b.ld("load c[i]");
+    let mul = b.fp("p*x");
+    let add = b.fp("px + c[i]");
+    b.dep(lc, add);
+    b.dep(mul, add);
+    b.carried(add, mul, 1);
+    b.finish("horner")
+}
+
+/// 4-tap FIR filter: `y[i] = Σ_k h[k]·x[i−k]`.
+pub fn fir4(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let mut prev: Option<NodeId> = None;
+    for k in 0..4 {
+        let lx = b.ld(&format!("load x[i-{k}]"));
+        let mul = b.fp(&format!("h{k}*x"));
+        b.dep(lx, mul);
+        if let Some(p) = prev {
+            let add = b.fp(&format!("acc{k}"));
+            b.dep(p, add);
+            b.dep(mul, add);
+            prev = Some(add);
+        } else {
+            prev = Some(mul);
+        }
+    }
+    let st = b.st("store y[i]");
+    let last = prev.expect("nonempty");
+    b.dep(last, st);
+    b.finish("fir4")
+}
+
+/// Vector normalize with a divide: `y[i] = x[i] / norm` plus an update
+/// of a running maximum — exercises the non-pipelined divide unit.
+pub fn vector_normalize(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let lx = b.ld("load x[i]");
+    let dv = b.div("x/norm");
+    let mx = b.fp("max(acc, y)");
+    let st = b.st("store y[i]");
+    b.dep(lx, dv);
+    b.dep(dv, mx);
+    b.carried(mx, mx, 1);
+    b.dep(dv, st);
+    b.finish("vector_normalize")
+}
+
+/// Matrix-vector inner loop: `y[i] += a[i][j] * x[j]` with address
+/// update on the integer unit.
+pub fn matvec_inner(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let addr = b.int("addr += 8");
+    let la = b.ld("load a[i][j]");
+    let lx = b.ld("load x[j]");
+    let mul = b.fp("a*x");
+    let acc = b.fp("y += ax");
+    b.carried(addr, addr, 1);
+    b.dep(addr, la);
+    b.dep(la, mul);
+    b.dep(lx, mul);
+    b.dep(mul, acc);
+    b.carried(acc, acc, 1);
+    b.finish("matvec_inner")
+}
+
+/// Prefix-ish two-term recurrence crossing two iterations:
+/// `x[i] = a*x[i-1] + b*x[i-2]`.
+pub fn second_order_recurrence(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let m1 = b.fp("a*x[i-1]");
+    let m2 = b.fp("b*x[i-2]");
+    let add = b.fp("m1+m2");
+    let st = b.st("store x[i]");
+    b.carried(add, m1, 1);
+    b.carried(add, m2, 2);
+    b.dep(m1, add);
+    b.dep(m2, add);
+    b.dep(add, st);
+    b.finish("second_order_recurrence")
+}
+
+/// Livermore loop 2 (incomplete Cholesky / ICCG fragment):
+/// `x[i] = x[i] - z[i]*x[i+m] - z[i+1]*x[i+m+1]` shaped reduction step.
+pub fn livermore2(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let lx = b.ld("load x[ipnt]");
+    let lz0 = b.ld("load z[ii]");
+    let lx1 = b.ld("load x[ipnt+1]");
+    let lz1 = b.ld("load z[ii+1]");
+    let m1 = b.fp("z0*x1");
+    let m2 = b.fp("z1*x1b");
+    let s1 = b.fp("x - m1");
+    let s2 = b.fp("s1 - m2");
+    let st = b.st("store x[i]");
+    b.dep(lz0, m1);
+    b.dep(lx1, m1);
+    b.dep(lz1, m2);
+    b.dep(lx1, m2);
+    b.dep(lx, s1);
+    b.dep(m1, s1);
+    b.dep(s1, s2);
+    b.dep(m2, s2);
+    b.dep(s2, st);
+    b.finish("livermore2")
+}
+
+/// Livermore loop 3 (inner product) — same as ddot but with the classic
+/// 8-op body after address arithmetic.
+pub fn livermore3(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let ax = b.int("ax += 8");
+    let az = b.int("az += 8");
+    let lx = b.ld("load x[k]");
+    let lz = b.ld("load z[k]");
+    let mul = b.fp("x*z");
+    let acc = b.fp("q += xz");
+    b.carried(ax, ax, 1);
+    b.carried(az, az, 1);
+    b.dep(ax, lx);
+    b.dep(az, lz);
+    b.dep(lx, mul);
+    b.dep(lz, mul);
+    b.dep(mul, acc);
+    b.carried(acc, acc, 1);
+    b.finish("livermore3")
+}
+
+/// Livermore loop 9 (integrate predictors) — a wide multiply-add fan-in.
+pub fn livermore9(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let mut terms = Vec::new();
+    for i in 0..5 {
+        let lc = b.ld(&format!("load c{i}"));
+        let lp = b.ld(&format!("load px[{i}]"));
+        let mul = b.fp(&format!("c{i}*px{i}"));
+        b.dep(lc, mul);
+        b.dep(lp, mul);
+        terms.push(mul);
+    }
+    let mut acc = terms[0];
+    for (i, &t) in terms.iter().enumerate().skip(1) {
+        let add = b.fp(&format!("sum{i}"));
+        b.dep(acc, add);
+        b.dep(t, add);
+        acc = add;
+    }
+    let st = b.st("store px[i]");
+    b.dep(acc, st);
+    b.finish("livermore9")
+}
+
+/// FFT butterfly (radix-2, one stage): two loads, complex twiddle
+/// multiply, add/sub pair, two stores.
+pub fn fft_butterfly(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let la = b.ld("load a");
+    let lb2 = b.ld("load b");
+    let m1 = b.fp("br*wr");
+    let m2 = b.fp("bi*wi");
+    let m3 = b.fp("br*wi");
+    let m4 = b.fp("bi*wr");
+    let tr = b.fp("m1-m2");
+    let ti = b.fp("m3+m4");
+    let out0 = b.fp("a + t");
+    let out1 = b.fp("a - t");
+    let s0 = b.st("store out0");
+    let s1 = b.st("store out1");
+    b.dep(lb2, m1);
+    b.dep(lb2, m2);
+    b.dep(lb2, m3);
+    b.dep(lb2, m4);
+    b.dep(m1, tr);
+    b.dep(m2, tr);
+    b.dep(m3, ti);
+    b.dep(m4, ti);
+    b.dep(la, out0);
+    b.dep(tr, out0);
+    b.dep(la, out1);
+    b.dep(ti, out1);
+    b.dep(out0, s0);
+    b.dep(out1, s1);
+    b.finish("fft_butterfly")
+}
+
+/// Newton–Raphson reciprocal step: `r = r*(2 - d*r)` — a divide-free
+/// recurrence with two chained FP ops per iteration.
+pub fn newton_recip(m: &Machine, c: ClassConvention) -> Kernel {
+    let mut b = B::new(m, c);
+    let mul1 = b.fp("d*r");
+    let sub = b.fp("2 - dr");
+    let mul2 = b.fp("r*(2-dr)");
+    b.dep(mul1, sub);
+    b.dep(sub, mul2);
+    b.carried(mul2, mul1, 1);
+    b.carried(mul2, mul2, 1);
+    b.finish("newton_recip")
+}
+
+/// All kernels parameterized over a machine/convention pair.
+pub fn all(m: &Machine, c: ClassConvention) -> Vec<Kernel> {
+    vec![
+        daxpy(m, c),
+        ddot(m, c),
+        livermore1(m, c),
+        livermore2(m, c),
+        livermore3(m, c),
+        livermore5(m, c),
+        livermore7(m, c),
+        livermore9(m, c),
+        livermore11(m, c),
+        livermore12(m, c),
+        stencil3(m, c),
+        complex_multiply(m, c),
+        horner(m, c),
+        fir4(m, c),
+        vector_normalize(m, c),
+        matvec_inner(m, c),
+        second_order_recurrence(m, c),
+        fft_butterfly(m, c),
+        newton_recip(m, c),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn motivating_example_matches_paper_bounds() {
+        let g = motivating_example();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.t_dep(), Some(2)); // the i2 self-loop
+        let m = Machine::example_pldi95();
+        // 3 LD/ST ops on 1 clean unit -> T_res >= 3; FP busiest stage has
+        // 2 marks, 3 FP ops on 2 units -> ceil(6/2) = 3 by counting.
+        assert_eq!(m.t_res_counting(&g).unwrap(), 3);
+        // The packing refinement sees that a hazard unit hosts only one
+        // op at T = 3 (stage-3 2-blocks mod 3), so 3 FP ops need T >= 4 —
+        // which is exactly why the paper's Schedule B sits at T = 4.
+        assert_eq!(m.t_res(&g).unwrap(), 4);
+    }
+
+    #[test]
+    fn paper_schedule_b_satisfies_motivating_dependences() {
+        use swp_core::PipelinedSchedule;
+        let g = motivating_example();
+        let s = PipelinedSchedule::new(
+            4,
+            vec![0, 1, 3, 5, 7, 11],
+            vec![None; 6],
+        );
+        let m = Machine::example_pldi95();
+        assert_eq!(s.validate(&g, &m), Ok(()));
+    }
+
+    #[test]
+    fn all_kernels_validate_on_both_machines() {
+        for (m, c) in [
+            (Machine::example_pldi95(), ClassConvention::example()),
+            (Machine::ppc604(), ClassConvention::ppc604()),
+        ] {
+            for k in all(&m, c) {
+                assert_eq!(k.ddg.validate(), Ok(()), "kernel {}", k.name);
+                assert!(k.ddg.t_dep().is_some(), "kernel {}", k.name);
+                assert!(m.t_res(&k.ddg).is_ok(), "kernel {}", k.name);
+            }
+        }
+    }
+
+    #[test]
+    fn recurrences_bound_t_dep() {
+        let m = Machine::example_pldi95();
+        let c = ClassConvention::example();
+        // horner: carried(add -> mul, 1), mul -> add: cycle latency
+        // = lat(add) + lat(mul) = 4, distance 1 -> T_dep = 4.
+        assert_eq!(horner(&m, c).ddg.t_dep(), Some(4));
+        // second order: ceil((2+2)/1)? cycle add->m1->add: lat 2+2 over
+        // dist 1 -> 4; add->m2->add: 4 over 2 -> 2. Max = 4.
+        assert_eq!(second_order_recurrence(&m, c).ddg.t_dep(), Some(4));
+        // livermore12 has no cycles.
+        assert_eq!(livermore12(&m, c).ddg.t_dep(), Some(1));
+    }
+
+    #[test]
+    fn divide_lands_on_fdiv_class_for_ppc() {
+        let m = Machine::ppc604();
+        let c = ClassConvention::ppc604();
+        let k = vector_normalize(&m, c);
+        let has_div = k
+            .ddg
+            .nodes()
+            .any(|(_, n)| n.class == OpClass::new(4) && n.latency == 18);
+        assert!(has_div);
+    }
+}

@@ -1,0 +1,370 @@
+//! A tiny textual loop language, so kernels can be written as code
+//! rather than hand-assembled DDGs.
+//!
+//! ```text
+//! # dot product with an accumulator recurrence
+//! loop ddot {
+//!     t1 = load x[i]
+//!     t2 = load y[i]
+//!     t3 = fmul t1, t2
+//!     s  = fadd s@1, t3      # s@1: the s produced one iteration ago
+//! }
+//! ```
+//!
+//! Rules:
+//!
+//! * one instruction per line: `dest = op arg, arg, …` or `op arg, …`
+//!   for result-less ops (`store`);
+//! * `name@k` reads the value of `name` from `k` iterations back — the
+//!   dependence distance of the resulting DDG edge;
+//! * operands that are never defined in the loop are live-ins (no edge);
+//!   operands like `x[i]` are address expressions, also live-ins;
+//! * the op mnemonic picks the function-unit class: `load`/`store` →
+//!   load/store class, mnemonics starting with `f` → FP, `div`/`fdiv` →
+//!   divide class, everything else → integer; latency comes from the
+//!   machine.
+
+use crate::ClassConvention;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use swp_ddg::{Ddg, NodeId, OpClass};
+use swp_machine::Machine;
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// A parsed loop: the DDG plus name tables for diagnostics.
+#[derive(Debug, Clone)]
+pub struct ParsedLoop {
+    /// Loop name from the header.
+    pub name: String,
+    /// The dependence graph.
+    pub ddg: Ddg,
+    /// For each node, the destination value name (if any).
+    pub defs: Vec<Option<String>>,
+}
+
+/// Maps an op mnemonic to its unit class under a convention.
+pub fn class_of(mnemonic: &str, conv: &ClassConvention) -> OpClass {
+    if mnemonic == "load" || mnemonic == "store" {
+        conv.ldst
+    } else if mnemonic == "div" || mnemonic == "fdiv" {
+        conv.fdiv_or_fp()
+    } else if mnemonic.starts_with('f') {
+        conv.fp
+    } else {
+        conv.int
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses one `loop <name> { … }` block.
+///
+/// # Errors
+///
+/// [`ParseError`] on malformed syntax, duplicate definitions, or a
+/// `@k` reference to a name never defined in the loop.
+pub fn parse_loop(
+    source: &str,
+    machine: &Machine,
+    conv: &ClassConvention,
+) -> Result<ParsedLoop, ParseError> {
+    let mut name = None;
+    let mut body: Vec<(usize, String)> = Vec::new();
+    let mut in_body = false;
+    let mut closed = false;
+    for (ln, raw) in source.lines().enumerate() {
+        let line_no = ln + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !in_body {
+            let rest = line
+                .strip_prefix("loop")
+                .ok_or_else(|| err(line_no, "expected `loop <name> {`"))?
+                .trim();
+            let rest = rest
+                .strip_suffix('{')
+                .ok_or_else(|| err(line_no, "expected `{` at end of loop header"))?
+                .trim();
+            if rest.is_empty() {
+                return Err(err(line_no, "loop needs a name"));
+            }
+            name = Some(rest.to_string());
+            in_body = true;
+        } else if line == "}" {
+            closed = true;
+            in_body = false;
+        } else if closed {
+            return Err(err(line_no, "content after closing `}`"));
+        } else {
+            body.push((line_no, line.to_string()));
+        }
+    }
+    let name = name.ok_or_else(|| err(1, "no `loop` block found"))?;
+    if !closed {
+        return Err(err(source.lines().count().max(1), "missing closing `}`"));
+    }
+
+    // Pass 1: instructions and definitions.
+    struct Inst {
+        line: usize,
+        mnemonic: String,
+        dest: Option<String>,
+        args: Vec<(String, u32)>, // (name, distance)
+    }
+    let mut insts = Vec::new();
+    let mut def_site: HashMap<String, usize> = HashMap::new();
+    for (line_no, line) in &body {
+        let (dest, rhs) = match line.split_once('=') {
+            Some((d, r)) => {
+                let d = d.trim();
+                if d.is_empty() || !is_ident(d) {
+                    return Err(err(*line_no, format!("bad destination `{d}`")));
+                }
+                (Some(d.to_string()), r.trim())
+            }
+            None => (None, line.as_str()),
+        };
+        let mut parts = rhs.splitn(2, char::is_whitespace);
+        let mnemonic = parts
+            .next()
+            .filter(|m| !m.is_empty())
+            .ok_or_else(|| err(*line_no, "missing op mnemonic"))?
+            .to_string();
+        if !is_ident(&mnemonic) {
+            return Err(err(*line_no, format!("bad mnemonic `{mnemonic}`")));
+        }
+        let args = match parts.next() {
+            None => Vec::new(),
+            Some(rest) => rest
+                .split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .map(|a| parse_operand(a, *line_no))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        if let Some(d) = &dest {
+            if def_site.insert(d.clone(), insts.len()).is_some() {
+                return Err(err(
+                    *line_no,
+                    format!("`{d}` defined twice (the loop body is SSA per iteration)"),
+                ));
+            }
+        }
+        insts.push(Inst {
+            line: *line_no,
+            mnemonic,
+            dest,
+            args,
+        });
+    }
+    if insts.is_empty() {
+        return Err(err(1, "empty loop body"));
+    }
+
+    // Pass 2: build the DDG.
+    let mut ddg = Ddg::new();
+    let mut ids: Vec<NodeId> = Vec::with_capacity(insts.len());
+    for inst in &insts {
+        let class = class_of(&inst.mnemonic, conv);
+        let latency = machine
+            .fu_type(class)
+            .map_err(|_| {
+                err(
+                    inst.line,
+                    format!("machine has no unit for `{}`", inst.mnemonic),
+                )
+            })?
+            .latency;
+        let label = match &inst.dest {
+            Some(d) => format!("{d} = {}", inst.mnemonic),
+            None => inst.mnemonic.clone(),
+        };
+        ids.push(ddg.add_node(label, class, latency));
+    }
+    for (i, inst) in insts.iter().enumerate() {
+        for (arg, dist) in &inst.args {
+            match def_site.get(arg) {
+                Some(&src) => {
+                    ddg.add_edge(ids[src], ids[i], *dist)
+                        .expect("ids are from this graph");
+                }
+                None if *dist > 0 => {
+                    return Err(err(
+                        inst.line,
+                        format!("`{arg}@{dist}` references a name never defined in the loop"),
+                    ));
+                }
+                None => { /* live-in */ }
+            }
+        }
+    }
+    ddg.validate()
+        .map_err(|e| err(insts[0].line, format!("invalid dependence structure: {e}")))?;
+
+    Ok(ParsedLoop {
+        name,
+        ddg,
+        defs: insts.into_iter().map(|i| i.dest).collect(),
+    })
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// `name` or `name@k` or an address expression like `x[i]`/`a[i+1]`.
+fn parse_operand(s: &str, line: usize) -> Result<(String, u32), ParseError> {
+    if let Some((base, dist)) = s.split_once('@') {
+        let base = base.trim();
+        if !is_ident(base) {
+            return Err(err(line, format!("bad operand `{s}`")));
+        }
+        let d: u32 = dist
+            .trim()
+            .parse()
+            .map_err(|_| err(line, format!("bad distance in `{s}`")))?;
+        if d == 0 {
+            return Err(err(
+                line,
+                format!("`{s}`: distance 0 is just `{base}`"),
+            ));
+        }
+        return Ok((base.to_string(), d));
+    }
+    let ok_addr = s
+        .chars()
+        .all(|c| c.is_alphanumeric() || "_[]+-".contains(c));
+    if !ok_addr {
+        return Err(err(line, format!("bad operand `{s}`")));
+    }
+    Ok((s.to_string(), 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Machine, ClassConvention) {
+        (Machine::example_pldi95(), ClassConvention::example())
+    }
+
+    #[test]
+    fn parses_ddot() {
+        let (m, c) = setup();
+        let src = "
+            # dot product
+            loop ddot {
+                t1 = load x[i]
+                t2 = load y[i]
+                t3 = fmul t1, t2
+                s  = fadd s@1, t3
+            }";
+        let p = parse_loop(src, &m, &c).expect("parses");
+        assert_eq!(p.name, "ddot");
+        assert_eq!(p.ddg.num_nodes(), 4);
+        assert_eq!(p.ddg.num_edges(), 4); // t1->t3, t2->t3, t3->s, s->s@1
+        assert_eq!(p.ddg.t_dep(), Some(2)); // fadd lat 2 over distance 1
+    }
+
+    #[test]
+    fn storeless_dest_and_live_ins() {
+        let (m, c) = setup();
+        let src = "loop k {
+            t = fadd a, b
+            store t
+        }";
+        let p = parse_loop(src, &m, &c).expect("parses");
+        assert_eq!(p.ddg.num_edges(), 1); // a, b are live-ins
+        assert_eq!(p.defs, vec![Some("t".into()), None]);
+    }
+
+    #[test]
+    fn classes_and_latencies_from_machine() {
+        let (m, c) = setup();
+        let src = "loop k {
+            t = load x[i]
+            u = fmul t, t
+            v = add u, u
+        }";
+        let p = parse_loop(src, &m, &c).expect("parses");
+        let nodes: Vec<_> = p.ddg.nodes().map(|(_, n)| (n.class, n.latency)).collect();
+        assert_eq!(nodes[0], (c.ldst, 3));
+        assert_eq!(nodes[1], (c.fp, 2));
+        assert_eq!(nodes[2], (c.int, 1));
+    }
+
+    #[test]
+    fn double_definition_rejected() {
+        let (m, c) = setup();
+        let e = parse_loop("loop k {\n t = add a\n t = add b\n}", &m, &c).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn undefined_carried_reference_rejected() {
+        let (m, c) = setup();
+        let e = parse_loop("loop k {\n t = fadd q@1\n}", &m, &c).unwrap_err();
+        assert!(e.message.contains("never defined"));
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let (m, c) = setup();
+        assert!(parse_loop("loop k {\n t = \n}", &m, &c).is_err());
+        assert!(parse_loop("loop {\n}", &m, &c).is_err());
+        assert!(parse_loop("loop k {\n t = add a", &m, &c).is_err());
+        let e = parse_loop("loop k {\n 9x = add a\n}", &m, &c).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn distance_zero_suffix_rejected() {
+        let (m, c) = setup();
+        let e = parse_loop("loop k {\n t = fadd t@0\n}", &m, &c).unwrap_err();
+        assert!(e.message.contains("distance 0"));
+    }
+
+    #[test]
+    fn parsed_loop_schedules_end_to_end() {
+        let (m, c) = setup();
+        let src = "loop daxpy {
+            t1 = load x[i]
+            t2 = load y[i]
+            t3 = fmul t1, a
+            t4 = fadd t2, t3
+            store t4
+        }";
+        let p = parse_loop(src, &m, &c).expect("parses");
+        let r = swp_core::RateOptimalScheduler::new(m.clone(), Default::default())
+            .schedule(&p.ddg)
+            .expect("schedulable");
+        assert_eq!(r.schedule.validate(&p.ddg, &m), Ok(()));
+    }
+}

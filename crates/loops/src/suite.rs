@@ -1,0 +1,250 @@
+//! The synthetic 1066-loop corpus.
+//!
+//! The generator is seeded and fully deterministic: the same
+//! [`SuiteConfig`] always yields the same loops, so Table 4 and the
+//! solve-time tables are reproducible run to run.
+//!
+//! Population shape (chosen to match what the paper reports about its
+//! corpus): node counts are concentrated around 4–8 with a tail to ~25
+//! (the paper's per-bucket means are 6 at `T_lb`, 16–17 in the
+//! `T_lb+2`/`+4` tail); roughly half the loops carry an accumulator-style
+//! recurrence; the op mix is FP/memory heavy as in numeric kernels.
+//! Structurally, intra-iteration edges always point from lower to higher
+//! index, so no zero-distance cycle can arise; carried edges have
+//! distance ≥ 1.
+
+use crate::ClassConvention;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swp_ddg::{Ddg, NodeId};
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// Number of loops (the paper's corpus has 1066).
+    pub num_loops: usize,
+    /// RNG seed; fixed default for reproducibility.
+    pub seed: u64,
+    /// Class convention of the target machine.
+    pub convention: ClassConvention,
+    /// Latencies per abstract kind `(int, fp, ldst, fdiv)`; pair these
+    /// with the machine the suite will be scheduled on.
+    pub latencies: (u32, u32, u32, u32),
+    /// Probability that a loop gets a divide op (rare but present).
+    pub divide_prob: f64,
+}
+
+impl SuiteConfig {
+    /// The corpus used to regenerate Table 4: 1066 loops against the
+    /// example hazard machine's convention and latencies.
+    pub fn pldi95_default() -> Self {
+        SuiteConfig {
+            num_loops: 1066,
+            seed: 0x5CED_1995,
+            convention: ClassConvention::example(),
+            latencies: (1, 2, 3, 2),
+            divide_prob: 0.0, // the example machine has no divide class
+        }
+    }
+
+    /// A corpus for the PowerPC-604 model.
+    pub fn ppc604() -> Self {
+        SuiteConfig {
+            num_loops: 1066,
+            seed: 0x5CED_1995,
+            convention: ClassConvention::ppc604(),
+            latencies: (1, 3, 3, 18),
+            divide_prob: 0.04,
+        }
+    }
+}
+
+/// A generated loop.
+#[derive(Debug, Clone)]
+pub struct GeneratedLoop {
+    /// Stable name (`"loop0042"`).
+    pub name: String,
+    /// The dependence graph.
+    pub ddg: Ddg,
+}
+
+/// Generates the corpus described by `config`.
+pub fn generate(config: &SuiteConfig) -> Vec<GeneratedLoop> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    (0..config.num_loops)
+        .map(|i| GeneratedLoop {
+            name: format!("loop{i:04}"),
+            ddg: one_loop(&mut rng, config),
+        })
+        .collect()
+}
+
+/// Samples the node count: mostly 3–8, tail to 25.
+fn sample_size(rng: &mut SmallRng) -> usize {
+    let r: f64 = rng.gen();
+    if r < 0.55 {
+        rng.gen_range(3..=7) // small numeric kernels
+    } else if r < 0.85 {
+        rng.gen_range(8..=12)
+    } else if r < 0.97 {
+        rng.gen_range(13..=18)
+    } else {
+        rng.gen_range(19..=25)
+    }
+}
+
+fn one_loop(rng: &mut SmallRng, config: &SuiteConfig) -> Ddg {
+    let n = sample_size(rng);
+    let c = &config.convention;
+    let (lat_int, lat_fp, lat_ldst, lat_div) = config.latencies;
+    let mut g = Ddg::new();
+    let mut ids: Vec<NodeId> = Vec::with_capacity(n);
+
+    // Loads first (numeric loops begin by streaming operands in), compute
+    // in the middle, stores and address updates at the end.
+    let num_loads = (n as f64 * rng.gen_range(0.2..0.4)).round().max(1.0) as usize;
+    let num_stores = (n as f64 * rng.gen_range(0.05..0.2)).round().max(1.0) as usize;
+    let num_core = n.saturating_sub(num_loads + num_stores).max(1);
+
+    for i in 0..num_loads {
+        ids.push(g.add_node(format!("ld{i}"), c.ldst, lat_ldst));
+    }
+    let mut placed_div = false;
+    for i in 0..num_core {
+        let r: f64 = rng.gen();
+        let (name, class, lat) = if !placed_div && rng.gen_bool(config.divide_prob) {
+            placed_div = true;
+            (format!("div{i}"), c.fdiv_or_fp(), lat_div)
+        } else if r < 0.72 {
+            (format!("fp{i}"), c.fp, lat_fp)
+        } else {
+            (format!("int{i}"), c.int, lat_int)
+        };
+        ids.push(g.add_node(name, class, lat));
+    }
+    for i in 0..num_stores {
+        ids.push(g.add_node(format!("st{i}"), c.ldst, lat_ldst));
+    }
+    let n = ids.len();
+
+    // Forward dataflow: every non-source picks 1–2 predecessors among
+    // earlier nodes (biased to recent ones, as real expression trees are).
+    for i in 1..n {
+        let preds = if rng.gen_bool(0.45) && i >= 2 { 2 } else { 1 };
+        let mut used = Vec::new();
+        for _ in 0..preds {
+            // Bias toward nearby predecessors.
+            let lo = i.saturating_sub(5);
+            let p = rng.gen_range(lo..i);
+            if !used.contains(&p) {
+                used.push(p);
+                g.add_edge(ids[p], ids[i], 0).expect("valid ids");
+            }
+        }
+    }
+
+    // Recurrences: with probability ~0.5 add an accumulator self-loop on
+    // a compute node; occasionally a longer carried cycle.
+    if n > 2 && rng.gen_bool(0.5) {
+        let k = rng.gen_range(num_loads.min(n - 1)..n);
+        let dist = if rng.gen_bool(0.8) { 1 } else { 2 };
+        g.add_edge(ids[k], ids[k], dist).expect("valid ids");
+    }
+    if n > 4 && rng.gen_bool(0.25) {
+        // Carried cycle back from a later node to an earlier one.
+        let a = rng.gen_range(1..n - 1);
+        let b = rng.gen_range(0..a);
+        let dist = rng.gen_range(1..=2);
+        g.add_edge(ids[a], ids[b], dist).expect("valid ids");
+    }
+
+    debug_assert_eq!(g.validate(), Ok(()));
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = SuiteConfig {
+            num_loops: 25,
+            ..SuiteConfig::pldi95_default()
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.ddg, y.ddg);
+        }
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let mut cfg = SuiteConfig {
+            num_loops: 25,
+            ..SuiteConfig::pldi95_default()
+        };
+        let a = generate(&cfg);
+        cfg.seed ^= 1;
+        let b = generate(&cfg);
+        assert!(a.iter().zip(&b).any(|(x, y)| x.ddg != y.ddg));
+    }
+
+    #[test]
+    fn all_loops_are_well_formed() {
+        let cfg = SuiteConfig {
+            num_loops: 300,
+            ..SuiteConfig::pldi95_default()
+        };
+        for l in generate(&cfg) {
+            assert_eq!(l.ddg.validate(), Ok(()), "{}", l.name);
+            assert!(l.ddg.t_dep().is_some(), "{}", l.name);
+            assert!(l.ddg.num_nodes() >= 3);
+            assert!(l.ddg.num_nodes() <= 25);
+        }
+    }
+
+    #[test]
+    fn population_statistics_match_targets() {
+        let cfg = SuiteConfig {
+            num_loops: 1066,
+            ..SuiteConfig::pldi95_default()
+        };
+        let loops = generate(&cfg);
+        assert_eq!(loops.len(), 1066);
+        let sizes: Vec<usize> = loops.iter().map(|l| l.ddg.num_nodes()).collect();
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!(
+            (5.0..11.0).contains(&mean),
+            "mean size {mean} out of the paper's range"
+        );
+        let with_recurrence = loops
+            .iter()
+            .filter(|l| l.ddg.t_dep().map(|t| t > 1).unwrap_or(false))
+            .count();
+        let frac = with_recurrence as f64 / loops.len() as f64;
+        assert!(
+            (0.3..0.8).contains(&frac),
+            "recurrence fraction {frac} implausible"
+        );
+    }
+
+    #[test]
+    fn ppc_corpus_places_divides() {
+        let cfg = SuiteConfig {
+            num_loops: 300,
+            ..SuiteConfig::ppc604()
+        };
+        let loops = generate(&cfg);
+        let with_div = loops
+            .iter()
+            .filter(|l| {
+                l.ddg
+                    .nodes()
+                    .any(|(_, n)| n.class == swp_ddg::OpClass::new(4))
+            })
+            .count();
+        assert!(with_div > 0, "no divides generated");
+    }
+}

@@ -1,0 +1,118 @@
+//! Collision vectors and initiation analysis (Kogge 1981, ch. 5).
+
+use crate::restable::ReservationTable;
+
+/// Static initiation analysis of one reservation table.
+///
+/// Derived quantities of classic pipeline theory:
+///
+/// * the **collision vector** `C = c_{d-1} … c_1` where `c_f = 1` iff
+///   latency `f` is forbidden;
+/// * the **MAL** (minimum achievable latency) over greedy/simple cycles,
+///   bounded below by the maximum row-mark count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollisionInfo {
+    forbidden: Vec<u32>,
+    exec_time: u32,
+    max_row_marks: u32,
+    mal: u32,
+}
+
+impl CollisionInfo {
+    /// Analyzes a reservation table.
+    pub fn analyze(rt: &ReservationTable) -> Self {
+        let forbidden = rt.forbidden_latencies();
+        let mal = Self::compute_mal(rt, &forbidden);
+        CollisionInfo {
+            forbidden,
+            exec_time: rt.exec_time(),
+            max_row_marks: rt.max_row_marks(),
+            mal,
+        }
+    }
+
+    /// Forbidden latencies, ascending.
+    pub fn forbidden_latencies(&self) -> &[u32] {
+        &self.forbidden
+    }
+
+    /// Whether latency `f` collides.
+    pub fn is_forbidden(&self, f: u32) -> bool {
+        self.forbidden.binary_search(&f).is_ok()
+    }
+
+    /// Collision vector as a bitmask: bit `f-1` set iff `f` forbidden,
+    /// for `f` in `1..exec_time`.
+    pub fn collision_vector(&self) -> u64 {
+        let mut v = 0u64;
+        for &f in &self.forbidden {
+            if (1..=64).contains(&f) {
+                v |= 1 << (f - 1);
+            }
+        }
+        v
+    }
+
+    /// Lower bound on MAL: maximum number of marks in any row.
+    pub fn mal_lower_bound(&self) -> u32 {
+        self.max_row_marks
+    }
+
+    /// Minimum achievable (average) latency over constant-latency cycles.
+    ///
+    /// For software pipelining with one instance of an operation per
+    /// iteration, the schedule repeats every `T` cycles, so the relevant
+    /// quantity is the smallest *constant* initiation interval — the
+    /// smallest `p` such that no multiple-free collision occurs, i.e.
+    /// the table is modulo-feasible at `p`.
+    pub fn mal(&self) -> u32 {
+        self.mal
+    }
+
+    fn compute_mal(rt: &ReservationTable, _forbidden: &[u32]) -> u32 {
+        rt.min_self_period()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_pipeline_no_collisions() {
+        let info = CollisionInfo::analyze(&ReservationTable::clean(4));
+        assert!(info.forbidden_latencies().is_empty());
+        assert_eq!(info.collision_vector(), 0);
+        assert_eq!(info.mal(), 1);
+    }
+
+    #[test]
+    fn non_pipelined_all_short_latencies_forbidden() {
+        let info = CollisionInfo::analyze(&ReservationTable::non_pipelined(4));
+        assert_eq!(info.forbidden_latencies(), &[1, 2, 3]);
+        assert_eq!(info.collision_vector(), 0b111);
+        assert_eq!(info.mal(), 4);
+        assert!(info.is_forbidden(2));
+        assert!(!info.is_forbidden(4));
+    }
+
+    #[test]
+    fn kogge_example_table() {
+        // Kogge's classic 3-stage example:
+        //   stage 0: X . . . X
+        //   stage 1: . X . X .
+        //   stage 2: . . X . .
+        // Forbidden: row 0 gives 4; row 1 gives 2. MAL lower bound 2.
+        let rt = ReservationTable::from_rows(&[
+            &[true, false, false, false, true],
+            &[false, true, false, true, false],
+            &[false, false, true, false, false],
+        ])
+        .expect("well formed");
+        let info = CollisionInfo::analyze(&rt);
+        assert_eq!(info.forbidden_latencies(), &[2, 4]);
+        assert_eq!(info.mal_lower_bound(), 2);
+        // Constant period 3: residues row0 {0, 1}, row1 {1, 0}, ok.
+        assert_eq!(info.mal(), 3);
+    }
+}

@@ -1,0 +1,276 @@
+//! Textual machine descriptions, so targets can be written as data:
+//!
+//! ```text
+//! machine my604 {
+//!     unit SCIU  count=2 latency=1  clean
+//!     unit FPU   count=1 latency=3  table[X.. / .X. / .XX]
+//!     unit LSU   count=1 latency=3  clean
+//!     unit FDIV  count=1 latency=18 nonpipelined
+//! }
+//! ```
+//!
+//! Classes are assigned in declaration order (`SCIU` is `OpClass(0)`,
+//! …). Tables are written row per stage, `X` = occupied, `.` = idle,
+//! rows separated by `/`; `clean` takes the latency as execution time
+//! with a single issue-slot stage; `nonpipelined` holds one stage for
+//! the full latency.
+
+use crate::machine::{FuType, Machine};
+use crate::restable::ReservationTable;
+use std::error::Error;
+use std::fmt;
+
+/// A machine-description parse failure with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for MachineParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for MachineParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> MachineParseError {
+    MachineParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses one `machine <name> { … }` block into a [`Machine`] and its
+/// name.
+///
+/// # Errors
+///
+/// [`MachineParseError`] on malformed syntax, bad counts, or reservation
+/// tables that are ragged / empty / idle at issue time.
+pub fn parse_machine(source: &str) -> Result<(String, Machine), MachineParseError> {
+    let mut name = None;
+    let mut units: Vec<FuType> = Vec::new();
+    let mut in_body = false;
+    let mut closed = false;
+    for (ln, raw) in source.lines().enumerate() {
+        let line_no = ln + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !in_body {
+            let rest = line
+                .strip_prefix("machine")
+                .ok_or_else(|| err(line_no, "expected `machine <name> {`"))?
+                .trim();
+            let rest = rest
+                .strip_suffix('{')
+                .ok_or_else(|| err(line_no, "expected `{` at end of header"))?
+                .trim();
+            if rest.is_empty() {
+                return Err(err(line_no, "machine needs a name"));
+            }
+            name = Some(rest.to_string());
+            in_body = true;
+        } else if line == "}" {
+            closed = true;
+            in_body = false;
+        } else if closed {
+            return Err(err(line_no, "content after closing `}`"));
+        } else {
+            units.push(parse_unit(line, line_no)?);
+        }
+    }
+    let name = name.ok_or_else(|| err(1, "no `machine` block found"))?;
+    if !closed {
+        return Err(err(source.lines().count().max(1), "missing closing `}`"));
+    }
+    if units.is_empty() {
+        return Err(err(1, "machine has no units"));
+    }
+    let machine = Machine::new(units)
+        .map_err(|e| err(1, format!("invalid machine: {e}")))?;
+    Ok((name, machine))
+}
+
+fn parse_unit(line: &str, line_no: usize) -> Result<FuType, MachineParseError> {
+    let rest = line
+        .strip_prefix("unit")
+        .ok_or_else(|| err(line_no, format!("expected `unit …`, got `{line}`")))?
+        .trim();
+    // Split off a trailing `table[...]` if present, then whitespace-split.
+    let (head, table_spec) = match rest.find("table[") {
+        Some(pos) => {
+            let spec = rest[pos..]
+                .strip_prefix("table[")
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or_else(|| err(line_no, "malformed `table[...]`"))?;
+            (rest[..pos].trim(), Some(spec.trim().to_string()))
+        }
+        None => (rest, None),
+    };
+    let mut name = None;
+    let mut count = None;
+    let mut latency = None;
+    let mut shape: Option<&str> = None;
+    for tok in head.split_whitespace() {
+        if let Some(v) = tok.strip_prefix("count=") {
+            count = Some(
+                v.parse::<u32>()
+                    .map_err(|_| err(line_no, format!("bad count `{v}`")))?,
+            );
+        } else if let Some(v) = tok.strip_prefix("latency=") {
+            latency = Some(
+                v.parse::<u32>()
+                    .map_err(|_| err(line_no, format!("bad latency `{v}`")))?,
+            );
+        } else if tok == "clean" || tok == "nonpipelined" {
+            if shape.is_some() {
+                return Err(err(line_no, format!("duplicate shape token `{tok}`")));
+            }
+            shape = Some(tok);
+        } else if name.is_none() {
+            name = Some(tok.to_string());
+        } else {
+            return Err(err(line_no, format!("unexpected token `{tok}`")));
+        }
+    }
+    let name = name.ok_or_else(|| err(line_no, "unit needs a name"))?;
+    let count = count.ok_or_else(|| err(line_no, "unit needs `count=`"))?;
+    let latency = latency.ok_or_else(|| err(line_no, "unit needs `latency=`"))?;
+    if latency == 0 {
+        return Err(err(line_no, "latency must be positive"));
+    }
+    let reservation = match (shape, table_spec) {
+        (Some("clean"), None) => ReservationTable::clean(latency),
+        (Some("nonpipelined"), None) => ReservationTable::non_pipelined(latency),
+        (None, Some(spec)) => {
+            let rows: Vec<Vec<bool>> = spec
+                .split('/')
+                .map(|row| {
+                    row.trim()
+                        .chars()
+                        .map(|c| match c {
+                            'X' | 'x' => Ok(true),
+                            '.' => Ok(false),
+                            other => Err(err(
+                                line_no,
+                                format!("bad table char `{other}` (use X or .)"),
+                            )),
+                        })
+                        .collect()
+                })
+                .collect::<Result<_, _>>()?;
+            let refs: Vec<&[bool]> = rows.iter().map(|r| r.as_slice()).collect();
+            ReservationTable::from_rows(&refs).ok_or_else(|| {
+                err(
+                    line_no,
+                    "bad reservation table (ragged, empty, or idle at issue)",
+                )
+            })?
+        }
+        (Some(s), Some(_)) => {
+            return Err(err(line_no, format!("`{s}` and `table[...]` conflict")))
+        }
+        (None, None) => {
+            return Err(err(
+                line_no,
+                "unit needs `clean`, `nonpipelined`, or `table[...]`",
+            ))
+        }
+        (Some(other), None) => {
+            return Err(err(line_no, format!("unknown shape `{other}`")))
+        }
+    };
+    Ok(FuType {
+        name,
+        count,
+        latency,
+        reservation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swp_ddg::OpClass;
+
+    const SRC: &str = "
+        # a 604-flavoured target
+        machine m604 {
+            unit SCIU count=2 latency=1  clean
+            unit FPU  count=1 latency=3  table[X.. / .X. / .XX]
+            unit LSU  count=1 latency=3  clean
+            unit FDIV count=1 latency=18 nonpipelined
+        }";
+
+    #[test]
+    fn parses_full_machine() {
+        let (name, m) = parse_machine(SRC).expect("parses");
+        assert_eq!(name, "m604");
+        assert_eq!(m.num_classes(), 4);
+        let fpu = m.fu_type(OpClass::new(1)).expect("fpu");
+        assert_eq!(fpu.reservation.stages(), 3);
+        assert!(!fpu.reservation.is_clean());
+        assert_eq!(fpu.reservation.forbidden_latencies(), vec![1]);
+        let fdiv = m.fu_type(OpClass::new(3)).expect("fdiv");
+        assert_eq!(fdiv.reservation.min_self_period(), 18);
+    }
+
+    #[test]
+    fn roundtrips_with_the_builtin_model() {
+        // The text above is the example machine's FP table verbatim.
+        let (_, m) = parse_machine(SRC).expect("parses");
+        let builtin = Machine::example_pldi95();
+        assert_eq!(
+            m.fu_type(OpClass::new(1)).unwrap().reservation,
+            builtin.fu_type(OpClass::new(1)).unwrap().reservation
+        );
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = parse_machine("machine m {\n unit A count=1 latency=0 clean\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("latency"));
+        let e = parse_machine("machine m {\n unit A latency=1 clean\n}").unwrap_err();
+        assert!(e.message.contains("count"));
+        let e = parse_machine("machine m {\n unit A count=1 latency=2\n}").unwrap_err();
+        assert!(e.message.contains("clean"));
+    }
+
+    #[test]
+    fn bad_tables_rejected() {
+        let e =
+            parse_machine("machine m {\n unit A count=1 latency=2 table[X. / X]\n}").unwrap_err();
+        assert!(e.message.contains("reservation table"));
+        let e =
+            parse_machine("machine m {\n unit A count=1 latency=2 table[.X]\n}").unwrap_err();
+        assert!(e.message.contains("reservation table")); // idle at issue
+        let e =
+            parse_machine("machine m {\n unit A count=1 latency=2 table[XQ]\n}").unwrap_err();
+        assert!(e.message.contains("bad table char"));
+    }
+
+    #[test]
+    fn structure_errors() {
+        assert!(parse_machine("").is_err());
+        assert!(parse_machine("machine m {").is_err());
+        assert!(parse_machine("machine m {\n}").is_err()); // no units
+        assert!(parse_machine("machine m {\n}\nunit X").is_err());
+    }
+
+    #[test]
+    fn parsed_machine_schedules() {
+        let (_, m) = parse_machine(SRC).expect("parses");
+        let mut g = swp_ddg::Ddg::new();
+        let a = g.add_node("ld", OpClass::new(2), 3);
+        let b = g.add_node("fmul", OpClass::new(1), 3);
+        g.add_edge(a, b, 0).unwrap();
+        assert!(m.t_lower_bound(&g).unwrap().is_some());
+    }
+}

@@ -1,0 +1,397 @@
+//! Reservation tables (Kogge 1981).
+
+use std::fmt;
+
+/// A reservation table: `stages × cols` boolean marks, where
+/// `mark(s, l)` means an operation occupies stage `s` exactly `l` cycles
+/// after issue. `cols` equals the operation's execution time `d`.
+///
+/// ```
+/// use swp_machine::ReservationTable;
+/// // A 3-stage FP pipeline where stage 3 is reused (structural hazard):
+/// let rt = ReservationTable::from_rows(&[
+///     &[true, false, false],
+///     &[false, true, false],
+///     &[false, true, true],
+/// ]).unwrap();
+/// assert_eq!(rt.stages(), 3);
+/// assert!(rt.forbidden_latencies().contains(&1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ReservationTable {
+    stages: usize,
+    cols: usize,
+    marks: Vec<bool>, // row-major
+}
+
+impl ReservationTable {
+    /// A clean pipeline of execution time `d`: a single issue stage used
+    /// only at offset 0, so a new operation can start every cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn clean(d: u32) -> Self {
+        assert!(d > 0, "execution time must be positive");
+        let cols = d as usize;
+        let mut marks = vec![false; cols];
+        marks[0] = true;
+        ReservationTable {
+            stages: 1,
+            cols,
+            marks,
+        }
+    }
+
+    /// A non-pipelined unit of execution time `d`: one stage held for all
+    /// `d` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn non_pipelined(d: u32) -> Self {
+        assert!(d > 0, "execution time must be positive");
+        let cols = d as usize;
+        ReservationTable {
+            stages: 1,
+            cols,
+            marks: vec![true; cols],
+        }
+    }
+
+    /// Builds a table from explicit rows (one per stage).
+    ///
+    /// Returns `None` if the rows are empty, ragged, or no mark is set in
+    /// column 0 (an operation must occupy something at issue).
+    pub fn from_rows(rows: &[&[bool]]) -> Option<Self> {
+        let stages = rows.len();
+        let cols = rows.first()?.len();
+        if cols == 0 || rows.iter().any(|r| r.len() != cols) {
+            return None;
+        }
+        if !rows.iter().any(|r| r[0]) {
+            return None;
+        }
+        let marks = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Some(ReservationTable {
+            stages,
+            cols,
+            marks,
+        })
+    }
+
+    /// Number of pipeline stages (rows).
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Execution time `d` (columns).
+    pub fn exec_time(&self) -> u32 {
+        self.cols as u32
+    }
+
+    /// Whether stage `s` is occupied `l` cycles after issue.
+    ///
+    /// Out-of-range offsets return `false`.
+    pub fn mark(&self, s: usize, l: usize) -> bool {
+        s < self.stages && l < self.cols && self.marks[s * self.cols + l]
+    }
+
+    /// Offsets at which stage `s` is occupied.
+    pub fn stage_offsets(&self, s: usize) -> Vec<usize> {
+        (0..self.cols).filter(|&l| self.mark(s, l)).collect()
+    }
+
+    /// Number of marks in the fullest row — every operation holds some
+    /// stage for this many cycles, so one unit sustains at most one
+    /// operation per `max_row_marks` cycles (the MAL lower bound).
+    pub fn max_row_marks(&self) -> u32 {
+        (0..self.stages)
+            .map(|s| self.stage_offsets(s).len() as u32)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether this is a clean pipeline (new issue possible every cycle):
+    /// no forbidden latencies at all.
+    pub fn is_clean(&self) -> bool {
+        self.forbidden_latencies().is_empty()
+    }
+
+    /// Forbidden latencies: gaps `f >= 1` such that issuing a second
+    /// operation `f` cycles after a first collides on some stage.
+    /// (Kogge: distances between marks within a row.)
+    pub fn forbidden_latencies(&self) -> Vec<u32> {
+        let mut forb = Vec::new();
+        for s in 0..self.stages {
+            let offs = self.stage_offsets(s);
+            for (a, &x) in offs.iter().enumerate() {
+                for &y in &offs[a + 1..] {
+                    let f = (y - x) as u32;
+                    if !forb.contains(&f) {
+                        forb.push(f);
+                    }
+                }
+            }
+        }
+        forb.sort_unstable();
+        forb
+    }
+
+    /// The *modulo* usage of stage `s` at residue `t` for period `T`:
+    /// true iff some offset `l ≡ t (mod T)` is marked. This is the
+    /// extended reservation table of Govindarajan et al. [8] collapsed
+    /// mod `T`.
+    pub fn modulo_mark(&self, s: usize, t: u32, period: u32) -> bool {
+        assert!(period > 0, "period must be positive");
+        (0..self.cols).any(|l| (l as u32) % period == t % period && self.mark(s, l))
+    }
+
+    /// Whether an operation can repeat every `period` cycles on one unit
+    /// without self-collision — the *modulo scheduling constraint*
+    /// [5, 11, 19]: no stage is used at two offsets equal mod `period`.
+    pub fn modulo_feasible(&self, period: u32) -> bool {
+        assert!(period > 0, "period must be positive");
+        (0..self.stages).all(|s| {
+            let offs = self.stage_offsets(s);
+            let mut seen = vec![false; period as usize];
+            offs.iter().all(|&l| {
+                let r = (l as u32 % period) as usize;
+                !std::mem::replace(&mut seen[r], true)
+            })
+        })
+    }
+
+    /// The smallest period at which one unit can sustain one operation
+    /// per period: `max(max_row_marks, first period passing the modulo
+    /// constraint)`.
+    pub fn min_self_period(&self) -> u32 {
+        let mut t = self.max_row_marks().max(1);
+        while !self.modulo_feasible(t) {
+            t += 1;
+        }
+        t
+    }
+
+    /// The maximum number of operations with this table that one
+    /// physical unit can host per period `T` (offsets chosen freely,
+    /// no stage cell claimed twice mod `T`). Exact, by backtracking with
+    /// rotation symmetry (some maximum packing uses offset 0).
+    ///
+    /// This is the per-unit capacity behind the packing refinement of
+    /// `T_res`: e.g. a stage busy at offsets {1, 2} packs ⌊T/2⌋ ops per
+    /// unit, which for odd `T` is strictly less than the `T·R / marks`
+    /// counting bound — a pigeonhole fact linear relaxations cannot see.
+    ///
+    /// Returns 0 when even a single operation self-collides (the table
+    /// is not modulo-feasible at `T`).
+    pub fn max_ops_per_period(&self, period: u32) -> u32 {
+        assert!(period > 0, "period must be positive");
+        if !self.modulo_feasible(period) {
+            return 0;
+        }
+        let t = period as usize;
+        // Bitset of (stage, residue) cells per candidate offset.
+        let words = (self.stages * t).div_ceil(64);
+        let mut cell_mask = vec![vec![0u64; words]; t];
+        for (o, mask) in cell_mask.iter_mut().enumerate() {
+            for s in 0..self.stages {
+                for l in self.stage_offsets(s) {
+                    let bit = s * t + (o + l) % t;
+                    mask[bit / 64] |= 1 << (bit % 64);
+                }
+            }
+        }
+        let disjoint = |a: &[u64], b: &[u64]| a.iter().zip(b).all(|(x, y)| x & y == 0);
+        let or_into = |a: &mut [u64], b: &[u64]| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x |= y;
+            }
+        };
+        // DFS over increasing offsets, offset 0 fixed (rotation symmetry).
+        fn dfs(
+            next: usize,
+            t: usize,
+            used: &mut Vec<u64>,
+            count: u32,
+            best: &mut u32,
+            cell_mask: &[Vec<u64>],
+            disjoint: &dyn Fn(&[u64], &[u64]) -> bool,
+        ) {
+            *best = (*best).max(count);
+            if next >= t || count + (t - next) as u32 <= *best {
+                return;
+            }
+            for o in next..t {
+                if disjoint(used, &cell_mask[o]) {
+                    let saved = used.clone();
+                    for (x, y) in used.iter_mut().zip(&cell_mask[o]) {
+                        *x |= y;
+                    }
+                    dfs(o + 1, t, used, count + 1, best, cell_mask, disjoint);
+                    *used = saved;
+                }
+            }
+        }
+        let mut used = vec![0u64; words];
+        or_into(&mut used, &cell_mask[0]);
+        let mut best = 1;
+        dfs(1, t, &mut used, 1, &mut best, &cell_mask, &disjoint);
+        best
+    }
+}
+
+impl fmt::Display for ReservationTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in 0..self.stages {
+            write!(f, "stage {s}: ")?;
+            for l in 0..self.cols {
+                write!(f, "{}", if self.mark(s, l) { 'X' } else { '.' })?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_shape() {
+        let rt = ReservationTable::clean(3);
+        assert_eq!(rt.exec_time(), 3);
+        assert_eq!(rt.stages(), 1);
+        assert!(rt.mark(0, 0));
+        assert!(!rt.mark(0, 1));
+        assert!(rt.is_clean());
+        assert_eq!(rt.max_row_marks(), 1);
+        assert_eq!(rt.min_self_period(), 1);
+    }
+
+    #[test]
+    fn non_pipelined_shape() {
+        let rt = ReservationTable::non_pipelined(3);
+        assert_eq!(rt.forbidden_latencies(), vec![1, 2]);
+        assert!(!rt.is_clean());
+        assert_eq!(rt.max_row_marks(), 3);
+        assert_eq!(rt.min_self_period(), 3);
+    }
+
+    #[test]
+    fn hazard_pipeline() {
+        // stage 3 used at offsets 1 and 2 -> forbidden latency 1.
+        let rt = ReservationTable::from_rows(&[
+            &[true, false, false],
+            &[false, true, false],
+            &[false, true, true],
+        ])
+        .expect("well formed");
+        assert_eq!(rt.forbidden_latencies(), vec![1]);
+        assert_eq!(rt.max_row_marks(), 2);
+        assert!(!rt.modulo_feasible(1));
+        assert!(rt.modulo_feasible(2));
+        assert_eq!(rt.min_self_period(), 2);
+    }
+
+    #[test]
+    fn modulo_mark_wraps() {
+        let rt = ReservationTable::non_pipelined(3);
+        // period 2: offsets 0,1,2 -> residues 0,1,0.
+        assert!(rt.modulo_mark(0, 0, 2));
+        assert!(rt.modulo_mark(0, 1, 2));
+        assert!(!rt.modulo_feasible(2));
+    }
+
+    #[test]
+    fn from_rows_rejects_bad_shapes() {
+        assert!(ReservationTable::from_rows(&[]).is_none());
+        let empty: &[bool] = &[];
+        assert!(ReservationTable::from_rows(&[empty]).is_none());
+        assert!(ReservationTable::from_rows(&[&[true, false][..], &[true][..]]).is_none());
+        // No mark at issue time.
+        assert!(ReservationTable::from_rows(&[&[false, true]]).is_none());
+    }
+
+    #[test]
+    fn display_renders_grid() {
+        let rt = ReservationTable::from_rows(&[&[true, false], &[false, true]]).unwrap();
+        let s = rt.to_string();
+        assert!(s.contains("stage 0: X."));
+        assert!(s.contains("stage 1: .X"));
+    }
+
+    #[test]
+    #[should_panic(expected = "execution time must be positive")]
+    fn zero_exec_time_panics() {
+        let _ = ReservationTable::clean(0);
+    }
+
+    #[test]
+    fn packing_capacity_clean() {
+        // A clean pipeline hosts one op per step: T ops per period.
+        let rt = ReservationTable::clean(3);
+        assert_eq!(rt.max_ops_per_period(4), 4);
+        assert_eq!(rt.max_ops_per_period(1), 1);
+    }
+
+    #[test]
+    fn packing_capacity_non_pipelined() {
+        // lat-d non-pipelined: floor(T / d) ops per unit.
+        let rt = ReservationTable::non_pipelined(2);
+        assert_eq!(rt.max_ops_per_period(4), 2);
+        assert_eq!(rt.max_ops_per_period(5), 2);
+        assert_eq!(rt.max_ops_per_period(6), 3);
+        assert_eq!(rt.max_ops_per_period(1), 0); // self-collision
+    }
+
+    #[test]
+    fn packing_capacity_hazard_parity() {
+        // The PLDI'95 FP table: stage 3 busy at offsets {1,2} -> 2-blocks
+        // mod T. Odd T wastes a slot: floor(T/2).
+        let rt = ReservationTable::from_rows(&[
+            &[true, false, false],
+            &[false, true, false],
+            &[false, true, true],
+        ])
+        .expect("well formed");
+        assert_eq!(rt.max_ops_per_period(4), 2);
+        assert_eq!(rt.max_ops_per_period(5), 2); // the pigeonhole case
+        assert_eq!(rt.max_ops_per_period(6), 3);
+        assert_eq!(rt.max_ops_per_period(7), 3);
+    }
+
+    #[test]
+    fn packing_matches_bruteforce_on_kogge_table() {
+        let rt = ReservationTable::from_rows(&[
+            &[true, false, false, false, true],
+            &[false, true, false, true, false],
+            &[false, false, true, false, false],
+        ])
+        .expect("well formed");
+        // Brute force over all offset subsets for small T.
+        for t in 3u32..9 {
+            let mut best = 0u32;
+            for mask in 0u32..(1 << t) {
+                let offs: Vec<u32> = (0..t).filter(|&o| mask & (1 << o) != 0).collect();
+                let mut cells = std::collections::HashSet::new();
+                let mut ok = true;
+                'outer: for &o in &offs {
+                    for s in 0..rt.stages() {
+                        for l in rt.stage_offsets(s) {
+                            if !cells.insert((s, (o + l as u32) % t)) {
+                                ok = false;
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                if ok {
+                    best = best.max(offs.len() as u32);
+                }
+            }
+            assert_eq!(rt.max_ops_per_period(t), best, "T = {t}");
+        }
+    }
+}

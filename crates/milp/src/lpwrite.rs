@@ -1,0 +1,154 @@
+//! CPLEX LP-format export, for debugging models with external solvers.
+
+use crate::model::{Model, Sense, VarKind};
+use std::fmt::Write as _;
+
+impl Model {
+    /// Renders the model in CPLEX LP format.
+    ///
+    /// Variable names are sanitized to `x<i>` (the original names go into
+    /// a trailing comment block), because user-facing names like
+    /// `a[0,3]` are not legal LP-format identifiers.
+    ///
+    /// ```
+    /// use swp_milp::{Model, Sense};
+    /// let mut m = Model::new();
+    /// let x = m.add_binary("choose");
+    /// m.maximize([(x, 2.0)]);
+    /// m.add_constr([(x, 1.0)], Sense::Le, 1.0);
+    /// let text = m.to_lp_format();
+    /// assert!(text.contains("Maximize"));
+    /// assert!(text.contains("Binaries"));
+    /// ```
+    pub fn to_lp_format(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "\\ {} variables, {} constraints",
+            self.num_vars(),
+            self.num_constrs()
+        );
+        s.push_str(if self.is_maximize() { "Maximize\n" } else { "Minimize\n" });
+        s.push_str(" obj:");
+        let mut any = false;
+        for (i, &c) in self.obj.iter().enumerate() {
+            if c != 0.0 {
+                let _ = write!(s, " {} {} x{i}", if c < 0.0 { "-" } else { "+" }, c.abs());
+                any = true;
+            }
+        }
+        if !any {
+            s.push_str(" 0 x0");
+        }
+        s.push_str("\nSubject To\n");
+        for (k, c) in self.constrs.iter().enumerate() {
+            let _ = write!(s, " c{k}:");
+            for &(v, coeff) in &c.terms {
+                let _ = write!(
+                    s,
+                    " {} {} x{}",
+                    if coeff < 0.0 { "-" } else { "+" },
+                    coeff.abs(),
+                    v.index()
+                );
+            }
+            let op = match c.sense {
+                Sense::Le => "<=",
+                Sense::Ge => ">=",
+                Sense::Eq => "=",
+            };
+            let _ = writeln!(s, " {op} {}", c.rhs);
+        }
+        s.push_str("Bounds\n");
+        for (i, v) in self.vars.iter().enumerate() {
+            match (v.lo.is_finite(), v.hi.is_finite()) {
+                (true, true) => {
+                    let _ = writeln!(s, " {} <= x{i} <= {}", v.lo, v.hi);
+                }
+                (true, false) => {
+                    let _ = writeln!(s, " x{i} >= {}", v.lo);
+                }
+                (false, true) => {
+                    let _ = writeln!(s, " -inf <= x{i} <= {}", v.hi);
+                }
+                (false, false) => {
+                    let _ = writeln!(s, " x{i} free");
+                }
+            }
+        }
+        let bins: Vec<usize> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind == VarKind::Binary)
+            .map(|(i, _)| i)
+            .collect();
+        if !bins.is_empty() {
+            s.push_str("Binaries\n");
+            for i in bins {
+                let _ = writeln!(s, " x{i}");
+            }
+        }
+        let ints: Vec<usize> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind == VarKind::Integer)
+            .map(|(i, _)| i)
+            .collect();
+        if !ints.is_empty() {
+            s.push_str("Generals\n");
+            for i in ints {
+                let _ = writeln!(s, " x{i}");
+            }
+        }
+        s.push_str("End\n");
+        for (i, v) in self.vars.iter().enumerate() {
+            let _ = writeln!(s, "\\ x{i} = {}", v.name);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Model, Sense, VarKind};
+
+    #[test]
+    fn sections_present_and_ordered() {
+        let mut m = Model::new();
+        let x = m.add_binary("pick");
+        let y = m.add_var(VarKind::Integer, 0.0, 9.0, "count");
+        let z = m.add_var(VarKind::Continuous, f64::NEG_INFINITY, f64::INFINITY, "slack");
+        m.minimize([(x, 1.0), (y, 2.0)]);
+        m.add_constr([(x, 1.0), (y, -1.0), (z, 0.5)], Sense::Ge, -3.0);
+        let text = m.to_lp_format();
+        let order = ["Minimize", "Subject To", "Bounds", "Binaries", "Generals", "End"];
+        let mut last = 0;
+        for section in order {
+            let pos = text.find(section).unwrap_or_else(|| panic!("missing {section}"));
+            assert!(pos >= last, "{section} out of order");
+            last = pos;
+        }
+        assert!(text.contains("x2 free"));
+        assert!(text.contains("\\ x0 = pick"));
+    }
+
+    #[test]
+    fn empty_objective_still_valid() {
+        let mut m = Model::new();
+        m.add_binary("x");
+        let text = m.to_lp_format();
+        assert!(text.contains("obj: 0 x0"));
+    }
+
+    #[test]
+    fn constraint_signs_rendered() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constr([(x, 1.0), (y, -2.0)], Sense::Eq, 1.0);
+        let text = m.to_lp_format();
+        assert!(text.contains("+ 1 x0 - 2 x1 = 1"));
+    }
+}

@@ -1,0 +1,649 @@
+//! Dense two-phase primal simplex over `f64`.
+//!
+//! The solver accepts problems in the *bounded row form* used by the
+//! branch-and-bound driver: minimize `c·x` subject to rows
+//! `a·x {<=, >=, ==} b` and box bounds `lo <= x <= hi` (bounds may be
+//! infinite). Internally every variable is shifted/split to be
+//! non-negative, finite upper bounds become rows, and slack/artificial
+//! columns complete a basis for phase 1.
+//!
+//! Pricing is Dantzig (most negative reduced cost) with an automatic
+//! switch to Bland's rule after a run of degenerate pivots, which
+//! guarantees termination.
+
+// Tableau arithmetic is clearer with explicit indices.
+#![allow(clippy::needless_range_loop)]
+
+use crate::model::Sense;
+
+/// Feasibility tolerance used throughout the `f64` pipeline.
+pub const FEAS_TOL: f64 = 1e-7;
+/// Pivot magnitude below which a column entry is treated as zero.
+const PIVOT_TOL: f64 = 1e-9;
+/// Number of consecutive degenerate pivots before switching to Bland's rule.
+const DEGEN_SWITCH: usize = 60;
+
+/// A linear program in bounded row form, ready for [`solve_lp`].
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    /// Objective coefficients (always minimized), one per column.
+    pub obj: Vec<f64>,
+    /// Sparse rows: `(terms, sense, rhs)` with terms as `(col, coeff)`.
+    pub rows: Vec<(Vec<(usize, f64)>, Sense, f64)>,
+    /// Per-column lower bounds (`-inf` allowed).
+    pub lo: Vec<f64>,
+    /// Per-column upper bounds (`+inf` allowed).
+    pub hi: Vec<f64>,
+}
+
+impl LpProblem {
+    /// Number of structural columns.
+    pub fn num_cols(&self) -> usize {
+        self.obj.len()
+    }
+}
+
+/// Optimal solution of an LP.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Value of each structural column.
+    pub x: Vec<f64>,
+    /// Objective value `c·x`.
+    pub objective: f64,
+    /// Simplex iterations used (both phases).
+    pub iterations: usize,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone)]
+pub enum LpOutcome {
+    /// Optimum found.
+    Optimal(LpSolution),
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective decreases without bound.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// The solution if optimal, else `None`.
+    pub fn optimal(self) -> Option<LpSolution> {
+        match self {
+            LpOutcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Column bookkeeping: how a structural variable maps into tableau columns.
+#[derive(Debug, Clone, Copy)]
+enum ColMap {
+    /// `x = lo + y`, single tableau column (shifted non-negative).
+    Shifted { col: usize, lo: f64 },
+    /// Free variable split `x = y⁺ − y⁻`.
+    Split { plus: usize, minus: usize },
+    /// Fixed: `lo == hi`, no tableau column.
+    Fixed { value: f64 },
+}
+
+/// Dense row-major tableau.
+struct Tableau {
+    m: usize,
+    n: usize, // columns excluding rhs
+    a: Vec<f64>,
+    rhs: Vec<f64>,
+    basis: Vec<usize>,
+}
+
+impl Tableau {
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.n + c]
+    }
+
+    fn pivot(&mut self, pr: usize, pc: usize) {
+        let n = self.n;
+        let piv = self.a[pr * n + pc];
+        let inv = 1.0 / piv;
+        for c in 0..n {
+            self.a[pr * n + c] *= inv;
+        }
+        self.rhs[pr] *= inv;
+        let rhs_pr = self.rhs[pr];
+        // Split the pivot row out so other rows can be updated without
+        // aliasing the borrow.
+        let (before, rest) = self.a.split_at_mut(pr * n);
+        let (prow, after) = rest.split_at_mut(n);
+        for (ri, row) in before.chunks_exact_mut(n).enumerate() {
+            let f = row[pc];
+            if f != 0.0 {
+                for c in 0..n {
+                    row[c] -= f * prow[c];
+                }
+                row[pc] = 0.0; // exact zero to contain drift
+                self.rhs[ri] -= f * rhs_pr;
+            }
+        }
+        for (ri, row) in after.chunks_exact_mut(n).enumerate() {
+            let f = row[pc];
+            if f != 0.0 {
+                for c in 0..n {
+                    row[c] -= f * prow[c];
+                }
+                row[pc] = 0.0;
+                self.rhs[pr + 1 + ri] -= f * rhs_pr;
+            }
+        }
+        self.basis[pr] = pc;
+    }
+}
+
+/// Solves the LP by two-phase dense primal simplex.
+///
+/// Column bounds with `lo > hi` (to within [`FEAS_TOL`]) yield
+/// [`LpOutcome::Infeasible`] immediately — branch-and-bound relies on this
+/// when a branch empties a variable's domain.
+pub fn solve_lp(p: &LpProblem) -> LpOutcome {
+    let ncols = p.num_cols();
+    for j in 0..ncols {
+        if p.lo[j] > p.hi[j] + FEAS_TOL {
+            return LpOutcome::Infeasible;
+        }
+    }
+
+    // --- Build the column map and count tableau columns. ---
+    let mut map = Vec::with_capacity(ncols);
+    let mut next = 0usize;
+    let mut ub_rows = 0usize;
+    for j in 0..ncols {
+        let (lo, hi) = (p.lo[j], p.hi[j]);
+        if lo == hi {
+            map.push(ColMap::Fixed { value: lo });
+        } else if lo.is_finite() {
+            map.push(ColMap::Shifted { col: next, lo });
+            next += 1;
+            if hi.is_finite() {
+                ub_rows += 1;
+            }
+        } else if hi.is_finite() {
+            // x <= hi with free lower end: substitute x = hi - y, y >= 0.
+            // Model as shifted with negated column; simpler: split.
+            map.push(ColMap::Split {
+                plus: next,
+                minus: next + 1,
+            });
+            next += 2;
+            ub_rows += 1;
+        } else {
+            map.push(ColMap::Split {
+                plus: next,
+                minus: next + 1,
+            });
+            next += 2;
+        }
+    }
+    let nstruct = next;
+
+    // --- Assemble rows: user rows plus upper-bound rows. ---
+    // Each row: dense coefficient vec over nstruct, sense, rhs.
+    let total_rows = p.rows.len() + ub_rows;
+    let mut rows: Vec<(Vec<f64>, Sense, f64)> = Vec::with_capacity(total_rows);
+    for (terms, sense, rhs) in &p.rows {
+        let mut dense = vec![0.0; nstruct];
+        let mut b = *rhs;
+        for &(j, coeff) in terms {
+            match map[j] {
+                ColMap::Shifted { col, lo } => {
+                    dense[col] += coeff;
+                    b -= coeff * lo;
+                }
+                ColMap::Split { plus, minus } => {
+                    dense[plus] += coeff;
+                    dense[minus] -= coeff;
+                }
+                ColMap::Fixed { value } => b -= coeff * value,
+            }
+        }
+        rows.push((dense, *sense, b));
+    }
+    for j in 0..ncols {
+        let hi = p.hi[j];
+        if !hi.is_finite() {
+            continue;
+        }
+        match map[j] {
+            ColMap::Shifted { col, lo } => {
+                let mut dense = vec![0.0; nstruct];
+                dense[col] = 1.0;
+                rows.push((dense, Sense::Le, hi - lo));
+            }
+            ColMap::Split { plus, minus } => {
+                let mut dense = vec![0.0; nstruct];
+                dense[plus] = 1.0;
+                dense[minus] = -1.0;
+                rows.push((dense, Sense::Le, hi));
+            }
+            ColMap::Fixed { .. } => {}
+        }
+    }
+
+    // Rows that are vacuous (all-zero lhs) are resolved immediately.
+    rows.retain(|(dense, sense, b)| {
+        if dense.iter().any(|&c| c != 0.0) {
+            return true;
+        }
+        // 0 {sense} b — keep only to detect infeasibility below via flag.
+        let ok = match sense {
+            Sense::Le => *b >= -FEAS_TOL,
+            Sense::Ge => *b <= FEAS_TOL,
+            Sense::Eq => b.abs() <= FEAS_TOL,
+        };
+        !ok // keep violated vacuous rows; they force infeasibility
+    });
+    if rows
+        .iter()
+        .any(|(dense, _, _)| dense.iter().all(|&c| c == 0.0))
+    {
+        return LpOutcome::Infeasible;
+    }
+
+    let m = rows.len();
+    // Count slacks and artificials.
+    let mut nslack = 0usize;
+    let mut nart = 0usize;
+    for (_, sense, b) in &rows {
+        let bneg = *b < 0.0;
+        match (sense, bneg) {
+            (Sense::Le, false) => nslack += 1,              // +slack basic
+            (Sense::Le, true) => {
+                nslack += 1;
+                nart += 1;
+            } // becomes Ge after negate
+            (Sense::Ge, false) => {
+                nslack += 1;
+                nart += 1;
+            }
+            (Sense::Ge, true) => nslack += 1, // becomes Le after negate
+            (Sense::Eq, _) => nart += 1,
+        }
+    }
+    let n = nstruct + nslack + nart;
+    let mut t = Tableau {
+        m,
+        n,
+        a: vec![0.0; m * n],
+        rhs: vec![0.0; m],
+        basis: vec![usize::MAX; m],
+    };
+    let mut art_cols: Vec<usize> = Vec::with_capacity(nart);
+    let mut sc = nstruct; // next slack column
+    let mut ac = nstruct + nslack; // next artificial column
+    for (r, (dense, sense, b)) in rows.iter().enumerate() {
+        let neg = *b < 0.0;
+        let sgn = if neg { -1.0 } else { 1.0 };
+        for c in 0..nstruct {
+            t.a[r * n + c] = sgn * dense[c];
+        }
+        t.rhs[r] = sgn * b;
+        let eff_sense = match (sense, neg) {
+            (Sense::Le, false) | (Sense::Ge, true) => Sense::Le,
+            (Sense::Ge, false) | (Sense::Le, true) => Sense::Ge,
+            (Sense::Eq, _) => Sense::Eq,
+        };
+        match eff_sense {
+            Sense::Le => {
+                t.a[r * n + sc] = 1.0;
+                t.basis[r] = sc;
+                sc += 1;
+            }
+            Sense::Ge => {
+                t.a[r * n + sc] = -1.0;
+                sc += 1;
+                t.a[r * n + ac] = 1.0;
+                t.basis[r] = ac;
+                art_cols.push(ac);
+                ac += 1;
+            }
+            Sense::Eq => {
+                t.a[r * n + ac] = 1.0;
+                t.basis[r] = ac;
+                art_cols.push(ac);
+                ac += 1;
+            }
+        }
+    }
+
+    let mut iterations = 0usize;
+
+    // --- Phase 1: minimize sum of artificials. ---
+    if !art_cols.is_empty() {
+        let mut cost = vec![0.0; n];
+        for &c in &art_cols {
+            cost[c] = 1.0;
+        }
+        match run_simplex(&mut t, &cost, &mut iterations) {
+            SimplexEnd::Optimal => {}
+            SimplexEnd::Unbounded => return LpOutcome::Infeasible, // cannot happen; safe
+        }
+        let phase1: f64 = t
+            .basis
+            .iter()
+            .zip(&t.rhs)
+            .filter(|(b, _)| art_cols.contains(b))
+            .map(|(_, &v)| v)
+            .sum();
+        if phase1 > 1e-6 {
+            return LpOutcome::Infeasible;
+        }
+        // Drive remaining artificials out of the basis where possible.
+        for r in 0..m {
+            if art_cols.contains(&t.basis[r]) {
+                if let Some(pc) = (0..nstruct + nslack)
+                    .find(|&c| t.at(r, c).abs() > PIVOT_TOL)
+                {
+                    t.pivot(r, pc);
+                }
+                // If no pivot exists the row is redundant (all zeros); the
+                // artificial stays basic at value 0 and is harmless as long
+                // as its column never re-enters, which the cost filter below
+                // ensures.
+            }
+        }
+    }
+
+    // --- Phase 2: minimize the real objective. ---
+    let mut cost = vec![0.0; n];
+    for j in 0..ncols {
+        let cj = p.obj[j];
+        if cj == 0.0 {
+            continue;
+        }
+        match map[j] {
+            ColMap::Shifted { col, .. } => cost[col] += cj,
+            ColMap::Split { plus, minus } => {
+                cost[plus] += cj;
+                cost[minus] -= cj;
+            }
+            ColMap::Fixed { .. } => {}
+        }
+    }
+    // Forbid artificials from re-entering.
+    let art_start = nstruct + nslack;
+    match run_simplex_restricted(&mut t, &cost, art_start, &mut iterations) {
+        SimplexEnd::Optimal => {}
+        SimplexEnd::Unbounded => return LpOutcome::Unbounded,
+    }
+
+    // --- Extract structural values. ---
+    let mut y = vec![0.0; n];
+    for r in 0..m {
+        y[t.basis[r]] = t.rhs[r];
+    }
+    let mut x = vec![0.0; ncols];
+    let mut objective = 0.0;
+    for j in 0..ncols {
+        x[j] = match map[j] {
+            ColMap::Shifted { col, lo } => lo + y[col],
+            ColMap::Split { plus, minus } => y[plus] - y[minus],
+            ColMap::Fixed { value } => value,
+        };
+        objective += p.obj[j] * x[j];
+    }
+    LpOutcome::Optimal(LpSolution {
+        x,
+        objective,
+        iterations,
+    })
+}
+
+enum SimplexEnd {
+    Optimal,
+    Unbounded,
+}
+
+fn run_simplex(t: &mut Tableau, cost: &[f64], iterations: &mut usize) -> SimplexEnd {
+    let n = t.n;
+    run_simplex_restricted(t, cost, n, iterations)
+}
+
+/// Simplex iterations with entering columns restricted to `0..col_limit`.
+fn run_simplex_restricted(
+    t: &mut Tableau,
+    cost: &[f64],
+    col_limit: usize,
+    iterations: &mut usize,
+) -> SimplexEnd {
+    let m = t.m;
+    let n = t.n;
+    // Reduced costs maintained as an explicit objective row.
+    let mut z = cost.to_vec();
+    for r in 0..m {
+        let cb = cost[t.basis[r]];
+        if cb != 0.0 {
+            for c in 0..n {
+                z[c] -= cb * t.at(r, c);
+            }
+        }
+    }
+    let mut degen_run = 0usize;
+    let max_iter = 50 * (m + n).max(200);
+    for _ in 0..max_iter {
+        let bland = degen_run >= DEGEN_SWITCH;
+        // Entering column.
+        let mut pc = usize::MAX;
+        if bland {
+            for c in 0..col_limit {
+                if z[c] < -FEAS_TOL {
+                    pc = c;
+                    break;
+                }
+            }
+        } else {
+            let mut best = -FEAS_TOL;
+            for c in 0..col_limit {
+                if z[c] < best {
+                    best = z[c];
+                    pc = c;
+                }
+            }
+        }
+        if pc == usize::MAX {
+            return SimplexEnd::Optimal;
+        }
+        // Ratio test.
+        let mut pr = usize::MAX;
+        let mut best_ratio = f64::INFINITY;
+        for r in 0..m {
+            let a = t.at(r, pc);
+            if a > PIVOT_TOL {
+                let ratio = t.rhs[r] / a;
+                if ratio < best_ratio - 1e-12
+                    || (ratio < best_ratio + 1e-12
+                        && (pr == usize::MAX || t.basis[r] < t.basis[pr]))
+                {
+                    best_ratio = ratio;
+                    pr = r;
+                }
+            }
+        }
+        if pr == usize::MAX {
+            return SimplexEnd::Unbounded;
+        }
+        if best_ratio.abs() <= 1e-12 {
+            degen_run += 1;
+        } else {
+            degen_run = 0;
+        }
+        // Update the objective row, then pivot.
+        let f = z[pc];
+        t.pivot(pr, pc);
+        if f != 0.0 {
+            for c in 0..n {
+                z[c] -= f * t.at(pr, c);
+            }
+            z[pc] = 0.0;
+        }
+        *iterations += 1;
+    }
+    // Iteration budget exhausted: treat the current vertex as optimal-ish.
+    // This is extremely rare with the Bland fallback; callers re-verify
+    // feasibility of the point regardless.
+    SimplexEnd::Optimal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp(
+        obj: Vec<f64>,
+        rows: Vec<(Vec<(usize, f64)>, Sense, f64)>,
+        lo: Vec<f64>,
+        hi: Vec<f64>,
+    ) -> LpProblem {
+        LpProblem { obj, rows, lo, hi }
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 5x+4y s.t. 6x+4y<=24, x+2y<=6  -> x=3, y=1.5, obj 21
+        let p = lp(
+            vec![-5.0, -4.0],
+            vec![
+                (vec![(0, 6.0), (1, 4.0)], Sense::Le, 24.0),
+                (vec![(0, 1.0), (1, 2.0)], Sense::Le, 6.0),
+            ],
+            vec![0.0, 0.0],
+            vec![f64::INFINITY, f64::INFINITY],
+        );
+        let s = solve_lp(&p).optimal().expect("optimal");
+        assert!((s.objective + 21.0).abs() < 1e-6);
+        assert!((s.x[0] - 3.0).abs() < 1e-6);
+        assert!((s.x[1] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_and_ge_rows() {
+        // min x+y s.t. x+y = 4, x >= 1, y >= 1
+        let p = lp(
+            vec![1.0, 1.0],
+            vec![(vec![(0, 1.0), (1, 1.0)], Sense::Eq, 4.0)],
+            vec![1.0, 1.0],
+            vec![f64::INFINITY, f64::INFINITY],
+        );
+        let s = solve_lp(&p).optimal().expect("optimal");
+        assert!((s.objective - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x <= 1 and x >= 2
+        let p = lp(
+            vec![0.0],
+            vec![
+                (vec![(0, 1.0)], Sense::Le, 1.0),
+                (vec![(0, 1.0)], Sense::Ge, 2.0),
+            ],
+            vec![0.0],
+            vec![f64::INFINITY],
+        );
+        assert!(matches!(solve_lp(&p), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x, x >= 0, no upper limit
+        let p = lp(vec![-1.0], vec![], vec![0.0], vec![f64::INFINITY]);
+        assert!(matches!(solve_lp(&p), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn respects_upper_bounds() {
+        // min -x, 0 <= x <= 7
+        let p = lp(vec![-1.0], vec![], vec![0.0], vec![7.0]);
+        let s = solve_lp(&p).optimal().expect("optimal");
+        assert!((s.x[0] - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_variable_split() {
+        // min x s.t. x >= -5 as a row (x itself free)
+        let p = lp(
+            vec![1.0],
+            vec![(vec![(0, 1.0)], Sense::Ge, -5.0)],
+            vec![f64::NEG_INFINITY],
+            vec![f64::INFINITY],
+        );
+        let s = solve_lp(&p).optimal().expect("optimal");
+        assert!((s.x[0] + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_variable_substituted() {
+        // x fixed at 2; min y s.t. y >= x  -> y = 2
+        let p = lp(
+            vec![0.0, 1.0],
+            vec![(vec![(1, 1.0), (0, -1.0)], Sense::Ge, 0.0)],
+            vec![2.0, 0.0],
+            vec![2.0, f64::INFINITY],
+        );
+        let s = solve_lp(&p).optimal().expect("optimal");
+        assert!((s.x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn crossed_bounds_infeasible() {
+        let p = lp(vec![0.0], vec![], vec![3.0], vec![1.0]);
+        assert!(matches!(solve_lp(&p), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn negative_rhs_row_normalized() {
+        // min x s.t. -x <= -3  (i.e. x >= 3)
+        let p = lp(
+            vec![1.0],
+            vec![(vec![(0, -1.0)], Sense::Le, -3.0)],
+            vec![0.0],
+            vec![f64::INFINITY],
+        );
+        let s = solve_lp(&p).optimal().expect("optimal");
+        assert!((s.x[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vacuous_violated_row_infeasible() {
+        // 0 >= 1 after a fixed variable cancels out.
+        let p = lp(
+            vec![0.0],
+            vec![(vec![(0, 1.0)], Sense::Ge, 3.0)],
+            vec![2.0],
+            vec![2.0],
+        );
+        assert!(matches!(solve_lp(&p), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn degenerate_cycling_guard() {
+        // Beale's classic cycling example (with Dantzig rule it cycles
+        // without anti-cycling); ensure we terminate at the optimum.
+        let p = lp(
+            vec![-0.75, 150.0, -0.02, 6.0],
+            vec![
+                (
+                    vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+                    Sense::Le,
+                    0.0,
+                ),
+                (
+                    vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+                    Sense::Le,
+                    0.0,
+                ),
+                (vec![(2, 1.0)], Sense::Le, 1.0),
+            ],
+            vec![0.0; 4],
+            vec![f64::INFINITY; 4],
+        );
+        let s = solve_lp(&p).optimal().expect("optimal");
+        assert!((s.objective + 0.05).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,90 @@
+//! Bring your own target: describe a machine in the text format, write
+//! the loop in the loop language, and study how hazard structure changes
+//! the achievable initiation interval.
+//!
+//! Run: `cargo run --release --example custom_machine`
+
+use swp::core::{RateOptimalScheduler, SchedulerConfig};
+use swp::ddg::OpClass;
+use swp::loops::{parse::parse_loop, ClassConvention};
+use swp::machine::{parse_machine, CollisionInfo};
+
+const LOOP_SRC: &str = "
+loop stencil {
+    a0 = load x[i-1]
+    a1 = load x[i]
+    a2 = load x[i+1]
+    m0 = fmul a0, w0
+    m1 = fmul a1, w1
+    m2 = fmul a2, w2
+    s0 = fadd m0, m1
+    s1 = fadd s0, m2
+    store s1
+}";
+
+/// Three variants of the same machine that differ only in the FP
+/// pipeline's internal structure.
+const MACHINES: [(&str, &str); 3] = [
+    (
+        "clean FP (no hazards)",
+        "machine clean {
+            unit INT count=1 latency=1 clean
+            unit FP  count=2 latency=2 clean
+            unit MEM count=1 latency=3 clean
+        }",
+    ),
+    (
+        "FP with a late-stage hazard",
+        "machine hazard {
+            unit INT count=1 latency=1 clean
+            unit FP  count=2 latency=2 table[X.. / .X. / .XX]
+            unit MEM count=1 latency=3 clean
+        }",
+    ),
+    (
+        "non-pipelined FP",
+        "machine blocking {
+            unit INT count=1 latency=1 clean
+            unit FP  count=2 latency=2 nonpipelined
+            unit MEM count=1 latency=3 clean
+        }",
+    ),
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let conv = ClassConvention {
+        int: OpClass::new(0),
+        fp: OpClass::new(1),
+        ldst: OpClass::new(2),
+        fdiv: None,
+    };
+    println!(
+        "{:<28} {:>9} {:>8} {:>6} {:>4} {:>6}",
+        "machine", "forbidden", "FP MAL", "T_lb", "T", "rate?"
+    );
+    for (label, src) in MACHINES {
+        let (_, machine) = parse_machine(src)?;
+        let parsed = parse_loop(LOOP_SRC, &machine, &conv)?;
+        let fp = machine.fu_type(OpClass::new(1))?;
+        let info = CollisionInfo::analyze(&fp.reservation);
+        let r = RateOptimalScheduler::new(machine.clone(), SchedulerConfig::default())
+            .schedule(&parsed.ddg)?;
+        r.schedule.validate(&parsed.ddg, &machine)?;
+        println!(
+            "{:<28} {:>9} {:>8} {:>6} {:>4} {:>6}",
+            label,
+            format!("{:?}", info.forbidden_latencies()),
+            info.mal(),
+            r.t_lb(),
+            r.schedule.initiation_interval(),
+            if r.is_rate_optimal() { "yes" } else { "no" },
+        );
+    }
+    println!(
+        "\nSame loop, same unit counts and latencies — only the *internal* pipeline\n\
+         structure differs, and the achievable initiation interval moves with it.\n\
+         That sensitivity is exactly what the paper's unified scheduling + mapping\n\
+         formulation is built to handle."
+    );
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Schedule the classic numeric kernels (Livermore loops, linpack,
+//! FIR, …) on both the hazard machine and the PowerPC-604 model, and
+//! compare the achieved initiation intervals against the lower bounds.
+//!
+//! Run: `cargo run --release --example livermore`
+
+use swp::core::{RateOptimalScheduler, SchedulerConfig};
+use swp::loops::{kernels, ClassConvention};
+use swp::machine::Machine;
+
+fn run(label: &str, machine: &Machine, conv: ClassConvention) {
+    println!("== {label} ==");
+    println!(
+        "{:<24} {:>5} {:>5} {:>4} {:>6} {:>8}",
+        "kernel", "nodes", "T_lb", "T", "rate?", "time"
+    );
+    let scheduler = RateOptimalScheduler::new(machine.clone(), SchedulerConfig::default());
+    for k in kernels::all(machine, conv) {
+        match scheduler.schedule(&k.ddg) {
+            Ok(r) => {
+                r.schedule
+                    .validate(&k.ddg, machine)
+                    .expect("scheduler output must validate");
+                println!(
+                    "{:<24} {:>5} {:>5} {:>4} {:>6} {:>7}ms",
+                    k.name,
+                    k.ddg.num_nodes(),
+                    r.t_lb(),
+                    r.schedule.initiation_interval(),
+                    if r.is_rate_optimal() { "yes" } else { "no" },
+                    r.total_elapsed().as_millis(),
+                );
+            }
+            Err(e) => println!("{:<24} failed: {e}", k.name),
+        }
+    }
+    println!();
+}
+
+fn main() {
+    run(
+        "hazard machine (PLDI '95 example)",
+        &Machine::example_pldi95(),
+        ClassConvention::example(),
+    );
+    run(
+        "non-pipelined FP/Ld-St (paper Problem 1)",
+        &Machine::example_non_pipelined(),
+        ClassConvention::example(),
+    );
+    run(
+        "PowerPC-604 model",
+        &Machine::ppc604(),
+        ClassConvention::ppc604(),
+    );
+}

@@ -1,0 +1,41 @@
+//! Umbrella crate for the software-pipelining reproduction of
+//! Altman, Govindarajan & Gao, *"Scheduling and Mapping: Software
+//! Pipelining in the Presence of Structural Hazards"* (PLDI 1995).
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use swp::...`:
+//!
+//! * [`milp`] — exact/floating-point MILP solver substrate (simplex,
+//!   branch-and-bound, big rationals, LP-format export).
+//! * [`ddg`] — data-dependence graphs and period lower bounds.
+//! * [`machine`] — reservation tables, collision vectors, packing
+//!   capacity, conflict checks, a machine-description parser, and a
+//!   cycle-accurate execution simulator.
+//! * [`core`] — the paper's unified ILP scheduling + mapping framework,
+//!   plus circular-arc coloring analysis and kernel code generation.
+//! * [`heuristics`] — iterative modulo scheduling baselines.
+//! * [`loops`] — kernel DDGs, a textual loop language, and the
+//!   1066-loop synthetic suite.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use swp::core::{RateOptimalScheduler, SchedulerConfig};
+//! use swp::loops::kernels;
+//! use swp::machine::Machine;
+//!
+//! let machine = Machine::example_pldi95();
+//! let loop_ = kernels::motivating_example();
+//! let result = RateOptimalScheduler::new(machine.clone(), SchedulerConfig::default())
+//!     .schedule(&loop_)
+//!     .expect("motivating example is schedulable");
+//! assert_eq!(result.schedule.initiation_interval(), 4); // the paper's T
+//! assert!(result.schedule.validate(&loop_, &machine).is_ok());
+//! ```
+
+pub use swp_core as core;
+pub use swp_ddg as ddg;
+pub use swp_heuristics as heuristics;
+pub use swp_loops as loops;
+pub use swp_machine as machine;
+pub use swp_milp as milp;

@@ -1,0 +1,148 @@
+//! Cross-engine properties on generated corpora: every engine's output
+//! passes the same independent validator, and the exact method is never
+//! beaten by a heuristic.
+
+use std::time::Duration;
+use swp::core::{RateOptimalScheduler, SchedulerConfig};
+use swp::heuristics::{IterativeModuloScheduler, ListModuloScheduler};
+use swp::loops::suite::{generate, SuiteConfig};
+use swp::machine::Machine;
+
+fn corpus(n: usize, seed: u64) -> Vec<swp::loops::suite::GeneratedLoop> {
+    generate(&SuiteConfig {
+        num_loops: n,
+        seed,
+        ..SuiteConfig::pldi95_default()
+    })
+}
+
+#[test]
+fn ilp_schedules_validate_and_meet_bounds() {
+    let machine = Machine::example_pldi95();
+    let scheduler = RateOptimalScheduler::new(
+        machine.clone(),
+        SchedulerConfig {
+            time_limit_per_t: Some(Duration::from_secs(2)),
+            ..Default::default()
+        },
+    );
+    for l in corpus(20, 11) {
+        if let Ok(r) = scheduler.schedule(&l.ddg) {
+            assert_eq!(r.schedule.validate(&l.ddg, &machine), Ok(()), "{}", l.name);
+            assert!(r.schedule.initiation_interval() >= r.t_lb(), "{}", l.name);
+            assert!(r.schedule.is_mapped(), "{}", l.name);
+        }
+    }
+}
+
+#[test]
+fn heuristic_schedules_validate() {
+    let machine = Machine::example_pldi95();
+    let ims = IterativeModuloScheduler::new(machine.clone());
+    let list = ListModuloScheduler::new(machine.clone());
+    for l in corpus(40, 22) {
+        if let Ok(r) = ims.schedule(&l.ddg) {
+            assert_eq!(r.schedule.validate(&l.ddg, &machine), Ok(()), "{}", l.name);
+        }
+        if let Ok(r) = list.schedule(&l.ddg) {
+            assert_eq!(r.schedule.validate(&l.ddg, &machine), Ok(()), "{}", l.name);
+        }
+    }
+}
+
+#[test]
+fn exact_never_beaten_by_heuristics() {
+    let machine = Machine::example_pldi95();
+    let ilp = RateOptimalScheduler::new(
+        machine.clone(),
+        SchedulerConfig {
+            time_limit_per_t: Some(Duration::from_secs(2)),
+            ..Default::default()
+        },
+    );
+    let ims = IterativeModuloScheduler::new(machine.clone());
+    for l in corpus(12, 33) {
+        if l.ddg.num_nodes() > 10 {
+            continue;
+        }
+        let (Ok(a), Ok(b)) = (ilp.schedule(&l.ddg), ims.schedule(&l.ddg)) else {
+            continue;
+        };
+        assert!(
+            a.schedule.initiation_interval() <= b.schedule.initiation_interval(),
+            "{}: ILP {} > IMS {}",
+            l.name,
+            a.schedule.initiation_interval(),
+            b.schedule.initiation_interval()
+        );
+    }
+}
+
+#[test]
+fn non_pipelined_machine_cross_engine() {
+    let machine = Machine::example_non_pipelined();
+    let ilp = RateOptimalScheduler::new(
+        machine.clone(),
+        SchedulerConfig {
+            time_limit_per_t: Some(Duration::from_secs(2)),
+            ..Default::default()
+        },
+    );
+    let ims = IterativeModuloScheduler::new(machine.clone());
+    for l in corpus(10, 44) {
+        if let Ok(r) = ilp.schedule(&l.ddg) {
+            assert_eq!(r.schedule.validate(&l.ddg, &machine), Ok(()), "{}", l.name);
+        }
+        if let Ok(r) = ims.schedule(&l.ddg) {
+            assert_eq!(r.schedule.validate(&l.ddg, &machine), Ok(()), "{}", l.name);
+        }
+    }
+}
+
+#[test]
+fn heuristic_incumbent_does_not_change_achieved_period() {
+    // With and without the IMS certificate, the driver must land on the
+    // same (minimal) period — the certificate only changes who proves
+    // feasibility, never which periods were refuted.
+    let machine = Machine::example_pldi95();
+    let with = RateOptimalScheduler::new(
+        machine.clone(),
+        SchedulerConfig {
+            heuristic_incumbent: true,
+            time_limit_per_t: Some(Duration::from_secs(2)),
+            ..Default::default()
+        },
+    );
+    let without = RateOptimalScheduler::new(
+        machine.clone(),
+        SchedulerConfig {
+            heuristic_incumbent: false,
+            time_limit_per_t: Some(Duration::from_secs(2)),
+            ..Default::default()
+        },
+    );
+    for l in corpus(12, 55) {
+        if l.ddg.num_nodes() > 8 {
+            continue; // keep the pure-ILP side fast
+        }
+        let (Ok(a), Ok(b)) = (with.schedule(&l.ddg), without.schedule(&l.ddg)) else {
+            continue;
+        };
+        // A timed-out (undecided) period forces the pure-ILP run upward;
+        // the equality claim only holds for fully decided searches.
+        let undecided = |r: &swp::core::ScheduleResult| {
+            r.attempts
+                .iter()
+                .any(|at| at.outcome == swp::core::PeriodOutcome::TimedOut)
+        };
+        if undecided(&a) || undecided(&b) {
+            continue;
+        }
+        assert_eq!(
+            a.schedule.initiation_interval(),
+            b.schedule.initiation_interval(),
+            "{}",
+            l.name
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! End-to-end integration: DDG → ILP → schedule → independent validation,
+//! across machines and against the paper's published artifacts.
+
+use swp::core::coloring::OverlapGraph;
+use swp::core::{MappingMode, RateOptimalScheduler, SchedulerConfig};
+use swp::loops::{kernels, ClassConvention};
+use swp::machine::{Machine, PipelinedSchedule};
+
+#[test]
+fn motivating_example_reproduces_the_papers_gap() {
+    let ddg = kernels::motivating_example();
+    let machine = Machine::example_pldi95();
+
+    // Capacity-only (prior art): rate-optimal at T_lb = 3, but the
+    // placement admits no fixed assignment.
+    let cap = RateOptimalScheduler::new(
+        machine.clone(),
+        SchedulerConfig {
+            mapping: MappingMode::CapacityOnly,
+            ..Default::default()
+        },
+    )
+    .schedule(&ddg)
+    .expect("capacity-only schedulable");
+    assert_eq!(cap.schedule.initiation_interval(), 3);
+    let ops = cap.schedule.placed_ops(&ddg);
+    assert!(
+        OverlapGraph::build(&machine, 3, &ops).color().is_none(),
+        "the paper's gap: no fixed assignment at T = 3"
+    );
+
+    // Unified (the paper): T = 3 refuted, T = 4 feasible and mapped.
+    let uni = RateOptimalScheduler::new(machine.clone(), SchedulerConfig::default())
+        .schedule(&ddg)
+        .expect("unified schedulable");
+    assert_eq!(uni.schedule.initiation_interval(), 4);
+    assert!(uni.schedule.is_mapped());
+    assert_eq!(uni.schedule.validate(&ddg, &machine), Ok(()));
+}
+
+#[test]
+fn papers_schedule_b_matrices() {
+    // T = [0,1,3,5,7,11], K = [0,0,0,1,1,2] — the exact Figure 3 data.
+    let ddg = kernels::motivating_example();
+    let machine = Machine::example_pldi95();
+    let s = PipelinedSchedule::new(4, vec![0, 1, 3, 5, 7, 11], vec![None; 6]);
+    assert_eq!(s.validate(&ddg, &machine), Ok(()));
+    let m = s.matrices();
+    assert_eq!(m.k, vec![0, 0, 0, 1, 1, 2]);
+    assert_eq!(m.a[1], vec![0, 1, 0, 1, 0, 0]);
+    assert_eq!(m.a[3], vec![0, 0, 1, 0, 1, 1]);
+    // And a fixed assignment exists for it (the paper's Schedule B claim).
+    let ops = s.placed_ops(&ddg);
+    assert!(OverlapGraph::build(&machine, 4, &ops).color().is_some());
+}
+
+#[test]
+fn all_kernels_schedule_and_validate_on_example_machines() {
+    for machine in [
+        Machine::example_pldi95(),
+        Machine::example_clean(),
+        Machine::example_non_pipelined(),
+    ] {
+        let scheduler = RateOptimalScheduler::new(machine.clone(), SchedulerConfig::default());
+        for k in kernels::all(&machine, ClassConvention::example()) {
+            let r = scheduler
+                .schedule(&k.ddg)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", k.name));
+            assert_eq!(
+                r.schedule.validate(&k.ddg, &machine),
+                Ok(()),
+                "kernel {}",
+                k.name
+            );
+            assert!(r.schedule.is_mapped(), "kernel {}", k.name);
+            assert!(
+                r.schedule.initiation_interval() >= r.t_lb(),
+                "kernel {}",
+                k.name
+            );
+        }
+    }
+}
+
+#[test]
+fn kernels_schedule_on_ppc604() {
+    let machine = Machine::ppc604();
+    let scheduler = RateOptimalScheduler::new(machine.clone(), SchedulerConfig::default());
+    for k in kernels::all(&machine, ClassConvention::ppc604()) {
+        let r = scheduler
+            .schedule(&k.ddg)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", k.name));
+        assert_eq!(
+            r.schedule.validate(&k.ddg, &machine),
+            Ok(()),
+            "kernel {}",
+            k.name
+        );
+    }
+}
+
+#[test]
+fn divide_kernel_is_throughput_bound_by_the_divider() {
+    // vector_normalize has one non-pipelined 18-cycle divide per
+    // iteration on the 604 model: T can never beat 18.
+    let machine = Machine::ppc604();
+    let k = kernels::vector_normalize(&machine, ClassConvention::ppc604());
+    let r = RateOptimalScheduler::new(machine.clone(), SchedulerConfig::default())
+        .schedule(&k.ddg)
+        .expect("schedulable");
+    assert!(r.schedule.initiation_interval() >= 18);
+    assert!(r.t_res >= 18);
+}
+
+#[test]
+fn clean_machine_periods_never_exceed_hazard_machine_periods() {
+    // Removing hazards can only help the initiation rate.
+    let hazard = Machine::example_pldi95();
+    let clean = Machine::example_clean();
+    let s_h = RateOptimalScheduler::new(hazard.clone(), SchedulerConfig::default());
+    let s_c = RateOptimalScheduler::new(clean.clone(), SchedulerConfig::default());
+    for k in kernels::all(&hazard, ClassConvention::example()) {
+        let th = s_h.schedule(&k.ddg).expect("hazard").schedule.initiation_interval();
+        let tc = s_c.schedule(&k.ddg).expect("clean").schedule.initiation_interval();
+        assert!(tc <= th, "kernel {}: clean {tc} > hazard {th}", k.name);
+    }
+}
+
+#[test]
+fn flat_schedule_respects_cross_iteration_dependences() {
+    let ddg = kernels::motivating_example();
+    let machine = Machine::example_pldi95();
+    let r = RateOptimalScheduler::new(machine, SchedulerConfig::default())
+        .schedule(&ddg)
+        .expect("schedulable");
+    let s = &r.schedule;
+    let flat = s.flat(5);
+    let cycle_of = |iter: u32, node: usize| {
+        flat.iter()
+            .find(|&&(j, n, _)| j == iter && n.index() == node)
+            .map(|&(_, _, c)| c)
+            .expect("present")
+    };
+    for e in ddg.edges() {
+        let d = ddg.node(e.src).latency as u64;
+        for j in 0..(5 - e.distance) {
+            let src_c = cycle_of(j, e.src.index());
+            let dst_c = cycle_of(j + e.distance, e.dst.index());
+            assert!(
+                dst_c >= src_c + d,
+                "iteration {j}: edge {}->{} violated in flat schedule",
+                e.src.index(),
+                e.dst.index()
+            );
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Failure injection across crate boundaries: every error path a user
+//! can hit should produce a typed, descriptive error — never a panic.
+
+use std::time::Duration;
+use swp::core::{RateOptimalScheduler, ScheduleError, SchedulerConfig};
+use swp::ddg::{Ddg, DdgError, OpClass};
+use swp::heuristics::{HeuristicError, IterativeModuloScheduler};
+use swp::loops::parse::parse_loop;
+use swp::loops::ClassConvention;
+use swp::machine::{parse_machine, Machine, ValidationError};
+
+#[test]
+fn unknown_class_fails_at_every_layer() {
+    let mut g = Ddg::new();
+    g.add_node("mystery", OpClass::new(42), 1);
+    let machine = Machine::example_pldi95();
+
+    assert!(matches!(
+        RateOptimalScheduler::new(machine.clone(), SchedulerConfig::default()).schedule(&g),
+        Err(ScheduleError::UnknownClass(_))
+    ));
+    assert!(matches!(
+        IterativeModuloScheduler::new(machine.clone()).schedule(&g),
+        Err(HeuristicError::UnknownClass(_))
+    ));
+    assert!(machine.t_res(&g).is_err());
+}
+
+#[test]
+fn zero_distance_cycle_fails_everywhere() {
+    let mut g = Ddg::new();
+    let a = g.add_node("a", OpClass::new(1), 2);
+    let b = g.add_node("b", OpClass::new(1), 2);
+    g.add_edge(a, b, 0).unwrap();
+    g.add_edge(b, a, 0).unwrap();
+
+    assert!(matches!(g.validate(), Err(DdgError::ZeroDistanceCycle(_))));
+    assert_eq!(g.t_dep(), None);
+    let machine = Machine::example_pldi95();
+    assert!(matches!(
+        RateOptimalScheduler::new(machine.clone(), SchedulerConfig::default()).schedule(&g),
+        Err(ScheduleError::NoFinitePeriod)
+    ));
+    assert!(matches!(
+        IterativeModuloScheduler::new(machine).schedule(&g),
+        Err(HeuristicError::NoFinitePeriod)
+    ));
+}
+
+#[test]
+fn exhausted_period_range_reports_attempts() {
+    // A loop whose T_lb attempt must time out: cap the range at +0 and
+    // give the solver no time.
+    let machine = Machine::example_pldi95();
+    let g = swp::loops::kernels::fir4(&machine, ClassConvention::example()).ddg;
+    let cfg = SchedulerConfig {
+        max_t_above_lb: 0,
+        time_limit_per_t: Some(Duration::from_millis(1)),
+        heuristic_incumbent: false,
+        ..Default::default()
+    };
+    match RateOptimalScheduler::new(machine, cfg).schedule(&g) {
+        Err(ScheduleError::NotFound { t_lb, t_max, attempts }) => {
+            assert_eq!(t_lb, t_max);
+            assert_eq!(attempts.len(), 1);
+        }
+        other => panic!("expected NotFound, got {other:?}"),
+    }
+}
+
+#[test]
+fn validator_rejects_forged_schedules() {
+    let machine = Machine::example_pldi95();
+    let g = swp::loops::kernels::motivating_example();
+    // Right arity, nonsense times: dependences must catch it.
+    let forged = swp::machine::PipelinedSchedule::new(4, vec![0; 6], vec![None; 6]);
+    assert!(matches!(
+        forged.validate(&g, &machine),
+        Err(ValidationError::DependenceViolated { .. })
+    ));
+    // Satisfy dependences but overload the single Ld/St unit.
+    let overload = swp::machine::PipelinedSchedule::new(
+        4,
+        vec![0, 0, 3, 5, 7, 9],
+        vec![None; 6],
+    );
+    assert!(matches!(
+        overload.validate(&g, &machine),
+        Err(ValidationError::Conflict(_))
+    ));
+}
+
+#[test]
+fn loop_parser_rejects_garbage_gracefully() {
+    let machine = Machine::example_pldi95();
+    let conv = ClassConvention::example();
+    for src in [
+        "",
+        "loop x {",
+        "loop x {\n}",
+        "loop x {\n = fadd a\n}",
+        "loop x {\n t = \n}",
+        "loop x {\n t = fadd t@banana\n}",
+    ] {
+        assert!(parse_loop(src, &machine, &conv).is_err(), "accepted: {src:?}");
+    }
+}
+
+#[test]
+fn machine_parser_rejects_garbage_gracefully() {
+    for src in [
+        "",
+        "machine m {",
+        "machine m {\n}",
+        "machine m {\n unit A count=0 latency=1 clean\n}",
+        "machine m {\n unit A count=1 latency=1 clean nonpipelined\n}",
+    ] {
+        assert!(parse_machine(src).is_err(), "accepted: {src:?}");
+    }
+}
+
+#[test]
+fn parsed_machine_and_loop_compose_end_to_end() {
+    let (_, machine) = parse_machine(
+        "machine tiny {
+            unit INT count=1 latency=1 clean
+            unit FP  count=2 latency=2 table[X.. / .X. / .XX]
+            unit MEM count=1 latency=3 clean
+        }",
+    )
+    .expect("machine parses");
+    let conv = ClassConvention {
+        int: OpClass::new(0),
+        fp: OpClass::new(1),
+        ldst: OpClass::new(2),
+        fdiv: None,
+    };
+    let parsed = parse_loop(
+        "loop body {
+            t1 = load a[i]
+            t2 = fmul t1, w
+            s  = fadd s@1, t2
+            store t2
+        }",
+        &machine,
+        &conv,
+    )
+    .expect("loop parses");
+    let r = RateOptimalScheduler::new(machine.clone(), SchedulerConfig::default())
+        .schedule(&parsed.ddg)
+        .expect("schedules");
+    assert_eq!(r.schedule.validate(&parsed.ddg, &machine), Ok(()));
+    // And it executes.
+    let rep = swp::machine::simulate(
+        &machine,
+        &parsed.ddg,
+        &r.schedule,
+        25,
+        swp::machine::UnitPolicy::Fixed,
+    )
+    .expect("runs");
+    assert!(rep.rate > 0.0);
+}
