@@ -55,11 +55,23 @@ fn bench_ablations(c: &mut Criterion) {
     group.sample_size(10);
 
     let variants: [(&str, SchedulerConfig); 5] = [
-        ("unified+symmetry", cfg(MappingMode::UnifiedColoring, true, false)),
-        ("unified-no-symmetry", cfg(MappingMode::UnifiedColoring, false, false)),
-        ("unified+incumbent", cfg(MappingMode::UnifiedColoring, true, true)),
+        (
+            "unified+symmetry",
+            cfg(MappingMode::UnifiedColoring, true, false),
+        ),
+        (
+            "unified-no-symmetry",
+            cfg(MappingMode::UnifiedColoring, false, false),
+        ),
+        (
+            "unified+incumbent",
+            cfg(MappingMode::UnifiedColoring, true, true),
+        ),
         ("capacity-only", cfg(MappingMode::CapacityOnly, true, false)),
-        ("capacity-no-symmetry", cfg(MappingMode::CapacityOnly, false, false)),
+        (
+            "capacity-no-symmetry",
+            cfg(MappingMode::CapacityOnly, false, false),
+        ),
     ];
     for (name, config) in variants {
         group.bench_function(name, |b| {

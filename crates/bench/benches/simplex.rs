@@ -13,8 +13,10 @@ fn lp(n: usize) -> LpProblem {
         obj: (0..n).map(|j| ((j % 7) as f64) - 3.0).collect(),
         rows: (0..n)
             .map(|i| {
-                let terms: Vec<(usize, f64)> =
-                    (0..n).map(|j| (j, coef(i, j))).filter(|&(_, c)| c != 0.0).collect();
+                let terms: Vec<(usize, f64)> = (0..n)
+                    .map(|j| (j, coef(i, j)))
+                    .filter(|&(_, c)| c != 0.0)
+                    .collect();
                 (terms, Sense::Le, 25.0 + (i % 5) as f64)
             })
             .collect(),

@@ -42,7 +42,10 @@ fn main() {
     if let Some(c) = ddg.critical_cycle() {
         println!(
             "critical cycle: {:?} (Σd = {}, Σm = {}, bound = {})",
-            c.nodes.iter().map(|n| format!("i{}", n.index())).collect::<Vec<_>>(),
+            c.nodes
+                .iter()
+                .map(|n| format!("i{}", n.index()))
+                .collect::<Vec<_>>(),
             c.total_latency,
             c.total_distance,
             c.bound(),

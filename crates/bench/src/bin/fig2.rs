@@ -17,7 +17,11 @@ fn modulo_table(machine: &Machine, class: OpClass, period: u32) -> String {
     for s in 0..rt.stages() {
         out.push_str(&format!("  Stage {}: ", s + 1));
         for t in 0..period {
-            out.push_str(if rt.modulo_mark(s, t, period) { "1 " } else { "0 " });
+            out.push_str(if rt.modulo_mark(s, t, period) {
+                "1 "
+            } else {
+                "0 "
+            });
         }
         out.push('\n');
     }

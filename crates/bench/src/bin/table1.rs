@@ -30,9 +30,7 @@ fn main() {
         .schedule(&ddg)
         .expect("capacity-only ILP schedules");
     let t = r.schedule.initiation_interval();
-    println!(
-        "\nCapacity-only ILP (eq. (5) resources, units chosen at run time): T = {t}"
-    );
+    println!("\nCapacity-only ILP (eq. (5) resources, units chosen at run time): T = {t}");
     println!("start times t_i = {:?}", r.schedule.start_times());
     println!("\nFlat schedule, 3 iterations (Schedule-A style):");
     println!("{}", flat_gantt(&r.schedule, 3));
@@ -45,16 +43,11 @@ fn main() {
 
     let graph = OverlapGraph::build(&machine, t, &ops);
     match graph.color() {
-        Some(colors) => println!(
-            "Exact circular-arc coloring unexpectedly succeeded: {colors:?}"
-        ),
+        Some(colors) => println!("Exact circular-arc coloring unexpectedly succeeded: {colors:?}"),
         None => {
             println!("\nExact circular-arc coloring: NO fixed assignment exists at T = {t}.");
             if let Some(demand) = graph.min_units() {
-                let fp = demand
-                    .get(&OpClass::new(1))
-                    .copied()
-                    .unwrap_or(0);
+                let fp = demand.get(&OpClass::new(1)).copied().unwrap_or(0);
                 println!(
                     "This placement needs {fp} FP units; the machine has {}.",
                     machine.fu_type(OpClass::new(1)).expect("fp").count

@@ -24,7 +24,10 @@ fn main() {
         .schedule(&ddg)
         .expect("unified ILP schedules");
     let t = r.schedule.initiation_interval();
-    println!("Unified ILP: first feasible period T = {t} (T_lb = {}).", r.t_lb());
+    println!(
+        "Unified ILP: first feasible period T = {t} (T_lb = {}).",
+        r.t_lb()
+    );
     for a in &r.attempts {
         println!(
             "  T = {}: {:?} ({} B&B nodes, {:?})",

@@ -32,7 +32,15 @@ fn describe(name: &str, machine: &Machine) {
     println!(
         "{}",
         render_table(
-            &["unit", "count", "latency", "exec", "stages", "forbidden", "MAL"],
+            &[
+                "unit",
+                "count",
+                "latency",
+                "exec",
+                "stages",
+                "forbidden",
+                "MAL"
+            ],
             &rows,
         )
     );

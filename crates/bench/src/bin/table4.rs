@@ -6,10 +6,10 @@
 //! Run: `cargo run -p swp-bench --release --bin table4 [num_loops] [per-T seconds] [machine]`
 //! where `machine` is `example` (default) or `ppc604`.
 
+use std::time::Duration;
 use swp_bench::{render_table, run_suite, SuiteOutcome, SuiteRunConfig};
 use swp_loops::suite::SuiteConfig;
 use swp_machine::Machine;
-use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -76,7 +76,11 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Number of Loops", "Initiation Interval", "Mean # Nodes in DDG"],
+            &[
+                "Number of Loops",
+                "Initiation Interval",
+                "Mean # Nodes in DDG"
+            ],
             &rows,
         )
     );

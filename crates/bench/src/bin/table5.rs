@@ -16,9 +16,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let num_loops: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200);
     let secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
-    println!(
-        "== Table 5: ILP solve effort ({num_loops} loops, pure ILP, {secs}s per period) ==\n"
-    );
+    println!("== Table 5: ILP solve effort ({num_loops} loops, pure ILP, {secs}s per period) ==\n");
     let run = SuiteRunConfig {
         num_loops,
         time_limit_per_t: Duration::from_secs(secs),

@@ -174,12 +174,7 @@ pub fn generate(
 
     // Steady state exists once the deepest-stage iteration has started:
     // kernel = the period starting at (S − 1)·T, where S = max k + 1.
-    let s = ddg
-        .node_ids()
-        .map(|id| schedule.k(id))
-        .max()
-        .unwrap_or(0)
-        + 1;
+    let s = ddg.node_ids().map(|id| schedule.k(id)).max().unwrap_or(0) + 1;
     let kernel_start = (s.saturating_sub(1)) as u64 * t as u64;
     let kernel_end = kernel_start + t as u64;
     // New iterations stop issuing after the last one starts; everything

@@ -164,9 +164,7 @@ impl OverlapGraph {
         distinct.sort();
         distinct.dedup();
         for class in distinct {
-            let members: Vec<usize> = (0..self.n)
-                .filter(|&i| self.classes[i] == class)
-                .collect();
+            let members: Vec<usize> = (0..self.n).filter(|&i| self.classes[i] == class).collect();
             let mut k = 1u32;
             loop {
                 let mut sub = self.clone();

@@ -210,8 +210,8 @@ pub fn build(
             }
             continue;
         }
-        let expr = LinExpr::term(t_vars[e.dst.index()], 1.0)
-            - LinExpr::term(t_vars[e.src.index()], 1.0);
+        let expr =
+            LinExpr::term(t_vars[e.dst.index()], 1.0) - LinExpr::term(t_vars[e.src.index()], 1.0);
         model.add_constr(expr, Sense::Ge, rhs);
     }
 
@@ -234,9 +234,7 @@ pub fn build(
                 return Err(ScheduleError::PeriodInfeasible { period });
             }
             // Packing pre-check: pigeonhole facts the LP cannot see.
-            if packing_bound
-                && (members.len() as u32) > fu.count * rt.max_ops_per_period(period)
-            {
+            if packing_bound && (members.len() as u32) > fu.count * rt.max_ops_per_period(period) {
                 return Err(ScheduleError::PeriodInfeasible { period });
             }
         }
@@ -253,19 +251,13 @@ pub fn build(
                     let i = id.index();
                     let row: Vec<VarId> = (0..period)
                         .map(|t| {
-                            model.add_var(
-                                VarKind::Continuous,
-                                0.0,
-                                1.0,
-                                format!("U[{s},{t},{i}]"),
-                            )
+                            model.add_var(VarKind::Continuous, 0.0, 1.0, format!("U[{s},{t},{i}]"))
                         })
                         .collect();
                     for (t, &u) in row.iter().enumerate() {
                         let mut expr = LinExpr::term(u, 1.0);
                         for &l in &offsets {
-                            let src =
-                                ((t as i64 - l as i64).rem_euclid(period as i64)) as usize;
+                            let src = ((t as i64 - l as i64).rem_euclid(period as i64)) as usize;
                             expr.add_term(a[i][src], -1.0);
                         }
                         model.add_constr(expr, Sense::Eq, 0.0);
@@ -282,8 +274,7 @@ pub fn build(
                     let mut expr = LinExpr::new();
                     for &id in &members {
                         for &l in &offsets {
-                            let src =
-                                ((t as i64 - l as i64).rem_euclid(period as i64)) as usize;
+                            let src = ((t as i64 - l as i64).rem_euclid(period as i64)) as usize;
                             expr.add_term(a[id.index()][src], 1.0);
                         }
                     }
@@ -309,19 +300,14 @@ pub fn build(
             // equal steps are excluded by capacity. Minimizing units,
             // however, needs the overlap structure for every multi-op
             // class, clean or not.
-            let needs_coloring = (fu.count >= 2 && members.len() >= 2
-                && !fu.reservation.is_clean())
-                || (objective == Objective::MinUnits && members.len() >= 2);
+            let needs_coloring =
+                (fu.count >= 2 && members.len() >= 2 && !fu.reservation.is_clean())
+                    || (objective == Objective::MinUnits && members.len() >= 2);
             if !needs_coloring && objective != Objective::MinUnits {
                 continue;
             }
             for &id in &members {
-                let c = model.add_var(
-                    VarKind::Integer,
-                    1.0,
-                    r,
-                    format!("c[{}]", id.index()),
-                );
+                let c = model.add_var(VarKind::Integer, 1.0, r, format!("c[{}]", id.index()));
                 color[id.index()] = Some(c);
             }
             if symmetry_breaking {
@@ -366,8 +352,8 @@ pub fn build(
                             // U_s[t,i] + U_s[t,j] − 1 ≤ δ_{ij}
                             let mut expr = LinExpr::term(delta, -1.0);
                             for &l in &offsets {
-                                let src = ((t as i64 - l as i64).rem_euclid(period as i64))
-                                    as usize;
+                                let src =
+                                    ((t as i64 - l as i64).rem_euclid(period as i64)) as usize;
                                 expr.add_term(a[i][src], 1.0);
                                 expr.add_term(a[j][src], 1.0);
                             }
@@ -381,11 +367,12 @@ pub fn build(
                         color[i].expect("member colored"),
                         color[j].expect("member colored"),
                     );
-                    let e1 = LinExpr::term(ci, 1.0) - LinExpr::term(cj, 1.0)
-                        - LinExpr::term(delta, 1.0)
-                        + LinExpr::term(w, r);
+                    let e1 =
+                        LinExpr::term(ci, 1.0) - LinExpr::term(cj, 1.0) - LinExpr::term(delta, 1.0)
+                            + LinExpr::term(w, r);
                     model.add_constr(e1, Sense::Ge, 0.0);
-                    let e2 = LinExpr::term(cj, 1.0) - LinExpr::term(ci, 1.0)
+                    let e2 = LinExpr::term(cj, 1.0)
+                        - LinExpr::term(ci, 1.0)
                         - LinExpr::term(delta, 1.0)
                         - LinExpr::term(w, r);
                     model.add_constr(e2, Sense::Ge, -r);
@@ -430,25 +417,14 @@ pub fn build(
                 if e.src == e.dst {
                     continue; // self-loops need exactly m_ij buffers, a constant
                 }
-                let b = model.add_var(
-                    VarKind::Integer,
-                    0.0,
-                    horizon_buffers,
-                    format!("B[{idx}]"),
-                );
+                let b = model.add_var(VarKind::Integer, 0.0, horizon_buffers, format!("B[{idx}]"));
                 // T·B − t_j + t_i ≥ T·m_ij
-                let expr = LinExpr::term(b, t_f)
-                    - LinExpr::term(t_vars[e.dst.index()], 1.0)
+                let expr = LinExpr::term(b, t_f) - LinExpr::term(t_vars[e.dst.index()], 1.0)
                     + LinExpr::term(t_vars[e.src.index()], 1.0);
                 model.add_constr(expr, Sense::Ge, t_f * e.distance as f64);
                 buffer_vars.push(b);
             }
-            model.minimize(
-                buffer_vars
-                    .iter()
-                    .map(|&v| (v, 1.0))
-                    .collect::<Vec<_>>(),
-            );
+            model.minimize(buffer_vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>());
         }
     }
 
@@ -515,7 +491,13 @@ mod tests {
     fn builds_expected_variable_counts() {
         let g = simple_chain();
         let m = Machine::example_clean();
-        let f = build(&g, &m, 4, opts(MappingMode::CapacityOnly, Objective::Feasible)).expect("builds");
+        let f = build(
+            &g,
+            &m,
+            4,
+            opts(MappingMode::CapacityOnly, Objective::Feasible),
+        )
+        .expect("builds");
         // 3 nodes × (4 a-vars + t + k) = 18 variables.
         assert_eq!(f.model.num_vars(), 18);
         assert_eq!(f.a.len(), 3);
@@ -526,10 +508,18 @@ mod tests {
     fn solve_and_extract_respects_dependences() {
         let g = simple_chain();
         let m = Machine::example_clean();
-        let f = build(&g, &m, 3, opts(MappingMode::UnifiedColoring, Objective::Feasible)).expect("builds");
+        let f = build(
+            &g,
+            &m,
+            3,
+            opts(MappingMode::UnifiedColoring, Objective::Feasible),
+        )
+        .expect("builds");
         let sol = f
             .model
-            .solve_with(&SolveLimits::feasibility(std::time::Duration::from_secs(10)))
+            .solve_with(&SolveLimits::feasibility(std::time::Duration::from_secs(
+                10,
+            )))
             .expect("feasible");
         let (starts, _) = f.extract(&sol);
         assert!(starts[1] >= starts[0] + 3);
@@ -543,10 +533,21 @@ mod tests {
         g.add_edge(a, a, 1).unwrap();
         let m = Machine::example_clean();
         assert!(matches!(
-            build(&g, &m, 1, opts(MappingMode::CapacityOnly, Objective::Feasible)),
+            build(
+                &g,
+                &m,
+                1,
+                opts(MappingMode::CapacityOnly, Objective::Feasible)
+            ),
             Err(ScheduleError::PeriodInfeasible { period: 1 })
         ));
-        assert!(build(&g, &m, 2, opts(MappingMode::CapacityOnly, Objective::Feasible)).is_ok());
+        assert!(build(
+            &g,
+            &m,
+            2,
+            opts(MappingMode::CapacityOnly, Objective::Feasible)
+        )
+        .is_ok());
     }
 
     #[test]
@@ -557,12 +558,23 @@ mod tests {
         // Fixed assignment: a non-pipelined lat-2 op cannot repeat at
         // period 1 on one unit.
         assert!(matches!(
-            build(&g, &m, 1, opts(MappingMode::UnifiedColoring, Objective::Feasible)),
+            build(
+                &g,
+                &m,
+                1,
+                opts(MappingMode::UnifiedColoring, Objective::Feasible)
+            ),
             Err(ScheduleError::PeriodInfeasible { period: 1 })
         ));
         // Run-time choice: instances may alternate between the 2 units,
         // so the build must NOT reject (the capacity rows decide).
-        assert!(build(&g, &m, 1, opts(MappingMode::CapacityOnly, Objective::Feasible)).is_ok());
+        assert!(build(
+            &g,
+            &m,
+            1,
+            opts(MappingMode::CapacityOnly, Objective::Feasible)
+        )
+        .is_ok());
     }
 
     #[test]
@@ -572,13 +584,23 @@ mod tests {
             g.add_node(format!("f{i}"), OpClass::new(1), 2);
         }
         // Clean machine: no coloring vars even with 2 units.
-        let f = build(&g, &Machine::example_clean(), 3, opts(MappingMode::UnifiedColoring, Objective::Feasible))
-            .expect("builds");
+        let f = build(
+            &g,
+            &Machine::example_clean(),
+            3,
+            opts(MappingMode::UnifiedColoring, Objective::Feasible),
+        )
+        .expect("builds");
         assert!(f.color.iter().all(|c| c.is_none()));
         // Hazard machine: FP class (2 units, unclean) gets colors.
         // (Period 6 so that 3 FP ops pack onto 2 hazard units.)
-        let f = build(&g, &Machine::example_pldi95(), 6, opts(MappingMode::UnifiedColoring, Objective::Feasible))
-            .expect("builds");
+        let f = build(
+            &g,
+            &Machine::example_pldi95(),
+            6,
+            opts(MappingMode::UnifiedColoring, Objective::Feasible),
+        )
+        .expect("builds");
         assert!(f.color.iter().all(|c| c.is_some()));
     }
 
@@ -629,7 +651,12 @@ mod tests {
         g.add_node("z", OpClass::new(9), 1);
         let m = Machine::example_clean();
         assert!(matches!(
-            build(&g, &m, 2, opts(MappingMode::CapacityOnly, Objective::Feasible)),
+            build(
+                &g,
+                &m,
+                2,
+                opts(MappingMode::CapacityOnly, Objective::Feasible)
+            ),
             Err(ScheduleError::UnknownClass(_))
         ));
     }

@@ -55,10 +55,12 @@ pub mod formulation;
 mod scheduler;
 
 pub use formulation::{Formulation, FormulationOptions, MappingMode, Objective};
-pub use swp_machine::{Matrices, PipelinedSchedule, ValidationError};
 pub use scheduler::{
-    PeriodAttempt, PeriodOutcome, RateOptimalScheduler, ScheduleResult, SchedulerConfig, SolvedBy,
+    FaultPlan, Optimality, PeriodAttempt, PeriodOutcome, RateOptimalScheduler, ScheduleResult,
+    SchedulerConfig, SolvedBy,
 };
+pub use swp_machine::{Matrices, PipelinedSchedule, ValidationError};
+pub use swp_milp::{Budget, CancelToken};
 
 use std::error::Error;
 use std::fmt;
@@ -100,6 +102,21 @@ pub enum ScheduleError {
     },
     /// The underlying MILP solver failed structurally.
     Solver(SolveError),
+    /// A schedule produced by an engine failed the independent
+    /// cycle-accurate re-check, and the other engine could not produce a
+    /// verified schedule at that period either. Indicates a bug in the
+    /// producing engine; the bad schedule is never returned.
+    VerificationFailed {
+        /// Period of the rejected schedule.
+        period: u32,
+        /// Engine that produced the rejected schedule.
+        engine: SolvedBy,
+        /// What the checker objected to.
+        error: ValidationError,
+    },
+    /// The budget's cancel token fired; the search stopped cooperatively
+    /// without an answer.
+    Cancelled,
 }
 
 impl fmt::Display for ScheduleError {
@@ -122,6 +139,15 @@ impl fmt::Display for ScheduleError {
                 node.index()
             ),
             ScheduleError::Solver(e) => write!(f, "solver failure: {e}"),
+            ScheduleError::VerificationFailed {
+                period,
+                engine,
+                error,
+            } => write!(
+                f,
+                "schedule at period {period} from {engine:?} failed re-verification: {error}"
+            ),
+            ScheduleError::Cancelled => write!(f, "scheduling cancelled"),
         }
     }
 }

@@ -5,15 +5,66 @@
 //! `T = T_lb, T_lb+1, …` until one is feasible. The first feasible period
 //! is rate-optimal by construction (every smaller period is infeasible —
 //! either proven by the ILP or excluded by the lower bound).
+//!
+//! # Budgets and graceful degradation
+//!
+//! [`RateOptimalScheduler::schedule_with`] threads a shared
+//! [`swp_milp::Budget`] (wall-clock deadline, deterministic tick cap,
+//! cooperative cancel token) through every engine: simplex pivots,
+//! branch-and-bound nodes, and IMS placements all spend ticks from the
+//! same pool. When the budget runs out mid-search the driver does not
+//! error: it falls back to a best-effort heuristic schedule found under a
+//! small fresh tick allowance and tags the result
+//! [`Optimality::BudgetExhausted`], recording how far the exact refutation
+//! got. Cancellation is different — a fired token means the caller wants
+//! out *now*, so it surfaces as [`ScheduleError::Cancelled`].
+//!
+//! # Self-verification
+//!
+//! Every schedule — from the ILP or the heuristic — is re-checked by the
+//! independent cycle-accurate checker ([`PipelinedSchedule::validate`])
+//! before it leaves the driver. A rejected schedule triggers fallback to
+//! the other engine; only if both fail does the driver return
+//! [`ScheduleError::VerificationFailed`].
 
 use crate::formulation::{self, FormulationOptions, MappingMode, Objective};
 use crate::ScheduleError;
-use swp_heuristics::IterativeModuloScheduler;
-use swp_machine::PipelinedSchedule;
 use std::time::Duration;
 use swp_ddg::Ddg;
+use swp_heuristics::{HeuristicError, IterativeModuloScheduler};
 use swp_machine::Machine;
-use swp_milp::{SolveError, SolveLimits};
+use swp_machine::{PipelinedSchedule, ValidationError};
+use swp_milp::{Budget, Exhaustion, SolveError, SolveLimits};
+
+/// Tick allowance for the best-effort heuristic pass that runs after the
+/// main budget is exhausted. Ticks (one per IMS placement) rather than
+/// wall-clock, so the grace pass works even when the deadline is already
+/// past, and stays bounded deterministically.
+const GRACE_TICKS: u64 = 200_000;
+
+/// Test-only fault injection: forces failures at chosen pipeline stages
+/// so the degradation paths can be exercised deterministically. All
+/// fields default to `false` (no faults). Not part of the public API
+/// contract.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Pretend the heuristic incumbent probe found nothing.
+    pub fail_heuristic_incumbent: bool,
+    /// Pretend every ILP solve failed numerically
+    /// ([`SolveError::Numerical`]).
+    pub fail_ilp: bool,
+    /// Treat every ILP-produced schedule as failing verification.
+    pub reject_ilp_schedule: bool,
+    /// Treat every heuristic-produced schedule as failing verification.
+    pub reject_heuristic_schedule: bool,
+    /// Pretend the global budget is already exhausted before the first
+    /// candidate period.
+    pub expire_before_search: bool,
+    /// Pretend the global budget expires right before the ILP stage of
+    /// the first attempted period.
+    pub expire_before_ilp: bool,
+}
 
 /// Configuration for [`RateOptimalScheduler`].
 #[derive(Debug, Clone)]
@@ -24,6 +75,12 @@ pub struct SchedulerConfig {
     pub objective: Objective,
     /// ILP budget per candidate period (default 10 s).
     pub time_limit_per_t: Option<Duration>,
+    /// Wall-clock budget for the *whole* search across all candidate
+    /// periods (default: none). When it runs out, the driver returns the
+    /// best schedule it can still certify, tagged
+    /// [`Optimality::BudgetExhausted`]. For tick caps or cancellation use
+    /// [`RateOptimalScheduler::schedule_with`] directly.
+    pub time_limit_total: Option<Duration>,
     /// Give up after `T_lb + max_t_above_lb` (default 16).
     pub max_t_above_lb: u32,
     /// Prune rotation and color-permutation symmetry (default on).
@@ -37,6 +94,9 @@ pub struct SchedulerConfig {
     /// period has still been refuted exactly. Turn off to measure pure
     /// ILP behaviour (Table 5).
     pub heuristic_incumbent: bool,
+    /// Test-only fault injection; leave at `Default::default()`.
+    #[doc(hidden)]
+    pub faults: FaultPlan,
 }
 
 impl Default for SchedulerConfig {
@@ -45,10 +105,12 @@ impl Default for SchedulerConfig {
             mapping: MappingMode::default(),
             objective: Objective::default(),
             time_limit_per_t: Some(Duration::from_secs(10)),
+            time_limit_total: None,
             max_t_above_lb: 16,
             symmetry_breaking: true,
             packing_bound: true,
             heuristic_incumbent: true,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -66,14 +128,17 @@ pub enum SolvedBy {
 /// Outcome of one candidate period.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PeriodOutcome {
-    /// A schedule was found.
+    /// A schedule was found (and passed the independent re-check).
     Feasible(SolvedBy),
     /// The ILP proved no schedule exists at this period.
     Infeasible,
     /// Rejected before solving (modulo constraint / self-loop test).
     RejectedAtBuild,
-    /// The time or node budget ran out undecided.
+    /// The time, node, or tick budget ran out undecided.
     TimedOut,
+    /// The ILP failed numerically at this period (simplex stall); the
+    /// period stays undecided unless the heuristic certifies it.
+    EngineFailed,
 }
 
 /// Statistics for one candidate period.
@@ -95,10 +160,33 @@ pub struct PeriodAttempt {
     pub num_constrs: usize,
 }
 
+/// How strong the optimality claim on a [`ScheduleResult`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Optimality {
+    /// Every period below the achieved one was proven infeasible: the
+    /// achieved period is the exact optimum.
+    Proven,
+    /// The budget ran out before every smaller period could be refuted.
+    BudgetExhausted {
+        /// The smallest candidate period whose refutation is missing.
+        /// Every period below it *was* proven infeasible, so the true
+        /// optimal period lies in
+        /// `smallest_refuted ..= schedule.initiation_interval()`.
+        smallest_refuted: u32,
+    },
+}
+
+impl Optimality {
+    /// Whether the achieved period is proven exactly optimal.
+    pub fn is_proven(&self) -> bool {
+        matches!(self, Optimality::Proven)
+    }
+}
+
 /// A schedule together with how it was found.
 #[derive(Debug, Clone)]
 pub struct ScheduleResult {
-    /// The schedule.
+    /// The schedule (always re-checked by the cycle-accurate checker).
     pub schedule: PipelinedSchedule,
     /// Recurrence bound `T_dep`.
     pub t_dep: u32,
@@ -106,6 +194,8 @@ pub struct ScheduleResult {
     pub t_res: u32,
     /// Per-period solve log, in the order attempted.
     pub attempts: Vec<PeriodAttempt>,
+    /// Whether the achieved period is proven optimal or budget-limited.
+    pub optimality: Optimality,
 }
 
 impl ScheduleResult {
@@ -124,6 +214,11 @@ impl ScheduleResult {
         self.slack_above_lb() == 0
     }
 
+    /// Whether every smaller period was refuted (see [`Optimality`]).
+    pub fn is_proven_optimal(&self) -> bool {
+        self.optimality.is_proven()
+    }
+
     /// Total branch-and-bound nodes over all attempted periods.
     pub fn total_nodes(&self) -> u64 {
         self.attempts.iter().map(|a| a.nodes).sum()
@@ -133,6 +228,18 @@ impl ScheduleResult {
     pub fn total_elapsed(&self) -> Duration {
         self.attempts.iter().map(|a| a.elapsed).sum()
     }
+}
+
+/// What one candidate period contributed to the search.
+enum PeriodResult {
+    /// A verified schedule.
+    Schedule(PipelinedSchedule),
+    /// Proven infeasible (exact refutation).
+    Refuted,
+    /// Ran out of per-period budget (or failed numerically) undecided.
+    Undecided,
+    /// The *global* budget is exhausted; stop probing periods.
+    BudgetExhausted,
 }
 
 /// Schedules loops at the fastest feasible initiation rate using the
@@ -151,6 +258,7 @@ impl ScheduleResult {
 ///
 /// let sched = RateOptimalScheduler::new(Machine::example_pldi95(), SchedulerConfig::default())
 ///     .schedule(&g)?;
+/// assert!(sched.optimality.is_proven());
 /// assert!(sched.schedule.validate(&g, &Machine::example_pldi95()).is_ok());
 /// # Ok(())
 /// # }
@@ -172,15 +280,45 @@ impl RateOptimalScheduler {
         &self.machine
     }
 
-    /// Finds a schedule at the smallest feasible period `≥ T_lb`.
+    /// Finds a schedule at the smallest feasible period `≥ T_lb`, under a
+    /// global budget derived from
+    /// [`SchedulerConfig::time_limit_total`] (unlimited if `None`).
     ///
     /// # Errors
     ///
     /// * [`ScheduleError::NoFinitePeriod`] — zero-distance cycle;
     /// * [`ScheduleError::UnknownClass`] — DDG/machine mismatch;
     /// * [`ScheduleError::NotFound`] — every period up to the configured
-    ///   cap was infeasible or timed out (the attempts log tells which).
+    ///   cap was infeasible or timed out (the attempts log tells which)
+    ///   and no best-effort schedule exists either;
+    /// * [`ScheduleError::VerificationFailed`] — both engines produced
+    ///   only schedules the independent checker rejected.
     pub fn schedule(&self, ddg: &Ddg) -> Result<ScheduleResult, ScheduleError> {
+        let budget = match self.config.time_limit_total {
+            Some(d) => Budget::with_deadline(d),
+            None => Budget::unlimited(),
+        };
+        self.schedule_with(ddg, &budget)
+    }
+
+    /// Like [`schedule`](Self::schedule), but under an explicit shared
+    /// [`Budget`] — deadline, deterministic tick cap, and a cancel token
+    /// that stops all engines within one check interval.
+    ///
+    /// On budget exhaustion (deadline or ticks) the driver degrades
+    /// gracefully: it returns the best heuristic schedule it can still
+    /// find and certify, tagged [`Optimality::BudgetExhausted`].
+    /// Cancellation instead returns [`ScheduleError::Cancelled`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`schedule`](Self::schedule) lists, plus
+    /// [`ScheduleError::Cancelled`].
+    pub fn schedule_with(
+        &self,
+        ddg: &Ddg,
+        budget: &Budget,
+    ) -> Result<ScheduleResult, ScheduleError> {
         let t_dep = ddg.t_dep().ok_or(ScheduleError::NoFinitePeriod)?;
         let t_res = match (self.config.mapping, self.config.packing_bound) {
             // Fixed-assignment problem: counting bound, optionally
@@ -191,58 +329,220 @@ impl RateOptimalScheduler {
             // only pure stage-demand counting is a valid bound.
             (MappingMode::CapacityOnly, _) => self.machine.t_res_capacity(ddg),
         }
-            .map_err(|e| match e {
-                swp_machine::MachineError::UnknownClass(c) => ScheduleError::UnknownClass(c),
-                swp_machine::MachineError::NoUnits(n) => ScheduleError::BadMachine(n),
-            })?;
+        .map_err(|e| match e {
+            swp_machine::MachineError::UnknownClass(c) => ScheduleError::UnknownClass(c),
+            swp_machine::MachineError::NoUnits(n) => ScheduleError::BadMachine(n),
+        })?;
         let t_lb = t_dep.max(t_res);
+        let t_max = t_lb + self.config.max_t_above_lb;
         let mut attempts = Vec::new();
+        // Periods in `t_lb..first_unrefuted` are proven infeasible.
+        let mut first_unrefuted = t_lb;
+        let mut budget_hit = self.config.faults.expire_before_search;
 
-        for period in t_lb..=t_lb + self.config.max_t_above_lb {
-            match self.try_period(ddg, period, &mut attempts)? {
-                Some(schedule) => {
-                    return Ok(ScheduleResult {
-                        schedule,
-                        t_dep,
-                        t_res,
-                        attempts,
-                    })
+        if !budget_hit {
+            for period in t_lb..=t_max {
+                match budget.check() {
+                    Ok(()) => {}
+                    Err(Exhaustion::Cancelled) => return Err(ScheduleError::Cancelled),
+                    Err(_) => {
+                        budget_hit = true;
+                        break;
+                    }
                 }
-                None => continue,
+                match self.try_period(ddg, period, budget, &mut attempts)? {
+                    PeriodResult::Schedule(schedule) => {
+                        let optimality = if first_unrefuted == period {
+                            Optimality::Proven
+                        } else {
+                            Optimality::BudgetExhausted {
+                                smallest_refuted: first_unrefuted,
+                            }
+                        };
+                        return Ok(ScheduleResult {
+                            schedule,
+                            t_dep,
+                            t_res,
+                            attempts,
+                            optimality,
+                        });
+                    }
+                    PeriodResult::Refuted => {
+                        if first_unrefuted == period {
+                            first_unrefuted = period + 1;
+                        }
+                    }
+                    PeriodResult::Undecided => {}
+                    PeriodResult::BudgetExhausted => {
+                        budget_hit = true;
+                        break;
+                    }
+                }
             }
+        }
+
+        if let Err(Exhaustion::Cancelled) = budget.check() {
+            return Err(ScheduleError::Cancelled);
+        }
+        if budget_hit {
+            // Graceful degradation: best-effort heuristic schedule under a
+            // fresh tick-capped grace allowance (the dead wall-clock
+            // deadline must not also kill the fallback).
+            return self.degrade(ddg, t_dep, t_res, t_lb, t_max, first_unrefuted, attempts);
         }
         Err(ScheduleError::NotFound {
             t_lb,
-            t_max: t_lb + self.config.max_t_above_lb,
+            t_max,
             attempts,
         })
     }
 
-    /// Attempts exactly one period. `Ok(None)` means "move on".
+    /// The post-exhaustion fallback: IMS under [`GRACE_TICKS`], verified
+    /// by the independent checker, tagged budget-exhausted.
+    fn degrade(
+        &self,
+        ddg: &Ddg,
+        t_dep: u32,
+        t_res: u32,
+        t_lb: u32,
+        t_max: u32,
+        first_unrefuted: u32,
+        mut attempts: Vec<PeriodAttempt>,
+    ) -> Result<ScheduleResult, ScheduleError> {
+        let started = std::time::Instant::now();
+        let grace = Budget::with_tick_limit(GRACE_TICKS);
+        let ims = IterativeModuloScheduler::new(self.machine.clone());
+        match ims.schedule_with(ddg, &grace) {
+            Ok(res) => {
+                let period = res.schedule.initiation_interval();
+                match self.verify(&res.schedule, ddg, SolvedBy::Heuristic) {
+                    Ok(()) => {
+                        attempts.push(PeriodAttempt {
+                            period,
+                            outcome: PeriodOutcome::Feasible(SolvedBy::Heuristic),
+                            nodes: 0,
+                            lp_iterations: 0,
+                            elapsed: started.elapsed(),
+                            num_vars: 0,
+                            num_constrs: 0,
+                        });
+                        Ok(ScheduleResult {
+                            schedule: res.schedule,
+                            t_dep,
+                            t_res,
+                            attempts,
+                            optimality: Optimality::BudgetExhausted {
+                                smallest_refuted: first_unrefuted,
+                            },
+                        })
+                    }
+                    Err(error) => Err(ScheduleError::VerificationFailed {
+                        period,
+                        engine: SolvedBy::Heuristic,
+                        error,
+                    }),
+                }
+            }
+            Err(HeuristicError::Cancelled) => Err(ScheduleError::Cancelled),
+            Err(_) => Err(ScheduleError::NotFound {
+                t_lb,
+                t_max,
+                attempts,
+            }),
+        }
+    }
+
+    /// Independent re-check of a candidate schedule (with fault hooks).
+    fn verify(
+        &self,
+        schedule: &PipelinedSchedule,
+        ddg: &Ddg,
+        engine: SolvedBy,
+    ) -> Result<(), ValidationError> {
+        let injected = match engine {
+            SolvedBy::Ilp => self.config.faults.reject_ilp_schedule,
+            SolvedBy::Heuristic => self.config.faults.reject_heuristic_schedule,
+        };
+        if injected {
+            // A synthetic, clearly-impossible violation.
+            return Err(ValidationError::WrongArity {
+                schedule: usize::MAX,
+                ddg: ddg.num_nodes(),
+            });
+        }
+        schedule.validate(ddg, &self.machine)
+    }
+
+    /// Attempts exactly one period under a per-period slice of `budget`.
     fn try_period(
         &self,
         ddg: &Ddg,
         period: u32,
+        budget: &Budget,
         attempts: &mut Vec<PeriodAttempt>,
-    ) -> Result<Option<PipelinedSchedule>, ScheduleError> {
+    ) -> Result<PeriodResult, ScheduleError> {
         let started = std::time::Instant::now();
+        let period_budget = budget.restrict(self.config.time_limit_per_t, None);
+        let ims = IterativeModuloScheduler::new(self.machine.clone());
+
         // The heuristic produces *mapped* schedules; under CapacityOnly
         // the point is to study the capacity-only ILP, so skip it there.
-        if self.config.heuristic_incumbent && self.config.mapping == MappingMode::UnifiedColoring {
-            let ims = IterativeModuloScheduler::new(self.machine.clone());
-            if let Some(schedule) = ims.schedule_at(ddg, period) {
-                attempts.push(PeriodAttempt {
-                    period,
-                    outcome: PeriodOutcome::Feasible(SolvedBy::Heuristic),
-                    nodes: 0,
-                    lp_iterations: 0,
-                    elapsed: started.elapsed(),
-                    num_vars: 0,
-                    num_constrs: 0,
-                });
-                return Ok(Some(schedule));
+        if self.config.heuristic_incumbent
+            && self.config.mapping == MappingMode::UnifiedColoring
+            && !self.config.faults.fail_heuristic_incumbent
+        {
+            match ims.schedule_at_with(ddg, period, &period_budget) {
+                Ok(Some(schedule)) => {
+                    if self.verify(&schedule, ddg, SolvedBy::Heuristic).is_ok() {
+                        attempts.push(PeriodAttempt {
+                            period,
+                            outcome: PeriodOutcome::Feasible(SolvedBy::Heuristic),
+                            nodes: 0,
+                            lp_iterations: 0,
+                            elapsed: started.elapsed(),
+                            num_vars: 0,
+                            num_constrs: 0,
+                        });
+                        return Ok(PeriodResult::Schedule(schedule));
+                    }
+                    // Checker rejected the heuristic schedule: fall through
+                    // to the other engine (the ILP) at this same period.
+                }
+                Ok(None) => {}
+                Err(HeuristicError::Cancelled) => return Err(ScheduleError::Cancelled),
+                Err(_) => {
+                    // Per-period (or global) budget died inside the probe.
+                    attempts.push(PeriodAttempt {
+                        period,
+                        outcome: PeriodOutcome::TimedOut,
+                        nodes: 0,
+                        lp_iterations: 0,
+                        elapsed: started.elapsed(),
+                        num_vars: 0,
+                        num_constrs: 0,
+                    });
+                    return Ok(if budget.check().is_err() {
+                        PeriodResult::BudgetExhausted
+                    } else {
+                        PeriodResult::Undecided
+                    });
+                }
             }
         }
+
+        if self.config.faults.expire_before_ilp {
+            attempts.push(PeriodAttempt {
+                period,
+                outcome: PeriodOutcome::TimedOut,
+                nodes: 0,
+                lp_iterations: 0,
+                elapsed: started.elapsed(),
+                num_vars: 0,
+                num_constrs: 0,
+            });
+            return Ok(PeriodResult::BudgetExhausted);
+        }
+
         let f = match formulation::build(
             ddg,
             &self.machine,
@@ -266,34 +566,62 @@ impl RateOptimalScheduler {
                     num_vars: 0,
                     num_constrs: 0,
                 });
-                return Ok(None);
+                return Ok(PeriodResult::Refuted);
             }
             Err(e) => return Err(e),
         };
         let mut limits = SolveLimits {
             time_limit: self.config.time_limit_per_t,
+            budget: period_budget.clone(),
             ..SolveLimits::default()
         };
         if self.config.objective == Objective::Feasible {
             limits.stop_at_first_incumbent = true;
         }
         let (num_vars, num_constrs) = (f.model.num_vars(), f.model.num_constrs());
-        match f.model.solve_with(&limits) {
+        let solved = if self.config.faults.fail_ilp {
+            Err(SolveError::Numerical("injected fault".into()))
+        } else {
+            f.model.solve_with(&limits)
+        };
+        match solved {
             Ok(sol) => {
                 let stats = *sol.stats();
                 let (starts, colors) = f.extract(&sol);
                 let assignment = self.complete_assignment(ddg, period, &starts, &colors)?;
                 let schedule = PipelinedSchedule::new(period, starts, assignment);
-                attempts.push(PeriodAttempt {
-                    period,
-                    outcome: PeriodOutcome::Feasible(SolvedBy::Ilp),
-                    nodes: stats.nodes,
-                    lp_iterations: stats.lp_iterations,
-                    elapsed: started.elapsed(),
-                    num_vars,
-                    num_constrs,
-                });
-                Ok(Some(schedule))
+                match self.verify(&schedule, ddg, SolvedBy::Ilp) {
+                    Ok(()) => {
+                        attempts.push(PeriodAttempt {
+                            period,
+                            outcome: PeriodOutcome::Feasible(SolvedBy::Ilp),
+                            nodes: stats.nodes,
+                            lp_iterations: stats.lp_iterations,
+                            elapsed: started.elapsed(),
+                            num_vars,
+                            num_constrs,
+                        });
+                        Ok(PeriodResult::Schedule(schedule))
+                    }
+                    Err(error) => {
+                        // Checker rejected the ILP schedule: fall back to
+                        // the other engine at this period.
+                        match self.heuristic_fallback(
+                            ddg,
+                            period,
+                            &period_budget,
+                            attempts,
+                            started,
+                        ) {
+                            Some(result) => result,
+                            None => Err(ScheduleError::VerificationFailed {
+                                period,
+                                engine: SolvedBy::Ilp,
+                                error,
+                            }),
+                        }
+                    }
+                }
             }
             Err(SolveError::Infeasible) => {
                 attempts.push(PeriodAttempt {
@@ -305,7 +633,7 @@ impl RateOptimalScheduler {
                     num_vars,
                     num_constrs,
                 });
-                Ok(None)
+                Ok(PeriodResult::Refuted)
             }
             Err(SolveError::LimitReached(_)) => {
                 attempts.push(PeriodAttempt {
@@ -317,9 +645,67 @@ impl RateOptimalScheduler {
                     num_vars,
                     num_constrs,
                 });
-                Ok(None)
+                Ok(if budget.check().is_err() {
+                    PeriodResult::BudgetExhausted
+                } else {
+                    PeriodResult::Undecided
+                })
+            }
+            Err(SolveError::Cancelled) => Err(ScheduleError::Cancelled),
+            Err(SolveError::Numerical(_)) => {
+                attempts.push(PeriodAttempt {
+                    period,
+                    outcome: PeriodOutcome::EngineFailed,
+                    nodes: 0,
+                    lp_iterations: 0,
+                    elapsed: started.elapsed(),
+                    num_vars,
+                    num_constrs,
+                });
+                // The exact engine lost traction: degrade to the heuristic
+                // at this period. Its success is a certificate; its failure
+                // proves nothing, so the period stays undecided.
+                match self.heuristic_fallback(ddg, period, &period_budget, attempts, started) {
+                    Some(result) => result,
+                    None => Ok(PeriodResult::Undecided),
+                }
             }
             Err(e) => Err(ScheduleError::Solver(e)),
+        }
+    }
+
+    /// Runs IMS at `period` as the fallback engine and verifies the
+    /// result. `None` means no certified fallback schedule exists.
+    #[allow(clippy::type_complexity)]
+    fn heuristic_fallback(
+        &self,
+        ddg: &Ddg,
+        period: u32,
+        period_budget: &Budget,
+        attempts: &mut Vec<PeriodAttempt>,
+        started: std::time::Instant,
+    ) -> Option<Result<PeriodResult, ScheduleError>> {
+        let ims = IterativeModuloScheduler::new(self.machine.clone());
+        match ims.schedule_at_with(ddg, period, period_budget) {
+            Ok(Some(schedule)) => {
+                if self.verify(&schedule, ddg, SolvedBy::Heuristic).is_ok() {
+                    attempts.push(PeriodAttempt {
+                        period,
+                        outcome: PeriodOutcome::Feasible(SolvedBy::Heuristic),
+                        nodes: 0,
+                        lp_iterations: 0,
+                        elapsed: started.elapsed(),
+                        num_vars: 0,
+                        num_constrs: 0,
+                    });
+                    Some(Ok(PeriodResult::Schedule(schedule)))
+                } else {
+                    None
+                }
+            }
+            Ok(None) => None,
+            Err(HeuristicError::Cancelled) => Some(Err(ScheduleError::Cancelled)),
+            Err(_) => None,
         }
     }
 
@@ -389,10 +775,7 @@ impl RateOptimalScheduler {
             } else if self.config.mapping == MappingMode::UnifiedColoring {
                 // Should be impossible: coloring covered every class that
                 // could fail first-fit.
-                return Err(ScheduleError::MappingGap {
-                    node: id,
-                    period,
-                });
+                return Err(ScheduleError::MappingGap { node: id, period });
             }
             // CapacityOnly: leave unmapped; caller sees is_mapped() == false.
         }
@@ -404,6 +787,7 @@ impl RateOptimalScheduler {
 mod tests {
     use super::*;
     use swp_ddg::OpClass;
+    use swp_milp::CancelToken;
 
     /// A small FP loop with a recurrence on the hazard machine.
     fn fp_loop() -> Ddg {
@@ -426,7 +810,12 @@ mod tests {
             .schedule(&fp_loop())
             .expect("schedulable");
         assert_eq!(s.t_dep, 2);
-        assert!(s.is_rate_optimal(), "expected T = T_lb, got slack {}", s.slack_above_lb());
+        assert!(
+            s.is_rate_optimal(),
+            "expected T = T_lb, got slack {}",
+            s.slack_above_lb()
+        );
+        assert!(s.is_proven_optimal());
         assert!(s.schedule.is_mapped());
         assert_eq!(s.schedule.validate(&fp_loop(), &machine), Ok(()));
     }
@@ -495,5 +884,50 @@ mod tests {
             .expect("schedulable");
         assert!(s.schedule.initiation_interval() >= 2);
         assert_eq!(s.schedule.validate(&fp_loop(), &machine), Ok(()));
+    }
+
+    #[test]
+    fn exhausted_budget_still_returns_verified_schedule() {
+        let machine = Machine::example_pldi95();
+        let g = fp_loop();
+        let s = RateOptimalScheduler::new(machine.clone(), SchedulerConfig::default())
+            .schedule_with(&g, &Budget::with_tick_limit(0))
+            .expect("degrades, not errors");
+        assert!(matches!(s.optimality, Optimality::BudgetExhausted { .. }));
+        assert_eq!(s.schedule.validate(&g, &machine), Ok(()));
+    }
+
+    #[test]
+    fn cancellation_is_an_error_not_a_schedule() {
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let err = RateOptimalScheduler::new(Machine::example_pldi95(), SchedulerConfig::default())
+            .schedule_with(&fp_loop(), &budget)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::Cancelled));
+        // The token handle type is exported for callers.
+        let _t: CancelToken = budget.cancel_token();
+    }
+
+    #[test]
+    fn injected_ilp_failure_degrades_to_heuristic() {
+        let machine = Machine::example_pldi95();
+        let g = fp_loop();
+        let cfg = SchedulerConfig {
+            heuristic_incumbent: false,
+            faults: FaultPlan {
+                fail_ilp: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let s = RateOptimalScheduler::new(machine.clone(), cfg)
+            .schedule(&g)
+            .expect("heuristic fallback carries the day");
+        assert_eq!(s.schedule.validate(&g, &machine), Ok(()));
+        assert!(s
+            .attempts
+            .iter()
+            .any(|a| a.outcome == PeriodOutcome::EngineFailed));
     }
 }

@@ -146,9 +146,7 @@ impl Ddg {
             let best = self
                 .edges()
                 .filter(|e| e.src == a && e.dst == b)
-                .max_by_key(|e| {
-                    self.node(e.src).latency as i64 - t as i64 * e.distance as i64
-                })
+                .max_by_key(|e| self.node(e.src).latency as i64 - t as i64 * e.distance as i64)
                 .expect("predecessor chain follows real edges");
             total_latency += self.node(a).latency;
             total_distance += best.distance;

@@ -137,7 +137,12 @@ impl Ddg {
     /// # Errors
     ///
     /// [`DdgError::UnknownNode`] if either endpoint is not in this graph.
-    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, distance: u32) -> Result<EdgeId, DdgError> {
+    pub fn add_edge(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        distance: u32,
+    ) -> Result<EdgeId, DdgError> {
         for n in [src, dst] {
             if n.0 >= self.nodes.len() {
                 return Err(DdgError::UnknownNode(n));
@@ -294,10 +299,7 @@ mod tests {
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.node(ids[1]).name, "b");
         assert_eq!(g.node(ids[1]).latency, 2);
-        assert_eq!(
-            g.successors(ids[0]).collect::<Vec<_>>(),
-            vec![(ids[1], 0)]
-        );
+        assert_eq!(g.successors(ids[0]).collect::<Vec<_>>(), vec![(ids[1], 0)]);
         assert_eq!(g.total_latency(), 6);
     }
 
@@ -323,10 +325,7 @@ mod tests {
     fn zero_distance_cycle_detected() {
         let (mut g, ids) = chain3();
         g.add_edge(ids[2], ids[0], 0).unwrap();
-        assert!(matches!(
-            g.validate(),
-            Err(DdgError::ZeroDistanceCycle(_))
-        ));
+        assert!(matches!(g.validate(), Err(DdgError::ZeroDistanceCycle(_))));
     }
 
     #[test]

@@ -87,11 +87,7 @@ pub fn sccs(g: &Ddg) -> Vec<Vec<NodeId>> {
 pub fn cyclic_sccs(g: &Ddg) -> Vec<Vec<NodeId>> {
     sccs(g)
         .into_iter()
-        .filter(|comp| {
-            comp.len() > 1
-                || g.edges()
-                    .any(|e| e.src == comp[0] && e.dst == comp[0])
-        })
+        .filter(|comp| comp.len() > 1 || g.edges().any(|e| e.src == comp[0] && e.dst == comp[0]))
         .collect()
 }
 

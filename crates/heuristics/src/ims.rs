@@ -4,9 +4,10 @@
 use crate::mrt::ModuloReservationTable;
 use std::error::Error;
 use std::fmt;
-use swp_machine::PipelinedSchedule;
 use swp_ddg::{Ddg, NodeId};
 use swp_machine::Machine;
+use swp_machine::PipelinedSchedule;
+use swp_milp::budget::{Budget, Exhaustion};
 
 /// Why a heuristic gave up.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +23,10 @@ pub enum HeuristicError {
         /// The largest II attempted.
         ii_max: u32,
     },
+    /// The solve budget's deadline or tick cap tripped mid-search.
+    BudgetExhausted,
+    /// The budget's cancel token fired mid-search.
+    Cancelled,
 }
 
 impl fmt::Display for HeuristicError {
@@ -34,11 +39,22 @@ impl fmt::Display for HeuristicError {
             HeuristicError::NotFound { mii, ii_max } => {
                 write!(f, "no schedule found for II in [{mii}, {ii_max}]")
             }
+            HeuristicError::BudgetExhausted => write!(f, "solve budget exhausted"),
+            HeuristicError::Cancelled => write!(f, "search cancelled"),
         }
     }
 }
 
 impl Error for HeuristicError {}
+
+impl From<Exhaustion> for HeuristicError {
+    fn from(e: Exhaustion) -> Self {
+        match e {
+            Exhaustion::Cancelled => HeuristicError::Cancelled,
+            Exhaustion::Deadline | Exhaustion::Ticks => HeuristicError::BudgetExhausted,
+        }
+    }
+}
 
 /// A heuristic schedule plus how hard it was to find.
 #[derive(Debug, Clone)]
@@ -117,11 +133,29 @@ impl IterativeModuloScheduler {
     ///
     /// See [`HeuristicError`].
     pub fn schedule(&self, ddg: &Ddg) -> Result<HeuristicResult, HeuristicError> {
+        self.schedule_with(ddg, &Budget::unlimited())
+    }
+
+    /// Schedules `ddg` under a solve [`Budget`]. One budget tick is spent
+    /// per placement (initial or after eviction), so a tick cap bounds
+    /// the backtracking deterministically; a fired cancel token stops the
+    /// search within one check interval.
+    ///
+    /// # Errors
+    ///
+    /// [`HeuristicError::BudgetExhausted`] / [`HeuristicError::Cancelled`]
+    /// when the budget trips, plus everything [`HeuristicError`] lists.
+    pub fn schedule_with(
+        &self,
+        ddg: &Ddg,
+        budget: &Budget,
+    ) -> Result<HeuristicResult, HeuristicError> {
         run(
             &self.machine,
             ddg,
             self.ii_span,
             Some(self.budget_ratio),
+            budget,
         )
     }
 
@@ -130,8 +164,36 @@ impl IterativeModuloScheduler {
     /// succeed). Used by `swp-core`'s driver as a fast feasibility
     /// certificate before falling back to the ILP.
     pub fn schedule_at(&self, ddg: &Ddg, ii: u32) -> Option<PipelinedSchedule> {
+        self.schedule_at_with(ddg, ii, &Budget::unlimited())
+            .unwrap_or(None)
+    }
+
+    /// Attempts exactly one initiation interval under a solve [`Budget`].
+    ///
+    /// `Ok(None)` means the heuristic failed at this `II` (which proves
+    /// nothing); an error means the budget tripped before the attempt
+    /// could finish.
+    ///
+    /// # Errors
+    ///
+    /// [`HeuristicError::BudgetExhausted`] or
+    /// [`HeuristicError::Cancelled`].
+    pub fn schedule_at_with(
+        &self,
+        ddg: &Ddg,
+        ii: u32,
+        budget: &Budget,
+    ) -> Result<Option<PipelinedSchedule>, HeuristicError> {
         let mut evictions = 0;
-        try_ii(&self.machine, ddg, ii, Some(self.budget_ratio), &mut evictions)
+        try_ii(
+            &self.machine,
+            ddg,
+            ii,
+            Some(self.budget_ratio),
+            &mut evictions,
+            budget,
+        )
+        .map_err(HeuristicError::from)
     }
 }
 
@@ -158,7 +220,20 @@ impl ListModuloScheduler {
     ///
     /// See [`HeuristicError`].
     pub fn schedule(&self, ddg: &Ddg) -> Result<HeuristicResult, HeuristicError> {
-        run(&self.machine, ddg, self.ii_span, None)
+        self.schedule_with(ddg, &Budget::unlimited())
+    }
+
+    /// Schedules `ddg` without backtracking, under a solve [`Budget`].
+    ///
+    /// # Errors
+    ///
+    /// See [`HeuristicError`].
+    pub fn schedule_with(
+        &self,
+        ddg: &Ddg,
+        budget: &Budget,
+    ) -> Result<HeuristicResult, HeuristicError> {
+        run(&self.machine, ddg, self.ii_span, None, budget)
     }
 }
 
@@ -191,6 +266,7 @@ fn run(
     ddg: &Ddg,
     ii_span: u32,
     budget_ratio: Option<u32>,
+    budget: &Budget,
 ) -> Result<HeuristicResult, HeuristicError> {
     let t_dep = ddg.t_dep().ok_or(HeuristicError::NoFinitePeriod)?;
     let t_res = machine.t_res(ddg).map_err(|e| match e {
@@ -201,8 +277,9 @@ fn run(
     let mut tried = Vec::new();
     let mut evictions = 0u64;
     for ii in mii..=mii + ii_span {
+        budget.check()?;
         tried.push(ii);
-        if let Some(schedule) = try_ii(machine, ddg, ii, budget_ratio, &mut evictions) {
+        if let Some(schedule) = try_ii(machine, ddg, ii, budget_ratio, &mut evictions, budget)? {
             return Ok(HeuristicResult {
                 schedule,
                 mii,
@@ -223,21 +300,25 @@ fn try_ii(
     ii: u32,
     budget_ratio: Option<u32>,
     evictions: &mut u64,
-) -> Option<PipelinedSchedule> {
+    budget: &Budget,
+) -> Result<Option<PipelinedSchedule>, Exhaustion> {
     let n = ddg.num_nodes();
     if n == 0 {
-        return Some(PipelinedSchedule::new(ii, Vec::new(), Vec::new()));
+        return Ok(Some(PipelinedSchedule::new(ii, Vec::new(), Vec::new())));
     }
     // The modulo constraint and class packing capacity must hold
     // regardless of placement.
     for class in ddg.classes() {
-        let fu = machine.fu_type(class).ok()?;
+        let Ok(fu) = machine.fu_type(class) else {
+            return Ok(None);
+        };
         if !fu.reservation.modulo_feasible(ii) {
-            return None;
+            return Ok(None);
         }
     }
-    if !machine.classes_pack(ddg, ii).ok()? {
-        return None;
+    match machine.classes_pack(ddg, ii) {
+        Ok(true) => {}
+        Ok(false) | Err(_) => return Ok(None),
     }
     let h = heights(ddg, ii);
     let mut order: Vec<usize> = (0..n).collect();
@@ -247,7 +328,7 @@ fn try_ii(
     let mut time: Vec<Option<u32>> = vec![None; n];
     let mut unit: Vec<u32> = vec![0; n];
     let mut prev_time: Vec<Option<u32>> = vec![None; n];
-    let mut budget: i64 = match budget_ratio {
+    let mut evict_budget: i64 = match budget_ratio {
         Some(r) => (r as i64) * n as i64,
         None => n as i64, // list mode: exactly one placement per op
     };
@@ -256,10 +337,14 @@ fn try_ii(
     let mut pending: Vec<usize> = order.iter().rev().copied().collect();
 
     while let Some(i) = pending.pop() {
-        if budget <= 0 {
-            return None;
+        // One solve-budget tick per placement bounds backtracking work
+        // deterministically; the eviction counter below is the separate
+        // per-II heuristic allowance.
+        budget.tick()?;
+        if evict_budget <= 0 {
+            return Ok(None);
         }
-        budget -= 1;
+        evict_budget -= 1;
         let id = NodeId::from_index(i);
         let node = ddg.node(id);
 
@@ -287,7 +372,7 @@ fn try_ii(
             Some(tf) => tf,
             None => {
                 let Some(_) = budget_ratio else {
-                    return None; // list mode: no backtracking
+                    return Ok(None); // list mode: no backtracking
                 };
                 // Forced placement (Rau): at estart, or one past the last
                 // try to guarantee progress; evict whatever is in the way.
@@ -297,13 +382,20 @@ fn try_ii(
                 };
                 // Evict resource conflicts on the least-loaded unit
                 // (first unit with fewest conflicts).
-                let fu_type = machine.fu_type(node.class).ok()?;
-                let fu = (0..fu_type.count)
+                let Ok(fu_type) = machine.fu_type(node.class) else {
+                    return Ok(None);
+                };
+                let Some(fu) = (0..fu_type.count)
                     .min_by_key(|&fu| mrt.conflicting_ops(machine, node.class, fu, t).len())
-                    .expect("count >= 1");
+                else {
+                    // A class with zero units can never be placed.
+                    return Ok(None);
+                };
                 for victim in mrt.conflicting_ops(machine, node.class, fu, t) {
                     let vid = NodeId::from_index(victim);
-                    let vt = time[victim].expect("victim was scheduled");
+                    // Conflicting ops are scheduled by construction; if the
+                    // MRT ever disagrees, skip the victim rather than panic.
+                    let Some(vt) = time[victim] else { continue };
                     mrt.remove(machine, ddg.node(vid).class, unit[victim], vt, victim);
                     time[victim] = None;
                     pending.push(victim);
@@ -334,13 +426,23 @@ fn try_ii(
         }
     }
 
-    let starts: Vec<u32> = time.into_iter().map(|t| t.expect("all placed")).collect();
+    // Every op must have been placed once the worklist drained; if the
+    // invariant ever breaks, fail the II rather than panic.
+    let mut starts: Vec<u32> = Vec::with_capacity(n);
+    for t in time {
+        match t {
+            Some(t) => starts.push(t),
+            None => return Ok(None),
+        }
+    }
     let assignment: Vec<Option<u32>> = unit.into_iter().map(Some).collect();
     let schedule = PipelinedSchedule::new(ii, starts, assignment);
     // The eviction loop guarantees dependences w.r.t. scheduled ops, but a
     // final audit keeps the heuristic honest (and catches budget races).
-    schedule.validate(ddg, machine).ok()?;
-    Some(schedule)
+    if schedule.validate(ddg, machine).is_err() {
+        return Ok(None);
+    }
+    Ok(Some(schedule))
 }
 
 #[cfg(test)]

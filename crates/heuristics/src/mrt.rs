@@ -32,10 +32,7 @@ impl ModuloReservationTable {
             .types()
             .iter()
             .map(|t| {
-                vec![
-                    vec![vec![NONE; period as usize]; t.reservation.stages()];
-                    t.count as usize
-                ]
+                vec![vec![vec![NONE; period as usize]; t.reservation.stages()]; t.count as usize]
             })
             .collect();
         ModuloReservationTable { period, cells }

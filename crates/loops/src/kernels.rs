@@ -27,7 +27,11 @@ struct B<'a> {
 
 impl<'a> B<'a> {
     fn new(m: &'a Machine, c: ClassConvention) -> Self {
-        B { g: Ddg::new(), m, c }
+        B {
+            g: Ddg::new(),
+            m,
+            c,
+        }
     }
 
     fn node(&mut self, name: &str, class: OpClass) -> NodeId {
@@ -523,11 +527,7 @@ mod tests {
     fn paper_schedule_b_satisfies_motivating_dependences() {
         use swp_core::PipelinedSchedule;
         let g = motivating_example();
-        let s = PipelinedSchedule::new(
-            4,
-            vec![0, 1, 3, 5, 7, 11],
-            vec![None; 6],
-        );
+        let s = PipelinedSchedule::new(4, vec![0, 1, 3, 5, 7, 11], vec![None; 6]);
         let m = Machine::example_pldi95();
         assert_eq!(s.validate(&g, &m), Ok(()));
     }

@@ -234,7 +234,9 @@ pub fn parse_loop(
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_alphanumeric() || c == '_')
 }
 
@@ -250,10 +252,7 @@ fn parse_operand(s: &str, line: usize) -> Result<(String, u32), ParseError> {
             .parse()
             .map_err(|_| err(line, format!("bad distance in `{s}`")))?;
         if d == 0 {
-            return Err(err(
-                line,
-                format!("`{s}`: distance 0 is just `{base}`"),
-            ));
+            return Err(err(line, format!("`{s}`: distance 0 is just `{base}`")));
         }
         return Ok((base.to_string(), d));
     }

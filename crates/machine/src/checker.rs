@@ -227,10 +227,12 @@ pub fn check_capacity_only(
     for (class_idx, stage, residue) in keys {
         let used = demand[&(class_idx, stage, residue)];
         let class = OpClass::new(class_idx);
-        let available = machine
-            .fu_type(class)
-            .expect("validated above")
-            .count;
+        // Every key came from an op whose class resolved above; if the
+        // lookup still fails, report it rather than crash the checker.
+        let Ok(fu_type) = machine.fu_type(class) else {
+            return Err(ConflictError::UnknownClass { op: usize::MAX });
+        };
+        let available = fu_type.count;
         if used > available {
             return Err(ConflictError::CapacityExceeded {
                 class,
@@ -369,7 +371,9 @@ mod tests {
         let m = Machine::example_pldi95();
         let ops = [fp(0, None), fp(0, None), fp(0, None)];
         match check_capacity_only(&m, 4, &ops) {
-            Err(ConflictError::CapacityExceeded { used, available, .. }) => {
+            Err(ConflictError::CapacityExceeded {
+                used, available, ..
+            }) => {
                 assert_eq!((used, available), (3, 2));
             }
             other => panic!("expected capacity error, got {other:?}"),

@@ -92,8 +92,7 @@ pub fn parse_machine(source: &str) -> Result<(String, Machine), MachineParseErro
     if units.is_empty() {
         return Err(err(1, "machine has no units"));
     }
-    let machine = Machine::new(units)
-        .map_err(|e| err(1, format!("invalid machine: {e}")))?;
+    let machine = Machine::new(units).map_err(|e| err(1, format!("invalid machine: {e}")))?;
     Ok((name, machine))
 }
 
@@ -173,18 +172,14 @@ fn parse_unit(line: &str, line_no: usize) -> Result<FuType, MachineParseError> {
                 )
             })?
         }
-        (Some(s), Some(_)) => {
-            return Err(err(line_no, format!("`{s}` and `table[...]` conflict")))
-        }
+        (Some(s), Some(_)) => return Err(err(line_no, format!("`{s}` and `table[...]` conflict"))),
         (None, None) => {
             return Err(err(
                 line_no,
                 "unit needs `clean`, `nonpipelined`, or `table[...]`",
             ))
         }
-        (Some(other), None) => {
-            return Err(err(line_no, format!("unknown shape `{other}`")))
-        }
+        (Some(other), None) => return Err(err(line_no, format!("unknown shape `{other}`"))),
     };
     Ok(FuType {
         name,
@@ -248,11 +243,9 @@ mod tests {
         let e =
             parse_machine("machine m {\n unit A count=1 latency=2 table[X. / X]\n}").unwrap_err();
         assert!(e.message.contains("reservation table"));
-        let e =
-            parse_machine("machine m {\n unit A count=1 latency=2 table[.X]\n}").unwrap_err();
+        let e = parse_machine("machine m {\n unit A count=1 latency=2 table[.X]\n}").unwrap_err();
         assert!(e.message.contains("reservation table")); // idle at issue
-        let e =
-            parse_machine("machine m {\n unit A count=1 latency=2 table[XQ]\n}").unwrap_err();
+        let e = parse_machine("machine m {\n unit A count=1 latency=2 table[XQ]\n}").unwrap_err();
         assert!(e.message.contains("bad table char"));
     }
 

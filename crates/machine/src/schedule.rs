@@ -14,10 +14,10 @@
 //! reproduces exactly this factoring; Figure 3 of the paper is
 //! regenerated from it.
 
-use std::fmt;
-use swp_ddg::{Ddg, NodeId};
 use crate::checker::{check_capacity_only, check_fixed_assignment, ConflictError, PlacedOp};
 use crate::machine::Machine;
+use std::fmt;
+use swp_ddg::{Ddg, NodeId};
 
 /// A software-pipelined schedule of one loop.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -236,7 +236,11 @@ impl PipelinedSchedule {
         let mut out = Vec::new();
         for j in 0..iterations {
             for (i, &t) in self.start_times.iter().enumerate() {
-                out.push((j, NodeId::from_index(i), j as u64 * self.period as u64 + t as u64));
+                out.push((
+                    j,
+                    NodeId::from_index(i),
+                    j as u64 * self.period as u64 + t as u64,
+                ));
             }
         }
         out.sort_by_key(|&(j, n, c)| (c, j, n));
@@ -252,8 +256,8 @@ impl PipelinedSchedule {
         let per_edge: Vec<u32> = ddg
             .edges()
             .map(|e| {
-                let diff = self.start_times[e.dst.index()] as i64
-                    - self.start_times[e.src.index()] as i64;
+                let diff =
+                    self.start_times[e.dst.index()] as i64 - self.start_times[e.src.index()] as i64;
                 let ceil_div = diff.div_euclid(t) + i64::from(diff.rem_euclid(t) != 0);
                 (ceil_div + e.distance as i64).max(0) as u32
             })
@@ -273,7 +277,11 @@ impl PipelinedSchedule {
 
 impl fmt::Display for Matrices {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "T = {}, t = {:?}, K = {:?}\nA =\n", self.period, self.t, self.k)?;
+        write!(
+            f,
+            "T = {}, t = {:?}, K = {:?}\nA =\n",
+            self.period, self.t, self.k
+        )?;
         for row in &self.a {
             write!(f, "  [")?;
             for (i, v) in row.iter().enumerate() {
@@ -306,7 +314,7 @@ mod tests {
     fn matrices_match_paper_figure_3() {
         let m = schedule_b().matrices();
         assert_eq!(m.k, vec![0, 0, 0, 1, 1, 2]); // paper's K
-        // offsets: [0,1,3,1,3,3]
+                                                 // offsets: [0,1,3,1,3,3]
         assert_eq!(m.a[0], vec![1, 0, 0, 0, 0, 0]);
         assert_eq!(m.a[1], vec![0, 1, 0, 1, 0, 0]); // row shown in the paper
         assert_eq!(m.a[2], vec![0, 0, 0, 0, 0, 0]);

@@ -34,6 +34,11 @@ pub enum UnitPolicy {
 /// A simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
+    /// The DDG references a class the machine does not define.
+    UnknownClass {
+        /// Class index without a unit type.
+        class: usize,
+    },
     /// Fixed policy on an unmapped schedule.
     NotMapped {
         /// Node index without an assignment.
@@ -64,8 +69,14 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            SimError::UnknownClass { class } => {
+                write!(f, "machine does not define op class {class}")
+            }
             SimError::NotMapped { node } => {
-                write!(f, "fixed-unit simulation needs a mapped schedule (node {node})")
+                write!(
+                    f,
+                    "fixed-unit simulation needs a mapped schedule (node {node})"
+                )
             }
             SimError::Collision {
                 cycle,
@@ -150,10 +161,7 @@ pub fn simulate(
         .types()
         .iter()
         .map(|f| {
-            vec![
-                vec![vec![false; horizon as usize]; f.reservation.stages()];
-                f.count as usize
-            ]
+            vec![vec![vec![false; horizon as usize]; f.reservation.stages()]; f.count as usize]
         })
         .collect();
 
@@ -162,11 +170,7 @@ pub fn simulate(
     let mut events: Vec<(u64, usize, u32)> = Vec::new(); // (cycle, node, iteration)
     for j in 0..iterations {
         for (id, _) in ddg.nodes() {
-            events.push((
-                j as u64 * t + schedule.start_time(id) as u64,
-                id.index(),
-                j,
-            ));
+            events.push((j as u64 * t + schedule.start_time(id) as u64, id.index(), j));
         }
     }
     events.sort_unstable();
@@ -175,7 +179,9 @@ pub fn simulate(
     for (cycle, node, iteration) in events {
         let id = swp_ddg::NodeId::from_index(node);
         let class = ddg.node(id).class;
-        let fu_type = machine.fu_type(class).expect("known class");
+        let fu_type = machine.fu_type(class).map_err(|_| SimError::UnknownClass {
+            class: class.index(),
+        })?;
         let rt = &fu_type.reservation;
         let fits = |occ: &Vec<Vec<Vec<Vec<bool>>>>, fu: u32| {
             (0..rt.stages()).all(|s| {
@@ -191,8 +197,7 @@ pub fn simulate(
                     // Find the exact colliding cell for the report.
                     for s in 0..rt.stages() {
                         for l in rt.stage_offsets(s) {
-                            if occupancy[class.index()][fu as usize][s]
-                                [(cycle + l as u64) as usize]
+                            if occupancy[class.index()][fu as usize][s][(cycle + l as u64) as usize]
                             {
                                 return Err(SimError::Collision {
                                     cycle: cycle + l as u64,
@@ -207,13 +212,15 @@ pub fn simulate(
                 }
                 fu
             }
-            UnitPolicy::Dynamic => (0..fu_type.count)
-                .find(|&fu| fits(&occupancy, fu))
-                .ok_or(SimError::NoFreeUnit {
-                    cycle,
-                    node,
-                    iteration,
-                })?,
+            UnitPolicy::Dynamic => {
+                (0..fu_type.count)
+                    .find(|&fu| fits(&occupancy, fu))
+                    .ok_or(SimError::NoFreeUnit {
+                        cycle,
+                        node,
+                        iteration,
+                    })?
+            }
         };
         for s in 0..rt.stages() {
             for l in rt.stage_offsets(s) {

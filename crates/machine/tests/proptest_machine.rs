@@ -10,13 +10,14 @@ use swp_machine::{
 /// with some mark in column 0).
 fn arb_table() -> impl Strategy<Value = ReservationTable> {
     (1usize..=4, 1usize..=8).prop_flat_map(|(stages, cols)| {
-        proptest::collection::vec(proptest::collection::vec(any::<bool>(), cols), stages)
-            .prop_map(move |mut rows| {
+        proptest::collection::vec(proptest::collection::vec(any::<bool>(), cols), stages).prop_map(
+            move |mut rows| {
                 // Guarantee a mark at issue time.
                 rows[0][0] = true;
                 let refs: Vec<&[bool]> = rows.iter().map(|r| r.as_slice()).collect();
                 ReservationTable::from_rows(&refs).expect("shape is valid")
-            })
+            },
+        )
     })
 }
 

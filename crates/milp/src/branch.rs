@@ -8,8 +8,9 @@
 //! integral or nearly so, and rounding finds a schedule without descending
 //! the tree.
 
+use crate::budget::{Budget, Exhaustion};
 use crate::model::{Model, Sense, VarKind};
-use crate::simplex::{solve_lp, LpOutcome, LpProblem, FEAS_TOL};
+use crate::simplex::{solve_lp_with, LpOutcome, LpProblem, FEAS_TOL};
 use crate::SolveError;
 use std::time::{Duration, Instant};
 
@@ -32,6 +33,12 @@ pub struct SolveLimits {
     /// Prune nodes whose LP bound (in the *stated* objective direction)
     /// cannot improve on this value.
     pub objective_cutoff: Option<f64>,
+    /// Shared solve budget: wall-clock deadline, deterministic tick cap,
+    /// and cooperative cancellation (default: unlimited). One tick is
+    /// spent per simplex pivot, so the cap bounds total work across every
+    /// node LP; the cancel token stops the search within one check
+    /// interval with [`SolveError::Cancelled`].
+    pub budget: Budget,
 }
 
 impl Default for SolveLimits {
@@ -41,6 +48,7 @@ impl Default for SolveLimits {
             time_limit: None,
             stop_at_first_incumbent: false,
             objective_cutoff: None,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -56,6 +64,22 @@ impl SolveLimits {
     }
 }
 
+/// Why a branch-and-bound search stopped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StopReason {
+    /// The tree was exhausted: the answer is exact.
+    #[default]
+    Exhausted,
+    /// `stop_at_first_incumbent` fired.
+    FirstIncumbent,
+    /// The node limit was reached.
+    NodeLimit,
+    /// The [`SolveLimits::time_limit`] wall clock ran out.
+    TimeLimit,
+    /// The shared [`Budget`] tripped (deadline, tick cap, or cancel).
+    Budget(Exhaustion),
+}
+
 /// Counters describing a finished (or truncated) search.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SearchStats {
@@ -67,6 +91,8 @@ pub struct SearchStats {
     pub elapsed: Duration,
     /// Whether optimality was proven (search exhausted, not truncated).
     pub proven_optimal: bool,
+    /// What ended the search.
+    pub stop_reason: StopReason,
 }
 
 /// An integer-feasible solution of a [`Model`].
@@ -176,7 +202,11 @@ impl<'a> BranchBound<'a> {
 
     /// Stated-direction objective from a minimization objective value.
     fn stated(&self, min_obj: f64) -> f64 {
-        let v = if self.model.maximize { -min_obj } else { min_obj };
+        let v = if self.model.maximize {
+            -min_obj
+        } else {
+            min_obj
+        };
         v + self.model.obj_constant
     }
 
@@ -185,11 +215,14 @@ impl<'a> BranchBound<'a> {
     /// # Errors
     ///
     /// [`SolveError::Infeasible`] if no integer point exists,
-    /// [`SolveError::Unbounded`] if the root relaxation is unbounded, and
-    /// [`SolveError::LimitReached`] if limits were hit before any
-    /// integer-feasible point was found. If limits are hit *after* an
-    /// incumbent was found, that incumbent is returned with
-    /// `proven_optimal == false`.
+    /// [`SolveError::Unbounded`] if the root relaxation is unbounded,
+    /// [`SolveError::LimitReached`] if limits (node, time, or budget)
+    /// were hit before any integer-feasible point was found,
+    /// [`SolveError::Cancelled`] if the budget's cancel token fired, and
+    /// [`SolveError::Numerical`] if a node LP stalled. If node/time/
+    /// budget limits are hit *after* an incumbent was found, that
+    /// incumbent is returned with `proven_optimal == false` and the
+    /// tripping limit in [`SearchStats::stop_reason`].
     pub fn run(self) -> Result<MipSolution, SolveError> {
         let start = Instant::now();
         let (lo, hi) = self.root_bounds();
@@ -208,11 +241,24 @@ impl<'a> BranchBound<'a> {
         'search: while let Some(node) = stack.pop() {
             if stats.nodes >= self.limits.max_nodes {
                 truncated = true;
+                stats.stop_reason = StopReason::NodeLimit;
                 break;
             }
             if let Some(tl) = self.limits.time_limit {
                 if start.elapsed() >= tl {
                     truncated = true;
+                    stats.stop_reason = StopReason::TimeLimit;
+                    break;
+                }
+            }
+            // Full budget check at every node boundary so cancellation is
+            // honoured promptly even when node LPs are tiny.
+            match self.limits.budget.check() {
+                Ok(()) => {}
+                Err(Exhaustion::Cancelled) => return Err(SolveError::Cancelled),
+                Err(e) => {
+                    truncated = true;
+                    stats.stop_reason = StopReason::Budget(e);
                     break;
                 }
             }
@@ -224,17 +270,31 @@ impl<'a> BranchBound<'a> {
                 lo: node.lo.clone(),
                 hi: node.hi.clone(),
             };
-            let sol = match solve_lp(&lp) {
-                LpOutcome::Optimal(s) => s,
-                LpOutcome::Infeasible => continue,
-                LpOutcome::Unbounded => {
-                    if node.depth == 0 && self.int_vars.is_empty() {
-                        return Err(SolveError::Unbounded);
-                    }
-                    // An unbounded relaxation with integer variables still
-                    // means the MIP is unbounded or needs a bound; report it.
+            let sol = match solve_lp_with(&lp, &self.limits.budget) {
+                Ok(LpOutcome::Optimal(s)) => s,
+                Ok(LpOutcome::Infeasible) => continue,
+                Ok(LpOutcome::Unbounded) => {
+                    // An unbounded relaxation (with or without integer
+                    // variables) means the MIP is unbounded or needs a
+                    // bound; report it.
                     return Err(SolveError::Unbounded);
                 }
+                Err(SolveError::Cancelled) => return Err(SolveError::Cancelled),
+                Err(SolveError::LimitReached(_)) => {
+                    // Budget tripped mid-LP: keep whatever incumbent we have.
+                    truncated = true;
+                    stats.stop_reason = StopReason::Budget(
+                        // Distinguish deadline from ticks for the log; a
+                        // second check cannot un-trip.
+                        self.limits
+                            .budget
+                            .check()
+                            .err()
+                            .unwrap_or(Exhaustion::Deadline),
+                    );
+                    break;
+                }
+                Err(e) => return Err(e),
             };
             stats.lp_iterations += sol.iterations as u64;
 
@@ -269,12 +329,7 @@ impl<'a> BranchBound<'a> {
                     for &j in &self.int_vars {
                         x[j] = x[j].round();
                     }
-                    let obj: f64 = self
-                        .obj_min
-                        .iter()
-                        .zip(&x)
-                        .map(|(&c, &v)| c * v)
-                        .sum();
+                    let obj: f64 = self.obj_min.iter().zip(&x).map(|(&c, &v)| c * v).sum();
                     let better = incumbent
                         .as_ref()
                         .map(|(_, inc)| obj < *inc - 1e-9)
@@ -283,6 +338,7 @@ impl<'a> BranchBound<'a> {
                         incumbent = Some((x, obj));
                         if self.limits.stop_at_first_incumbent {
                             truncated = true;
+                            stats.stop_reason = StopReason::FirstIncumbent;
                             break 'search;
                         }
                     }
@@ -300,6 +356,7 @@ impl<'a> BranchBound<'a> {
                                 incumbent = Some((x, obj));
                                 if self.limits.stop_at_first_incumbent {
                                     truncated = true;
+                                    stats.stop_reason = StopReason::FirstIncumbent;
                                     break 'search;
                                 }
                             }

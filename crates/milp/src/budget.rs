@@ -1,0 +1,312 @@
+//! Shared solve budgets and cooperative cancellation.
+//!
+//! A [`Budget`] bounds how much work a solve is allowed to do along three
+//! independent axes:
+//!
+//! * a **wall-clock deadline** ([`Budget::deadline_in`]),
+//! * a **deterministic tick cap** ([`Budget::limit_ticks`]) — every inner
+//!   loop of the solvers (simplex pivots, branch-and-bound nodes, IMS
+//!   placements) counts as one tick, so tests can exhaust a budget
+//!   reproducibly without depending on machine speed,
+//! * a **cancel token** ([`Budget::cancel_token`]) — an `AtomicBool`
+//!   handle that any thread may fire to stop the solve cooperatively.
+//!
+//! Budgets are cheap to clone and clones share state: the tick counter
+//! and the cancel flag live behind `Arc`s, so work done through any clone
+//! counts against the same pool. [`Budget::restrict`] derives a *child*
+//! budget with a tighter deadline and/or tick allowance that still shares
+//! the parent's counter and cancel flag — the scheduling driver uses this
+//! to give each candidate period a slice of the global budget.
+//!
+//! The hot-path check is [`Budget::tick`]: it increments the shared
+//! counter, compares it against the cap, and consults the clock and the
+//! cancel flag only every [`CHECK_INTERVAL`] ticks, so budgeted inner
+//! loops stay branch-cheap. [`Budget::check`] performs the full check
+//! immediately without consuming a tick; loop boundaries (new B&B node,
+//! new candidate period) use it so cancellation is honoured within one
+//! check interval.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often (in ticks) [`Budget::tick`] consults the clock and the
+/// cancel flag. Exhaustion of the tick cap itself is always exact.
+pub const CHECK_INTERVAL: u64 = 64;
+
+/// Why a budget stopped a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Exhaustion {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The deterministic tick cap was consumed.
+    Ticks,
+    /// The [`CancelToken`] was fired.
+    Cancelled,
+}
+
+impl fmt::Display for Exhaustion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Exhaustion::Deadline => "deadline expired",
+            Exhaustion::Ticks => "tick budget consumed",
+            Exhaustion::Cancelled => "cancelled",
+        })
+    }
+}
+
+impl std::error::Error for Exhaustion {}
+
+/// Handle for cancelling a solve from another thread (or a signal
+/// handler, a timeout watchdog, …). Cloning shares the flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, unfired token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fires the token. Every budget sharing it reports
+    /// [`Exhaustion::Cancelled`] at its next check.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has been fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// A solve budget: deadline + tick cap + cancellation, shared by clones.
+///
+/// ```
+/// use swp_milp::budget::{Budget, Exhaustion};
+///
+/// let b = Budget::unlimited().limit_ticks(2);
+/// assert_eq!(b.tick(), Ok(()));
+/// assert_eq!(b.tick(), Ok(()));
+/// assert_eq!(b.tick(), Err(Exhaustion::Ticks));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    tick_limit: u64,
+    ticks: Arc<AtomicU64>,
+    cancelled: Arc<AtomicBool>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget with no deadline, no tick cap, and a fresh cancel flag.
+    pub fn unlimited() -> Self {
+        Budget {
+            deadline: None,
+            tick_limit: u64::MAX,
+            ticks: Arc::new(AtomicU64::new(0)),
+            cancelled: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// An unlimited budget except for a wall-clock deadline `d` from now.
+    pub fn with_deadline(d: Duration) -> Self {
+        Budget::unlimited().deadline_in(d)
+    }
+
+    /// An unlimited budget except for a cap of `n` ticks.
+    pub fn with_tick_limit(n: u64) -> Self {
+        Budget::unlimited().limit_ticks(n)
+    }
+
+    /// Tightens the deadline to at most `d` from now.
+    pub fn deadline_in(mut self, d: Duration) -> Self {
+        let new = Instant::now().checked_add(d);
+        self.deadline = match (self.deadline, new) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self
+    }
+
+    /// Tightens the tick cap so at most `n` *further* ticks may be spent.
+    pub fn limit_ticks(mut self, n: u64) -> Self {
+        let used = self.ticks.load(Ordering::Relaxed);
+        self.tick_limit = self.tick_limit.min(used.saturating_add(n));
+        self
+    }
+
+    /// Derives a child budget sharing this budget's tick counter and
+    /// cancel flag, optionally tightened by a relative deadline and/or an
+    /// additional-tick allowance. The child can never outlive the parent:
+    /// its deadline and cap are the minimum of both.
+    pub fn restrict(&self, deadline: Option<Duration>, extra_ticks: Option<u64>) -> Budget {
+        let mut child = self.clone();
+        if let Some(d) = deadline {
+            child = child.deadline_in(d);
+        }
+        if let Some(n) = extra_ticks {
+            child = child.limit_ticks(n);
+        }
+        child
+    }
+
+    /// A handle that cancels every budget sharing this one's flag.
+    pub fn cancel_token(&self) -> CancelToken {
+        CancelToken {
+            flag: Arc::clone(&self.cancelled),
+        }
+    }
+
+    /// Ticks spent so far across all clones.
+    pub fn ticks_used(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Whether no axis of this budget can ever trip (ignoring the cancel
+    /// flag, which is always live).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.tick_limit == u64::MAX
+    }
+
+    /// Spends one tick.
+    ///
+    /// The tick cap is enforced exactly; the clock and the cancel flag
+    /// are consulted every [`CHECK_INTERVAL`] ticks (call [`check`] at
+    /// loop boundaries for an immediate full check).
+    ///
+    /// [`check`]: Budget::check
+    ///
+    /// # Errors
+    ///
+    /// The [`Exhaustion`] that tripped, if any.
+    #[inline]
+    pub fn tick(&self) -> Result<(), Exhaustion> {
+        let t = self.ticks.fetch_add(1, Ordering::Relaxed);
+        if t >= self.tick_limit {
+            return Err(Exhaustion::Ticks);
+        }
+        if t % CHECK_INTERVAL == 0 {
+            return self.check();
+        }
+        Ok(())
+    }
+
+    /// Checks the cancel flag and the deadline immediately, without
+    /// consuming a tick.
+    ///
+    /// # Errors
+    ///
+    /// The [`Exhaustion`] that tripped, if any.
+    pub fn check(&self) -> Result<(), Exhaustion> {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Err(Exhaustion::Cancelled);
+        }
+        if self.ticks.load(Ordering::Relaxed) >= self.tick_limit {
+            return Err(Exhaustion::Ticks);
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Err(Exhaustion::Deadline);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = Budget::unlimited();
+        for _ in 0..10_000 {
+            assert_eq!(b.tick(), Ok(()));
+        }
+        assert_eq!(b.check(), Ok(()));
+    }
+
+    #[test]
+    fn tick_cap_is_exact() {
+        let b = Budget::with_tick_limit(5);
+        for _ in 0..5 {
+            assert_eq!(b.tick(), Ok(()));
+        }
+        assert_eq!(b.tick(), Err(Exhaustion::Ticks));
+        assert_eq!(b.check(), Err(Exhaustion::Ticks));
+    }
+
+    #[test]
+    fn clones_share_the_tick_pool() {
+        let a = Budget::with_tick_limit(3);
+        let b = a.clone();
+        assert_eq!(a.tick(), Ok(()));
+        assert_eq!(b.tick(), Ok(()));
+        assert_eq!(a.tick(), Ok(()));
+        assert_eq!(b.tick(), Err(Exhaustion::Ticks));
+    }
+
+    #[test]
+    fn expired_deadline_trips_check() {
+        let b = Budget::with_deadline(Duration::ZERO);
+        assert_eq!(b.check(), Err(Exhaustion::Deadline));
+    }
+
+    #[test]
+    fn cancellation_beats_other_axes() {
+        let b = Budget::with_deadline(Duration::ZERO);
+        b.cancel_token().cancel();
+        assert_eq!(b.check(), Err(Exhaustion::Cancelled));
+    }
+
+    #[test]
+    fn cancel_token_reaches_all_clones() {
+        let a = Budget::unlimited();
+        let b = a.restrict(Some(Duration::from_secs(3600)), Some(1_000));
+        a.cancel_token().cancel();
+        assert_eq!(b.check(), Err(Exhaustion::Cancelled));
+        assert!(a.cancel_token().is_cancelled());
+    }
+
+    #[test]
+    fn restrict_takes_the_tighter_cap() {
+        let parent = Budget::with_tick_limit(10);
+        let child = parent.restrict(None, Some(100));
+        assert_eq!(child.tick_limit, 10);
+        let child2 = parent.restrict(None, Some(4));
+        for _ in 0..4 {
+            assert_eq!(child2.tick(), Ok(()));
+        }
+        assert_eq!(child2.tick(), Err(Exhaustion::Ticks));
+        // The parent saw those ticks too.
+        assert!(parent.ticks_used() >= 4);
+    }
+
+    #[test]
+    fn cancellation_noticed_within_one_check_interval() {
+        let b = Budget::unlimited();
+        b.tick().unwrap(); // desynchronize from the interval boundary
+        b.cancel_token().cancel();
+        let mut spent = 0u64;
+        loop {
+            match b.tick() {
+                Ok(()) => spent += 1,
+                Err(e) => {
+                    assert_eq!(e, Exhaustion::Cancelled);
+                    break;
+                }
+            }
+            assert!(spent <= CHECK_INTERVAL, "cancellation ignored too long");
+        }
+    }
+}

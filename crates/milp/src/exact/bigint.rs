@@ -180,11 +180,15 @@ impl BigInt {
                 q[i] = (cur / d) as u32;
                 rem = cur % d;
             }
-            let r = if rem == 0 { Vec::new() } else { vec![rem as u32] };
+            let r = if rem == 0 {
+                Vec::new()
+            } else {
+                vec![rem as u32]
+            };
             return (Self::trim(q), r);
         }
         // Knuth Algorithm D.
-        let shift = b.last().unwrap().leading_zeros();
+        let shift = b.last().map_or(0, |w| w.leading_zeros());
         let bn = shl_bits(b, shift);
         let mut an = shl_bits(a, shift);
         an.push(0); // room for the extra limb
@@ -198,8 +202,7 @@ impl BigInt {
             let mut qhat = num / btop;
             let mut rhat = num % btop;
             while qhat >= 1u64 << 32
-                || qhat as u128 * bsec as u128
-                    > (((rhat as u128) << 32) | an[j + n - 2] as u128)
+                || qhat as u128 * bsec as u128 > (((rhat as u128) << 32) | an[j + n - 2] as u128)
             {
                 qhat -= 1;
                 rhat += btop;
@@ -346,7 +349,10 @@ impl From<i64> for BigInt {
             mag.push(u as u32);
             u >>= 32;
         }
-        BigInt { neg: neg && !mag.is_empty(), mag }
+        BigInt {
+            neg: neg && !mag.is_empty(),
+            mag,
+        }
     }
 }
 
@@ -384,9 +390,7 @@ impl Add for &BigInt {
                 Ordering::Greater => {
                     BigInt::from_mag(self.neg, BigInt::sub_mag(&self.mag, &rhs.mag))
                 }
-                Ordering::Less => {
-                    BigInt::from_mag(rhs.neg, BigInt::sub_mag(&rhs.mag, &self.mag))
-                }
+                Ordering::Less => BigInt::from_mag(rhs.neg, BigInt::sub_mag(&rhs.mag, &self.mag)),
             }
         }
     }
@@ -471,7 +475,7 @@ impl fmt::Display for BigInt {
         if self.neg {
             f.write_str("-")?;
         }
-        write!(f, "{}", chunks.last().unwrap())?;
+        write!(f, "{}", chunks.last().copied().unwrap_or(0))?;
         for c in chunks.iter().rev().skip(1) {
             write!(f, "{c:09}")?;
         }
@@ -505,7 +509,10 @@ mod tests {
     #[test]
     fn display_matches_known_values() {
         assert_eq!(BigInt::from(0i64).to_string(), "0");
-        assert_eq!(BigInt::from(-1234567890123i64).to_string(), "-1234567890123");
+        assert_eq!(
+            BigInt::from(-1234567890123i64).to_string(),
+            "-1234567890123"
+        );
         let big = &BigInt::from(1_000_000_007i64) * &BigInt::from(1_000_000_007i64);
         assert_eq!(big.to_string(), "1000000014000000049");
     }
@@ -513,7 +520,15 @@ mod tests {
     #[test]
     fn arithmetic_agrees_with_i128() {
         let samples: &[i64] = &[
-            0, 1, -1, 7, -13, 1 << 20, -(1 << 31), 1 << 33, 999_999_999_999,
+            0,
+            1,
+            -1,
+            7,
+            -13,
+            1 << 20,
+            -(1 << 31),
+            1 << 33,
+            999_999_999_999,
         ];
         for &a in samples {
             for &b in samples {
@@ -556,7 +571,10 @@ mod tests {
             BigInt::from(48i64).gcd(&BigInt::from(-18i64)),
             BigInt::from(6i64)
         );
-        assert_eq!(BigInt::from(0i64).gcd(&BigInt::from(5i64)), BigInt::from(5i64));
+        assert_eq!(
+            BigInt::from(0i64).gcd(&BigInt::from(5i64)),
+            BigInt::from(5i64)
+        );
     }
 
     #[test]

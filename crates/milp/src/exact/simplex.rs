@@ -49,13 +49,7 @@ impl ExactLp {
             rows: p
                 .rows
                 .iter()
-                .map(|(t, s, b)| {
-                    (
-                        t.iter().map(|&(j, c)| (j, cvt(c))).collect(),
-                        *s,
-                        cvt(*b),
-                    )
-                })
+                .map(|(t, s, b)| (t.iter().map(|&(j, c)| (j, cvt(c))).collect(), *s, cvt(*b)))
                 .collect(),
             lo: p.lo.iter().map(|&v| bound(v)).collect(),
             hi: p.hi.iter().map(|&v| bound(v)).collect(),
@@ -162,7 +156,7 @@ fn bland(t: &mut Tab, cost: &[BigRat], col_limit: usize) -> End {
                 let take = match &best {
                     None => true,
                     Some(b) => {
-                        ratio < *b || (ratio == *b && t.basis[r] < t.basis[pr.unwrap()])
+                        ratio < *b || (ratio == *b && pr.map_or(true, |p| t.basis[r] < t.basis[p]))
                     }
                 };
                 if take {
@@ -218,8 +212,7 @@ pub fn solve_lp_exact(p: &ExactLp) -> ExactOutcome {
     let nstruct = next;
 
     // Dense rows.
-    let mut rows: Vec<(Vec<BigRat>, Sense, BigRat)> =
-        Vec::with_capacity(p.rows.len() + ub_rows);
+    let mut rows: Vec<(Vec<BigRat>, Sense, BigRat)> = Vec::with_capacity(p.rows.len() + ub_rows);
     let fixed_val = |j: usize| p.lo[j].clone().expect("fixed has lo");
     for (terms, sense, rhs) in &p.rows {
         let mut dense = vec![BigRat::zero(); nstruct];

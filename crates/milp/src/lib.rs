@@ -39,12 +39,14 @@
 #![warn(missing_docs)]
 
 pub mod branch;
+pub mod budget;
 pub mod exact;
 mod lpwrite;
 pub mod model;
 pub mod simplex;
 
-pub use branch::{BranchBound, MipSolution, SearchStats, SolveLimits};
+pub use branch::{BranchBound, MipSolution, SearchStats, SolveLimits, StopReason};
+pub use budget::{Budget, CancelToken, Exhaustion};
 pub use model::{ConstrId, LinExpr, Model, Sense, VarId, VarKind};
 pub use simplex::{LpOutcome, LpSolution};
 
@@ -58,12 +60,20 @@ pub enum SolveError {
     Infeasible,
     /// The objective is unbounded over the feasible region.
     Unbounded,
-    /// The node or time limit was reached before optimality was proven.
+    /// The node, time, or tick limit was reached before optimality was
+    /// proven.
     ///
     /// Carries the best incumbent objective found, if any.
     LimitReached(Option<f64>),
     /// The model is malformed (e.g. a variable bound with `lo > hi`).
     BadModel(String),
+    /// The `f64` pipeline lost numerical traction (a simplex stall or
+    /// cycling that even the Bland fallback could not resolve). The model
+    /// itself may be fine; callers should fall back to another engine.
+    Numerical(String),
+    /// A [`CancelToken`] fired mid-solve; the search stopped
+    /// cooperatively without a usable answer.
+    Cancelled,
 }
 
 impl fmt::Display for SolveError {
@@ -75,11 +85,25 @@ impl fmt::Display for SolveError {
                 write!(f, "search limit reached with an unproven incumbent")
             }
             SolveError::LimitReached(None) => {
-                write!(f, "search limit reached before any feasible point was found")
+                write!(
+                    f,
+                    "search limit reached before any feasible point was found"
+                )
             }
             SolveError::BadModel(msg) => write!(f, "malformed model: {msg}"),
+            SolveError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            SolveError::Cancelled => write!(f, "solve cancelled"),
         }
     }
 }
 
 impl Error for SolveError {}
+
+impl From<Exhaustion> for SolveError {
+    fn from(e: Exhaustion) -> Self {
+        match e {
+            Exhaustion::Cancelled => SolveError::Cancelled,
+            Exhaustion::Deadline | Exhaustion::Ticks => SolveError::LimitReached(None),
+        }
+    }
+}

@@ -28,7 +28,11 @@ impl Model {
             self.num_vars(),
             self.num_constrs()
         );
-        s.push_str(if self.is_maximize() { "Maximize\n" } else { "Minimize\n" });
+        s.push_str(if self.is_maximize() {
+            "Maximize\n"
+        } else {
+            "Minimize\n"
+        });
         s.push_str(" obj:");
         let mut any = false;
         for (i, &c) in self.obj.iter().enumerate() {
@@ -119,14 +123,28 @@ mod tests {
         let mut m = Model::new();
         let x = m.add_binary("pick");
         let y = m.add_var(VarKind::Integer, 0.0, 9.0, "count");
-        let z = m.add_var(VarKind::Continuous, f64::NEG_INFINITY, f64::INFINITY, "slack");
+        let z = m.add_var(
+            VarKind::Continuous,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            "slack",
+        );
         m.minimize([(x, 1.0), (y, 2.0)]);
         m.add_constr([(x, 1.0), (y, -1.0), (z, 0.5)], Sense::Ge, -3.0);
         let text = m.to_lp_format();
-        let order = ["Minimize", "Subject To", "Bounds", "Binaries", "Generals", "End"];
+        let order = [
+            "Minimize",
+            "Subject To",
+            "Bounds",
+            "Binaries",
+            "Generals",
+            "End",
+        ];
         let mut last = 0;
         for section in order {
-            let pos = text.find(section).unwrap_or_else(|| panic!("missing {section}"));
+            let pos = text
+                .find(section)
+                .unwrap_or_else(|| panic!("missing {section}"));
             assert!(pos >= last, "{section} out of order");
             last = pos;
         }

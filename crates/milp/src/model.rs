@@ -255,13 +255,7 @@ impl Model {
     /// Adds a variable and returns its handle.
     ///
     /// For [`VarKind::Binary`], bounds are intersected with `[0, 1]`.
-    pub fn add_var(
-        &mut self,
-        kind: VarKind,
-        lo: f64,
-        hi: f64,
-        name: impl Into<String>,
-    ) -> VarId {
+    pub fn add_var(&mut self, kind: VarKind, lo: f64, hi: f64, name: impl Into<String>) -> VarId {
         let (lo, hi) = match kind {
             VarKind::Binary => (lo.max(0.0), hi.min(1.0)),
             _ => (lo, hi),
@@ -413,7 +407,9 @@ impl Model {
         }
         for &c in &self.obj {
             if !c.is_finite() {
-                return Err(SolveError::BadModel("non-finite objective coefficient".into()));
+                return Err(SolveError::BadModel(
+                    "non-finite objective coefficient".into(),
+                ));
             }
         }
         Ok(())

@@ -14,7 +14,9 @@
 // Tableau arithmetic is clearer with explicit indices.
 #![allow(clippy::needless_range_loop)]
 
+use crate::budget::{Budget, Exhaustion};
 use crate::model::Sense;
+use crate::SolveError;
 
 /// Feasibility tolerance used throughout the `f64` pipeline.
 pub const FEAS_TOL: f64 = 1e-7;
@@ -137,16 +139,41 @@ impl Tableau {
     }
 }
 
-/// Solves the LP by two-phase dense primal simplex.
+/// Solves the LP by two-phase dense primal simplex, unbudgeted.
 ///
 /// Column bounds with `lo > hi` (to within [`FEAS_TOL`]) yield
 /// [`LpOutcome::Infeasible`] immediately — branch-and-bound relies on this
 /// when a branch empties a variable's domain.
+///
+/// If the pivot cap is ever exhausted (essentially unreachable thanks to
+/// the Bland fallback), the current vertex is reported as optimal, as
+/// this entry point predates stall detection; budget-aware callers should
+/// use [`solve_lp_with`], which reports such stalls as
+/// [`SolveError::Numerical`] instead.
 pub fn solve_lp(p: &LpProblem) -> LpOutcome {
+    // A fresh unlimited budget cannot trip, so the only possible error is
+    // unreachable; Infeasible is the safe fallback if it ever were not.
+    solve_lp_impl(p, &Budget::unlimited(), false).unwrap_or(LpOutcome::Infeasible)
+}
+
+/// Solves the LP under a [`Budget`], with strict stall detection.
+///
+/// # Errors
+///
+/// * [`SolveError::LimitReached`] — the budget's deadline or tick cap
+///   tripped mid-solve (one tick is spent per simplex pivot);
+/// * [`SolveError::Cancelled`] — the budget's cancel token fired;
+/// * [`SolveError::Numerical`] — the pivot cap was exhausted without
+///   convergence (a stall or cycling even Bland's rule did not resolve).
+pub fn solve_lp_with(p: &LpProblem, budget: &Budget) -> Result<LpOutcome, SolveError> {
+    solve_lp_impl(p, budget, true)
+}
+
+fn solve_lp_impl(p: &LpProblem, budget: &Budget, strict: bool) -> Result<LpOutcome, SolveError> {
     let ncols = p.num_cols();
     for j in 0..ncols {
         if p.lo[j] > p.hi[j] + FEAS_TOL {
-            return LpOutcome::Infeasible;
+            return Ok(LpOutcome::Infeasible);
         }
     }
 
@@ -243,7 +270,7 @@ pub fn solve_lp(p: &LpProblem) -> LpOutcome {
         .iter()
         .any(|(dense, _, _)| dense.iter().all(|&c| c == 0.0))
     {
-        return LpOutcome::Infeasible;
+        return Ok(LpOutcome::Infeasible);
     }
 
     let m = rows.len();
@@ -253,7 +280,7 @@ pub fn solve_lp(p: &LpProblem) -> LpOutcome {
     for (_, sense, b) in &rows {
         let bneg = *b < 0.0;
         match (sense, bneg) {
-            (Sense::Le, false) => nslack += 1,              // +slack basic
+            (Sense::Le, false) => nslack += 1, // +slack basic
             (Sense::Le, true) => {
                 nslack += 1;
                 nart += 1;
@@ -320,9 +347,15 @@ pub fn solve_lp(p: &LpProblem) -> LpOutcome {
         for &c in &art_cols {
             cost[c] = 1.0;
         }
-        match run_simplex(&mut t, &cost, &mut iterations) {
+        match run_simplex(&mut t, &cost, &mut iterations, budget).map_err(SolveError::from)? {
             SimplexEnd::Optimal => {}
-            SimplexEnd::Unbounded => return LpOutcome::Infeasible, // cannot happen; safe
+            SimplexEnd::Unbounded => return Ok(LpOutcome::Infeasible), // cannot happen; safe
+            SimplexEnd::Stalled if strict => {
+                return Err(SolveError::Numerical(
+                    "phase-1 simplex stalled: pivot cap exhausted without convergence".into(),
+                ))
+            }
+            SimplexEnd::Stalled => {} // legacy: accept the current vertex
         }
         let phase1: f64 = t
             .basis
@@ -332,14 +365,12 @@ pub fn solve_lp(p: &LpProblem) -> LpOutcome {
             .map(|(_, &v)| v)
             .sum();
         if phase1 > 1e-6 {
-            return LpOutcome::Infeasible;
+            return Ok(LpOutcome::Infeasible);
         }
         // Drive remaining artificials out of the basis where possible.
         for r in 0..m {
             if art_cols.contains(&t.basis[r]) {
-                if let Some(pc) = (0..nstruct + nslack)
-                    .find(|&c| t.at(r, c).abs() > PIVOT_TOL)
-                {
+                if let Some(pc) = (0..nstruct + nslack).find(|&c| t.at(r, c).abs() > PIVOT_TOL) {
                     t.pivot(r, pc);
                 }
                 // If no pivot exists the row is redundant (all zeros); the
@@ -368,9 +399,17 @@ pub fn solve_lp(p: &LpProblem) -> LpOutcome {
     }
     // Forbid artificials from re-entering.
     let art_start = nstruct + nslack;
-    match run_simplex_restricted(&mut t, &cost, art_start, &mut iterations) {
+    match run_simplex_restricted(&mut t, &cost, art_start, &mut iterations, budget)
+        .map_err(SolveError::from)?
+    {
         SimplexEnd::Optimal => {}
-        SimplexEnd::Unbounded => return LpOutcome::Unbounded,
+        SimplexEnd::Unbounded => return Ok(LpOutcome::Unbounded),
+        SimplexEnd::Stalled if strict => {
+            return Err(SolveError::Numerical(
+                "phase-2 simplex stalled: pivot cap exhausted without convergence".into(),
+            ))
+        }
+        SimplexEnd::Stalled => {} // legacy: accept the current vertex
     }
 
     // --- Extract structural values. ---
@@ -388,30 +427,42 @@ pub fn solve_lp(p: &LpProblem) -> LpOutcome {
         };
         objective += p.obj[j] * x[j];
     }
-    LpOutcome::Optimal(LpSolution {
+    Ok(LpOutcome::Optimal(LpSolution {
         x,
         objective,
         iterations,
-    })
+    }))
 }
 
 enum SimplexEnd {
     Optimal,
     Unbounded,
+    /// The pivot cap ran out before the reduced costs turned non-negative.
+    Stalled,
 }
 
-fn run_simplex(t: &mut Tableau, cost: &[f64], iterations: &mut usize) -> SimplexEnd {
+fn run_simplex(
+    t: &mut Tableau,
+    cost: &[f64],
+    iterations: &mut usize,
+    budget: &Budget,
+) -> Result<SimplexEnd, Exhaustion> {
     let n = t.n;
-    run_simplex_restricted(t, cost, n, iterations)
+    run_simplex_restricted(t, cost, n, iterations, budget)
 }
 
 /// Simplex iterations with entering columns restricted to `0..col_limit`.
+///
+/// One budget tick is spent per pivot, so a tick cap bounds the work
+/// deterministically and a fired cancel token stops the loop within one
+/// check interval.
 fn run_simplex_restricted(
     t: &mut Tableau,
     cost: &[f64],
     col_limit: usize,
     iterations: &mut usize,
-) -> SimplexEnd {
+    budget: &Budget,
+) -> Result<SimplexEnd, Exhaustion> {
     let m = t.m;
     let n = t.n;
     // Reduced costs maintained as an explicit objective row.
@@ -427,6 +478,7 @@ fn run_simplex_restricted(
     let mut degen_run = 0usize;
     let max_iter = 50 * (m + n).max(200);
     for _ in 0..max_iter {
+        budget.tick()?;
         let bland = degen_run >= DEGEN_SWITCH;
         // Entering column.
         let mut pc = usize::MAX;
@@ -447,7 +499,7 @@ fn run_simplex_restricted(
             }
         }
         if pc == usize::MAX {
-            return SimplexEnd::Optimal;
+            return Ok(SimplexEnd::Optimal);
         }
         // Ratio test.
         let mut pr = usize::MAX;
@@ -466,7 +518,7 @@ fn run_simplex_restricted(
             }
         }
         if pr == usize::MAX {
-            return SimplexEnd::Unbounded;
+            return Ok(SimplexEnd::Unbounded);
         }
         if best_ratio.abs() <= 1e-12 {
             degen_run += 1;
@@ -484,10 +536,11 @@ fn run_simplex_restricted(
         }
         *iterations += 1;
     }
-    // Iteration budget exhausted: treat the current vertex as optimal-ish.
-    // This is extremely rare with the Bland fallback; callers re-verify
-    // feasibility of the point regardless.
-    SimplexEnd::Optimal
+    // Pivot cap exhausted: extremely rare with the Bland fallback. The
+    // caller decides whether to surface this as a numerical failure
+    // (strict mode) or to accept the current vertex (legacy `solve_lp`,
+    // where feasibility is re-verified regardless).
+    Ok(SimplexEnd::Stalled)
 }
 
 #[cfg(test)]

@@ -30,8 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A representative subset keeps the demo around a minute; drop the
     // filter to sweep every kernel.
     let picks = [
-        "daxpy", "ddot", "livermore5", "livermore11", "stencil3", "horner",
-        "matvec_inner", "newton_recip",
+        "daxpy",
+        "ddot",
+        "livermore5",
+        "livermore11",
+        "stencil3",
+        "horner",
+        "matvec_inner",
+        "newton_recip",
     ];
     for k in kernels::all(&machine, conv)
         .into_iter()
@@ -45,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // with the exact chromatic demand of the final placement.
         let ops = r.schedule.placed_ops(&k.ddg);
         let overlap = OverlapGraph::build(&machine, r.schedule.initiation_interval(), &ops);
-        let demand = overlap.min_units().expect("mapped schedules never self-collide");
+        let demand = overlap
+            .min_units()
+            .expect("mapped schedules never self-collide");
         let used = |class: usize| {
             demand
                 .get(&swp::ddg::OpClass::new(class))

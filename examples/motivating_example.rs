@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )
     .schedule(&ddg)?;
     let t = capacity.schedule.initiation_interval();
-    println!("capacity-only ILP: T = {t}, t_i = {:?}", capacity.schedule.start_times());
+    println!(
+        "capacity-only ILP: T = {t}, t_i = {:?}",
+        capacity.schedule.start_times()
+    );
 
     // ...but no fixed assignment exists:
     let ops = capacity.schedule.placed_ops(&ddg);

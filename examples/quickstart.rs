@@ -35,6 +35,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         s.initiation_interval(),
         result.is_rate_optimal()
     );
+    match result.optimality {
+        swp::core::Optimality::Proven => {
+            println!("optimality: proven — every smaller period refuted")
+        }
+        swp::core::Optimality::BudgetExhausted { smallest_refuted } => println!(
+            "optimality: budget-limited — true optimum in [{smallest_refuted}, {}]",
+            s.initiation_interval()
+        ),
+    }
     for (id, node) in ddg.nodes() {
         println!(
             "  {:12} t = {:2}  offset = {}  stage k = {}  unit = {:?}",

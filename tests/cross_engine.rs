@@ -146,3 +146,62 @@ fn heuristic_incumbent_does_not_change_achieved_period() {
         );
     }
 }
+
+#[test]
+fn optimality_tags_are_honest_across_a_corpus() {
+    // Table-4-style reporting: under a deterministic tick budget each
+    // result must carry an honest tag — `Proven` only when every smaller
+    // period really was refuted, `BudgetExhausted` with a refutation
+    // frontier that brackets the true optimum.
+    use swp::core::{Budget, Optimality, PeriodOutcome};
+    let machine = Machine::example_pldi95();
+    let scheduler = RateOptimalScheduler::new(
+        machine.clone(),
+        SchedulerConfig {
+            time_limit_per_t: Some(Duration::from_secs(2)),
+            ..Default::default()
+        },
+    );
+    let (mut proven, mut limited) = (0usize, 0usize);
+    for (i, l) in corpus(16, 66).into_iter().enumerate() {
+        // Alternate generous and starved budgets over the corpus.
+        let budget = if i % 2 == 0 {
+            Budget::unlimited()
+        } else {
+            // A handful of ticks: enough to start, never enough to finish.
+            Budget::with_tick_limit(1 + (i as u64 % 4))
+        };
+        let Ok(r) = scheduler.schedule_with(&l.ddg, &budget) else {
+            continue;
+        };
+        assert_eq!(r.schedule.validate(&l.ddg, &machine), Ok(()), "{}", l.name);
+        let achieved = r.schedule.initiation_interval();
+        match r.optimality {
+            Optimality::Proven => {
+                proven += 1;
+                // Every attempted period below the achieved one is refuted.
+                for a in &r.attempts {
+                    if a.period < achieved {
+                        assert!(
+                            matches!(
+                                a.outcome,
+                                PeriodOutcome::Infeasible | PeriodOutcome::RejectedAtBuild
+                            ),
+                            "{}: period {} not refuted yet tagged Proven",
+                            l.name,
+                            a.period
+                        );
+                    }
+                }
+            }
+            Optimality::BudgetExhausted { smallest_refuted } => {
+                limited += 1;
+                assert!(smallest_refuted >= r.t_lb(), "{}", l.name);
+                assert!(smallest_refuted <= achieved, "{}", l.name);
+            }
+        }
+    }
+    // The corpus must exercise both kinds of reporting.
+    assert!(proven > 0, "no proven-optimal results in the corpus");
+    assert!(limited > 0, "no budget-limited results in the corpus");
+}

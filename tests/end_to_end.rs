@@ -120,8 +120,16 @@ fn clean_machine_periods_never_exceed_hazard_machine_periods() {
     let s_h = RateOptimalScheduler::new(hazard.clone(), SchedulerConfig::default());
     let s_c = RateOptimalScheduler::new(clean.clone(), SchedulerConfig::default());
     for k in kernels::all(&hazard, ClassConvention::example()) {
-        let th = s_h.schedule(&k.ddg).expect("hazard").schedule.initiation_interval();
-        let tc = s_c.schedule(&k.ddg).expect("clean").schedule.initiation_interval();
+        let th = s_h
+            .schedule(&k.ddg)
+            .expect("hazard")
+            .schedule
+            .initiation_interval();
+        let tc = s_c
+            .schedule(&k.ddg)
+            .expect("clean")
+            .schedule
+            .initiation_interval();
         assert!(tc <= th, "kernel {}: clean {tc} > hazard {th}", k.name);
     }
 }

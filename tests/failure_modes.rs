@@ -60,7 +60,11 @@ fn exhausted_period_range_reports_attempts() {
         ..Default::default()
     };
     match RateOptimalScheduler::new(machine, cfg).schedule(&g) {
-        Err(ScheduleError::NotFound { t_lb, t_max, attempts }) => {
+        Err(ScheduleError::NotFound {
+            t_lb,
+            t_max,
+            attempts,
+        }) => {
             assert_eq!(t_lb, t_max);
             assert_eq!(attempts.len(), 1);
         }
@@ -79,11 +83,7 @@ fn validator_rejects_forged_schedules() {
         Err(ValidationError::DependenceViolated { .. })
     ));
     // Satisfy dependences but overload the single Ld/St unit.
-    let overload = swp::machine::PipelinedSchedule::new(
-        4,
-        vec![0, 0, 3, 5, 7, 9],
-        vec![None; 6],
-    );
+    let overload = swp::machine::PipelinedSchedule::new(4, vec![0, 0, 3, 5, 7, 9], vec![None; 6]);
     assert!(matches!(
         overload.validate(&g, &machine),
         Err(ValidationError::Conflict(_))
@@ -102,7 +102,10 @@ fn loop_parser_rejects_garbage_gracefully() {
         "loop x {\n t = \n}",
         "loop x {\n t = fadd t@banana\n}",
     ] {
-        assert!(parse_loop(src, &machine, &conv).is_err(), "accepted: {src:?}");
+        assert!(
+            parse_loop(src, &machine, &conv).is_err(),
+            "accepted: {src:?}"
+        );
     }
 }
 
@@ -160,4 +163,231 @@ fn parsed_machine_and_loop_compose_end_to_end() {
     )
     .expect("runs");
     assert!(rep.rate > 0.0);
+}
+
+// --- Budget semantics, cancellation, and injected faults -------------------
+
+use proptest::prelude::*;
+use std::time::Instant;
+use swp::core::{Budget, FaultPlan, Optimality, PeriodOutcome, SolvedBy};
+
+/// Small well-formed loop on the 3-class example machines (same shape as
+/// the core pipeline proptests): forward edges keep distance 0 acyclic.
+fn arb_loop() -> impl Strategy<Value = Ddg> {
+    (2usize..7).prop_flat_map(|n| {
+        let classes = proptest::collection::vec(0usize..3, n);
+        let fwd = proptest::collection::vec(any::<u16>(), n - 1);
+        let carried = proptest::option::of((0..n, 1u32..3));
+        (classes, fwd, carried).prop_map(move |(classes, fwd, carried)| {
+            let mut g = Ddg::new();
+            let lat = [1u32, 2, 3];
+            let ids: Vec<_> = classes
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| g.add_node(format!("n{i}"), OpClass::new(c), lat[c]))
+                .collect();
+            for (i, &a) in fwd.iter().enumerate() {
+                let src = (a as usize) % (i + 1);
+                g.add_edge(ids[src], ids[i + 1], 0).expect("valid");
+            }
+            if let Some((k, d)) = carried {
+                g.add_edge(ids[k], ids[k], d).expect("valid");
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Starving the search of ticks must never panic and never leak an
+    /// unverified schedule: the result is either a checker-clean schedule
+    /// with an honest optimality tag, or a typed error.
+    #[test]
+    fn tiny_tick_budget_never_panics_never_lies(g in arb_loop(), ticks in 0u64..200) {
+        let machine = Machine::example_pldi95();
+        let budget = Budget::with_tick_limit(ticks);
+        match RateOptimalScheduler::new(machine.clone(), SchedulerConfig::default())
+            .schedule_with(&g, &budget)
+        {
+            Ok(r) => {
+                prop_assert_eq!(r.schedule.validate(&g, &machine), Ok(()));
+                if let Optimality::BudgetExhausted { smallest_refuted } = r.optimality {
+                    prop_assert!(smallest_refuted >= r.t_lb());
+                    prop_assert!(smallest_refuted <= r.schedule.initiation_interval());
+                }
+            }
+            Err(e) => {
+                // Typed and displayable is the contract; panics are not.
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    /// An already-expired wall-clock deadline still yields a best-effort,
+    /// checker-verified schedule (the grace pass is tick-funded, so a
+    /// dead clock cannot starve it too).
+    #[test]
+    fn expired_deadline_still_returns_verified_schedule(g in arb_loop()) {
+        let machine = Machine::example_pldi95();
+        let budget = Budget::with_deadline(Duration::from_nanos(1));
+        let r = RateOptimalScheduler::new(machine.clone(), SchedulerConfig::default())
+            .schedule_with(&g, &budget)
+            .expect("degrades to a heuristic schedule, not an error");
+        prop_assert_eq!(r.schedule.validate(&g, &machine), Ok(()));
+        prop_assert!(matches!(r.optimality, Optimality::BudgetExhausted { .. }));
+    }
+}
+
+#[test]
+fn pre_cancelled_budget_is_a_hard_error() {
+    let machine = Machine::example_pldi95();
+    let g = swp::loops::kernels::motivating_example();
+    let budget = Budget::unlimited();
+    budget.cancel_token().cancel();
+    assert!(matches!(
+        RateOptimalScheduler::new(machine, SchedulerConfig::default()).schedule_with(&g, &budget),
+        Err(ScheduleError::Cancelled)
+    ));
+}
+
+#[test]
+fn cancellation_mid_solve_stops_promptly() {
+    let machine = Machine::example_pldi95();
+    let g = swp::loops::kernels::fir4(&machine, ClassConvention::example()).ddg;
+    let cfg = SchedulerConfig {
+        heuristic_incumbent: false, // force the slow ILP path
+        time_limit_per_t: Some(Duration::from_secs(60)),
+        ..Default::default()
+    };
+    let budget = Budget::unlimited();
+    let token = budget.cancel_token();
+    let handle = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(20));
+        token.cancel();
+    });
+    let started = Instant::now();
+    let result = RateOptimalScheduler::new(machine.clone(), cfg).schedule_with(&g, &budget);
+    handle.join().expect("canceller thread");
+    // Either the solve won the race or the cancellation stopped it — but
+    // it must come back orders of magnitude before the 60 s solve limit.
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "cancellation did not stop the solve promptly"
+    );
+    match result {
+        Ok(r) => assert_eq!(r.schedule.validate(&g, &machine), Ok(())),
+        Err(ScheduleError::Cancelled) => {}
+        Err(other) => panic!("unexpected error under cancellation: {other}"),
+    }
+}
+
+/// Every injected fault must degrade to a verified schedule or a typed
+/// error — never a panic, never an unverified schedule.
+#[test]
+fn fault_injection_exercises_every_degradation_path() {
+    let machine = Machine::example_pldi95();
+    let g = swp::loops::kernels::motivating_example();
+    let run = |faults: FaultPlan, heuristic_incumbent: bool| {
+        let cfg = SchedulerConfig {
+            heuristic_incumbent,
+            faults,
+            ..Default::default()
+        };
+        RateOptimalScheduler::new(machine.clone(), cfg).schedule(&g)
+    };
+    let verified = |r: &swp::core::ScheduleResult| r.schedule.validate(&g, &machine) == Ok(());
+
+    // Dead heuristic probe: the ILP carries the period alone.
+    let r = run(
+        FaultPlan {
+            fail_heuristic_incumbent: true,
+            ..Default::default()
+        },
+        true,
+    )
+    .expect("ILP-only path schedules");
+    assert!(verified(&r));
+    assert!(r
+        .attempts
+        .iter()
+        .any(|a| a.outcome == PeriodOutcome::Feasible(SolvedBy::Ilp)));
+
+    // Dead ILP: the heuristic fallback carries the period.
+    let r = run(
+        FaultPlan {
+            fail_ilp: true,
+            ..Default::default()
+        },
+        false,
+    )
+    .expect("heuristic fallback schedules");
+    assert!(verified(&r));
+    assert!(r
+        .attempts
+        .iter()
+        .any(|a| a.outcome == PeriodOutcome::EngineFailed));
+
+    // Checker rejects the ILP schedule: fall back to the heuristic.
+    let r = run(
+        FaultPlan {
+            reject_ilp_schedule: true,
+            ..Default::default()
+        },
+        false,
+    )
+    .expect("heuristic rescues a rejected ILP schedule");
+    assert!(verified(&r));
+    assert!(r
+        .attempts
+        .iter()
+        .any(|a| a.outcome == PeriodOutcome::Feasible(SolvedBy::Heuristic)));
+
+    // Checker rejects the heuristic schedule: the ILP rescues it.
+    let r = run(
+        FaultPlan {
+            reject_heuristic_schedule: true,
+            ..Default::default()
+        },
+        true,
+    )
+    .expect("ILP rescues a rejected heuristic schedule");
+    assert!(verified(&r));
+
+    // Both engines rejected: a typed VerificationFailed, not a panic.
+    let err = run(
+        FaultPlan {
+            reject_ilp_schedule: true,
+            reject_heuristic_schedule: true,
+            ..Default::default()
+        },
+        true,
+    )
+    .expect_err("nothing can be certified");
+    assert!(matches!(err, ScheduleError::VerificationFailed { .. }));
+
+    // Budget dead before the search even starts: grace pass delivers.
+    let r = run(
+        FaultPlan {
+            expire_before_search: true,
+            ..Default::default()
+        },
+        true,
+    )
+    .expect("grace pass schedules");
+    assert!(verified(&r));
+    assert!(matches!(r.optimality, Optimality::BudgetExhausted { .. }));
+
+    // Budget dies right before the ILP stage: same graceful exit.
+    let r = run(
+        FaultPlan {
+            expire_before_ilp: true,
+            ..Default::default()
+        },
+        false,
+    )
+    .expect("grace pass schedules");
+    assert!(verified(&r));
+    assert!(matches!(r.optimality, Optimality::BudgetExhausted { .. }));
 }

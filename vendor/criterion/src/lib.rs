@@ -1,0 +1,240 @@
+//! Offline, dependency-free subset of the `criterion` 0.5 API.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! benchmark harness surface the `swp-bench` benches use is vendored
+//! here: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple — a warm-up pass, then a fixed
+//! number of timed samples with mean and min/max reported to stdout. It
+//! is good enough to compare orders of magnitude and to keep the bench
+//! targets compiling and runnable; it is not a statistics engine.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group (`"function/parameter"`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Accepted by `bench_function` / `bench_with_input` as a benchmark name.
+pub trait IntoBenchmarkName {
+    /// The rendered name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for &String {
+    fn into_name(self) -> String {
+        self.clone()
+    }
+}
+
+/// Passed to the closure under measurement.
+pub struct Bencher {
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running it once per sample after one warm-up.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+        }
+        let mean = total / self.samples as u32;
+        println!(
+            "    time: [{min:>10.3?} {mean:>10.3?} {max:>10.3?}]  ({} samples)",
+            self.samples
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time (accepted, unused by the shim).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkName, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("{}/{}", self.name, id.into_name());
+        let mut b = Bencher {
+            samples: self.sample_size,
+        };
+        f(&mut b);
+        self.parent.ran += 1;
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("{}/{}", self.name, id.into_name());
+        let mut b = Bencher {
+            samples: self.sample_size,
+        };
+        f(&mut b, input);
+        self.parent.ran += 1;
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            ran: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim has no CLI options.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkName, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("{}", id.into_name());
+        let mut b = Bencher {
+            samples: self.sample_size,
+        };
+        f(&mut b);
+        self.ran += 1;
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            parent: self,
+            sample_size,
+        }
+    }
+
+    /// Prints a closing summary.
+    pub fn final_summary(&mut self) {
+        println!("ran {} benchmarks", self.ran);
+    }
+}
+
+/// Prevents the optimizer from discarding a value (re-export shim).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Emits a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
