@@ -3,42 +3,98 @@
 //! bucket (the paper reports 735 loops at `T_lb` with mean 6 nodes, and
 //! a small large-loop tail at `T_lb+2` / `T_lb+4` with means 16–17).
 //!
-//! Run: `cargo run -p swp-bench --release --bin table4 [num_loops] [per-T seconds] [machine]`
-//! where `machine` is `example` (default) or `ppc604`.
+//! Run: `cargo run -p swp-bench --release --bin table4 -- [num_loops] [per-T seconds] [machine]`
+//! where `machine` is `example` (default) or `ppc604`. Harness flags:
+//!
+//! * `--workers N` — shard the corpus over `N` threads (`0` = all CPUs;
+//!   the bucket counts are identical at any worker count);
+//! * `--artifact PATH` — stream per-loop JSONL records to `PATH`;
+//! * `--resume` — load `PATH` first and skip already-solved loops.
 
+use std::process::ExitCode;
 use std::time::Duration;
-use swp_bench::{render_table, run_suite, SuiteOutcome, SuiteRunConfig};
-use swp_loops::suite::SuiteConfig;
+use swp_bench::{render_table, SuiteOutcome, SuiteRunConfig};
+use swp_harness::{Flags, Harness, HarnessConfig, LoopRecord, NullSink};
+use swp_loops::suite::{generate, SuiteConfig};
 use swp_machine::Machine;
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let num_loops: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1066);
-    let secs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
-    let which = args.get(3).map(String::as_str).unwrap_or("example");
-    let (machine, corpus) = match which {
+fn main() -> ExitCode {
+    let flags = match Flags::parse(std::env::args().skip(1), &["resume"]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("table4: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = (|| -> Result<_, String> {
+        let num_loops: usize = flags.positional_or(0, 1066)?;
+        let secs: u64 = flags.positional_or(1, 3)?;
+        let workers: usize = flags.get_or("workers", 1)?;
+        Ok((num_loops, secs, workers))
+    })();
+    let (num_loops, secs, workers) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("table4: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let which = flags.positional(2).unwrap_or("example").to_string();
+    let (machine, corpus) = match which.as_str() {
         "ppc604" => (Machine::ppc604(), SuiteConfig::ppc604()),
         _ => (Machine::example_pldi95(), SuiteConfig::pldi95_default()),
     };
+
     let run = SuiteRunConfig {
         num_loops,
-        time_limit_per_t: Duration::from_secs(secs),
+        time_limit_per_t: Some(Duration::from_secs(secs)),
         ..Default::default()
     };
+    let config = HarnessConfig {
+        workers,
+        artifact: flags.get("artifact").map(Into::into),
+        resume: flags.has("resume"),
+        ..HarnessConfig::default()
+    };
     println!(
-        "== Table 4: scheduling performance ({num_loops} loops, {secs}s per period, {which} machine) ==\n"
+        "== Table 4: scheduling performance ({num_loops} loops, {secs}s per period, {which} machine, {workers} workers) ==\n"
     );
-    let started = std::time::Instant::now();
-    let recs = run_suite(&machine, &corpus, &run);
-    let elapsed = started.elapsed();
+    let loops = generate(&SuiteConfig {
+        num_loops,
+        ..corpus
+    });
+    let harness = Harness::new(machine, run, config);
+    let report = match harness.run(&loops, &mut NullSink) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("table4: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
-    // Bucket by slack above the paper's counting T_lb (what the paper's
-    // Table 4 measures). Our refined packing bound proves most of the
-    // nonzero buckets rate-optimal anyway; that is reported separately.
+    print_buckets(&report.records);
+    println!("{}", report.summary.render());
+    println!(
+        "Paper's shape for comparison: 735 loops at T = T_lb (mean 6 nodes);\n\
+         20 at T_lb+2 (mean 16); 11 at T_lb+4 (mean 17) — most loops rate-optimal\n\
+         at the bound, larger DDGs dominating the slack tail."
+    );
+    if report.interrupted {
+        eprintln!("table4: run interrupted before the whole corpus was covered");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Buckets records by slack above the paper's counting `T_lb` (what the
+/// paper's Table 4 measures) and renders the table. Our refined packing
+/// bound proves most of the nonzero buckets rate-optimal anyway; that is
+/// reported separately in the summary.
+fn print_buckets(recs: &[LoopRecord]) {
     let mut buckets: std::collections::BTreeMap<u32, (usize, usize)> =
         std::collections::BTreeMap::new();
     let mut unscheduled = (0usize, 0usize);
-    for r in &recs {
+    for r in recs {
         match (&r.outcome, r.period) {
             (SuiteOutcome::Scheduled { .. }, Some(p)) => {
                 let slack = p.saturating_sub(r.t_lb_counting);
@@ -83,23 +139,5 @@ fn main() {
             ],
             &rows,
         )
-    );
-    let scheduled: usize = buckets.values().map(|(c, _)| c).sum();
-    let at_lb = buckets.get(&0).map(|(c, _)| *c).unwrap_or(0);
-    let proven = recs
-        .iter()
-        .filter(|r| matches!(r.outcome, SuiteOutcome::Scheduled { slack: 0, .. }))
-        .count();
-    println!(
-        "scheduled {scheduled}/{} loops; {at_lb} ({:.0}%) at the counting T_lb;\n\
-         {proven} ({:.0}%) provably rate-optimal under the packing-refined bound; total {elapsed:?}",
-        recs.len(),
-        100.0 * at_lb as f64 / scheduled.max(1) as f64,
-        100.0 * proven as f64 / scheduled.max(1) as f64,
-    );
-    println!(
-        "\nPaper's shape for comparison: 735 loops at T = T_lb (mean 6 nodes);\n\
-         20 at T_lb+2 (mean 16); 11 at T_lb+4 (mean 17) — most loops rate-optimal\n\
-         at the bound, larger DDGs dominating the slack tail."
     );
 }

@@ -1,162 +1,46 @@
-//! The corpus runner behind Tables 4 and 5.
+//! The corpus runner behind Tables 4 and 5 — now a thin sequential
+//! wrapper over the `swp-harness` subsystem.
+//!
+//! The record and configuration types live in [`swp_harness`] (they are
+//! re-exported here so existing callers keep compiling); this module
+//! only keeps the historical entry point: a synchronous, artifact-less,
+//! single-worker corpus run. Anything fancier — worker sharding, the
+//! JSONL artifact, resume-from-cache, run telemetry — is the harness's
+//! job; see the `table4`/`table5` binaries for full-featured use.
 
-use std::time::Duration;
-use swp_core::{RateOptimalScheduler, ScheduleError, SchedulerConfig, SolvedBy};
+pub use swp_harness::{LoopRecord, SuiteOutcome, SuiteRunConfig};
+
+use swp_harness::{Harness, HarnessConfig, NullSink};
 use swp_loops::suite::{generate, SuiteConfig};
 use swp_machine::Machine;
 
-/// Configuration for [`run_suite`].
-#[derive(Debug, Clone)]
-pub struct SuiteRunConfig {
-    /// Number of loops (paper: 1066). Override with fewer for smoke runs.
-    pub num_loops: usize,
-    /// Per-period ILP budget.
-    pub time_limit_per_t: Duration,
-    /// Stop at `T_lb + span`.
-    pub max_t_above_lb: u32,
-    /// Let iterative modulo scheduling certify feasible periods
-    /// (rate-optimality is unaffected; see `SchedulerConfig`).
-    pub heuristic_incumbent: bool,
-}
-
-impl Default for SuiteRunConfig {
-    fn default() -> Self {
-        SuiteRunConfig {
-            num_loops: 1066,
-            time_limit_per_t: Duration::from_secs(3),
-            max_t_above_lb: 8,
-            heuristic_incumbent: true,
-        }
-    }
-}
-
-/// What happened to one loop.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SuiteOutcome {
-    /// Scheduled at `T_lb + slack`.
-    Scheduled {
-        /// Achieved slack above the lower bound.
-        slack: u32,
-        /// Engine that found the schedule at the final period.
-        solved_by: SolvedBy,
-    },
-    /// Every period in range failed or timed out.
-    Unscheduled,
-}
-
-/// Per-loop record of a suite run.
-#[derive(Debug, Clone)]
-pub struct LoopRecord {
-    /// Loop name from the generator.
-    pub name: String,
-    /// DDG node count.
-    pub num_nodes: usize,
-    /// `T_lb` of the loop (with the packing-refined `T_res`).
-    pub t_lb: u32,
-    /// `T_lb` under the paper's counting `T_res` — what the paper's
-    /// Table 4 buckets against.
-    pub t_lb_counting: u32,
-    /// Achieved initiation interval (if scheduled).
-    pub period: Option<u32>,
-    /// Outcome class.
-    pub outcome: SuiteOutcome,
-    /// Total wall-clock spent on the loop.
-    pub elapsed: Duration,
-    /// Branch-and-bound nodes over all periods.
-    pub bb_nodes: u64,
-    /// Whether any attempted period timed out undecided.
-    pub any_timeout: bool,
-}
-
-/// Runs the synthetic corpus through the unified scheduler and returns
-/// one record per loop. Deterministic for a fixed corpus seed.
+/// Runs the synthetic corpus through the unified scheduler, one loop at
+/// a time, and returns one record per loop. Deterministic for a fixed
+/// corpus seed (up to solve-time fields).
 pub fn run_suite(machine: &Machine, corpus: &SuiteConfig, run: &SuiteRunConfig) -> Vec<LoopRecord> {
     let corpus_cfg = SuiteConfig {
         num_loops: run.num_loops,
         ..corpus.clone()
     };
     let loops = generate(&corpus_cfg);
-    let scheduler = RateOptimalScheduler::new(
-        machine.clone(),
-        SchedulerConfig {
-            time_limit_per_t: Some(run.time_limit_per_t),
-            max_t_above_lb: run.max_t_above_lb,
-            heuristic_incumbent: run.heuristic_incumbent,
-            ..Default::default()
-        },
-    );
-    loops
-        .iter()
-        .map(|l| {
-            let t_lb_counting = l
-                .ddg
-                .t_dep()
-                .unwrap_or(0)
-                .max(machine.t_res_counting(&l.ddg).unwrap_or(0));
-            let started = std::time::Instant::now();
-            match scheduler.schedule(&l.ddg) {
-                Ok(r) => {
-                    let solved_by = match r.attempts.last() {
-                        Some(a) => match &a.outcome {
-                            swp_core::PeriodOutcome::Feasible(s) => *s,
-                            _ => SolvedBy::Ilp,
-                        },
-                        None => SolvedBy::Ilp,
-                    };
-                    LoopRecord {
-                        name: l.name.clone(),
-                        num_nodes: l.ddg.num_nodes(),
-                        t_lb: r.t_lb(),
-                        t_lb_counting,
-                        period: Some(r.schedule.initiation_interval()),
-                        outcome: SuiteOutcome::Scheduled {
-                            slack: r.slack_above_lb(),
-                            solved_by,
-                        },
-                        elapsed: started.elapsed(),
-                        bb_nodes: r.total_nodes(),
-                        any_timeout: r
-                            .attempts
-                            .iter()
-                            .any(|a| a.outcome == swp_core::PeriodOutcome::TimedOut),
-                    }
-                }
-                Err(e) => {
-                    let (t_lb, any_timeout) = match &e {
-                        ScheduleError::NotFound { t_lb, attempts, .. } => (
-                            *t_lb,
-                            attempts
-                                .iter()
-                                .any(|a| a.outcome == swp_core::PeriodOutcome::TimedOut),
-                        ),
-                        _ => (0, false),
-                    };
-                    LoopRecord {
-                        name: l.name.clone(),
-                        num_nodes: l.ddg.num_nodes(),
-                        t_lb,
-                        t_lb_counting,
-                        period: None,
-                        outcome: SuiteOutcome::Unscheduled,
-                        elapsed: started.elapsed(),
-                        bb_nodes: 0,
-                        any_timeout,
-                    }
-                }
-            }
-        })
-        .collect()
+    let harness = Harness::new(machine.clone(), run.clone(), HarnessConfig::sequential());
+    match harness.run(&loops, &mut NullSink) {
+        Ok(report) => report.records,
+        // Sequential mode configures no artifact, so no I/O can fail.
+        Err(e) => unreachable!("artifact-less run cannot fail: {e}"),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn smoke_run_produces_records() {
         let run = SuiteRunConfig {
             num_loops: 8,
-            time_limit_per_t: Duration::from_millis(500),
+            time_limit_per_t: Some(Duration::from_millis(500)),
             ..Default::default()
         };
         let recs = run_suite(

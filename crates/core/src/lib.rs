@@ -57,7 +57,7 @@ mod scheduler;
 pub use formulation::{Formulation, FormulationOptions, MappingMode, Objective};
 pub use scheduler::{
     FaultPlan, Optimality, PeriodAttempt, PeriodOutcome, RateOptimalScheduler, ScheduleResult,
-    SchedulerConfig, SolvedBy,
+    SchedulerConfig, SolvedBy, SolverStats,
 };
 pub use swp_machine::{Matrices, PipelinedSchedule, ValidationError};
 pub use swp_milp::{Budget, CancelToken};

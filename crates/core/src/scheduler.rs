@@ -160,6 +160,62 @@ pub struct PeriodAttempt {
     pub num_constrs: usize,
 }
 
+/// Aggregated solver-effort statistics over a per-period attempt log —
+/// the telemetry exported per loop by the corpus-execution harness.
+///
+/// Built with [`SolverStats::from_attempts`], which works for both the
+/// success path ([`ScheduleResult::solver_stats`]) and the failure path
+/// (the `attempts` carried by [`ScheduleError::NotFound`]).
+///
+/// [`ScheduleError::NotFound`]: crate::ScheduleError::NotFound
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Simplex iterations (pivots) across all attempted periods.
+    pub lp_iterations: u64,
+    /// Branch-and-bound nodes across all attempted periods.
+    pub bb_nodes: u64,
+    /// Candidate periods attempted (including build-time rejections).
+    pub periods_attempted: u32,
+    /// Periods settled feasible by the unified ILP.
+    pub ilp_feasible: u32,
+    /// Periods settled feasible by the IMS certificate.
+    pub heuristic_feasible: u32,
+    /// Periods proven infeasible (exact refutations, either by the ILP or
+    /// at formulation build time).
+    pub refuted: u32,
+    /// Periods left undecided by a time/tick budget trip.
+    pub timeouts: u32,
+    /// Periods on which the exact engine failed numerically.
+    pub engine_failures: u32,
+}
+
+impl SolverStats {
+    /// Aggregates an attempt log.
+    pub fn from_attempts(attempts: &[PeriodAttempt]) -> SolverStats {
+        let mut s = SolverStats {
+            periods_attempted: attempts.len() as u32,
+            ..SolverStats::default()
+        };
+        for a in attempts {
+            s.lp_iterations += a.lp_iterations;
+            s.bb_nodes += a.nodes;
+            match a.outcome {
+                PeriodOutcome::Feasible(SolvedBy::Ilp) => s.ilp_feasible += 1,
+                PeriodOutcome::Feasible(SolvedBy::Heuristic) => s.heuristic_feasible += 1,
+                PeriodOutcome::Infeasible | PeriodOutcome::RejectedAtBuild => s.refuted += 1,
+                PeriodOutcome::TimedOut => s.timeouts += 1,
+                PeriodOutcome::EngineFailed => s.engine_failures += 1,
+            }
+        }
+        s
+    }
+
+    /// Whether any attempted period was left undecided by a budget trip.
+    pub fn any_timeout(&self) -> bool {
+        self.timeouts > 0
+    }
+}
+
 /// How strong the optimality claim on a [`ScheduleResult`] is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Optimality {
@@ -222,6 +278,29 @@ impl ScheduleResult {
     /// Total branch-and-bound nodes over all attempted periods.
     pub fn total_nodes(&self) -> u64 {
         self.attempts.iter().map(|a| a.nodes).sum()
+    }
+
+    /// Total simplex iterations over all attempted periods.
+    pub fn total_lp_iterations(&self) -> u64 {
+        self.attempts.iter().map(|a| a.lp_iterations).sum()
+    }
+
+    /// Aggregated solver-effort telemetry over the attempt log.
+    pub fn solver_stats(&self) -> SolverStats {
+        SolverStats::from_attempts(&self.attempts)
+    }
+
+    /// Engine that produced the final schedule (the last feasible
+    /// attempt), defaulting to the ILP for legacy logs without one.
+    pub fn solved_by(&self) -> SolvedBy {
+        self.attempts
+            .iter()
+            .rev()
+            .find_map(|a| match a.outcome {
+                PeriodOutcome::Feasible(s) => Some(s),
+                _ => None,
+            })
+            .unwrap_or(SolvedBy::Ilp)
     }
 
     /// Total wall-clock over all attempted periods.
@@ -845,6 +924,25 @@ mod tests {
             Some(PeriodOutcome::Feasible(_))
         ));
         assert_eq!(s.t_lb(), s.t_dep.max(s.t_res));
+    }
+
+    #[test]
+    fn solver_stats_aggregate_the_attempt_log() {
+        let machine = Machine::example_pldi95();
+        let s = RateOptimalScheduler::new(machine, SchedulerConfig::default())
+            .schedule(&fp_loop())
+            .expect("schedulable");
+        let stats = s.solver_stats();
+        assert_eq!(stats.periods_attempted, s.attempts.len() as u32);
+        assert_eq!(stats.bb_nodes, s.total_nodes());
+        assert_eq!(stats.lp_iterations, s.total_lp_iterations());
+        assert_eq!(stats.ilp_feasible + stats.heuristic_feasible, 1);
+        assert!(!stats.any_timeout());
+        // The final feasible attempt names the producing engine.
+        match s.attempts.last().map(|a| a.outcome.clone()) {
+            Some(PeriodOutcome::Feasible(e)) => assert_eq!(s.solved_by(), e),
+            other => panic!("last attempt not feasible: {other:?}"),
+        }
     }
 
     #[test]

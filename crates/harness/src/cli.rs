@@ -1,0 +1,152 @@
+//! A tiny flag parser shared by the table binaries.
+//!
+//! The bins historically took positional arguments (`table4 1066 3
+//! ppc604`); the harness adds flags (`--workers 8 --artifact t4.jsonl
+//! --resume`). This parser supports both at once: `--name value` (or
+//! `--name=value`) pairs, declared boolean flags that take no value, and
+//! everything else collected positionally in order.
+
+use std::collections::{HashMap, HashSet};
+use std::str::FromStr;
+
+/// Parsed command-line flags.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    positional: Vec<String>,
+    named: HashMap<String, String>,
+    switches: HashSet<String>,
+}
+
+impl Flags {
+    /// Parses `args` (without the program name). `boolean` names the
+    /// flags that take no value; any other `--flag` consumes the next
+    /// argument as its value.
+    ///
+    /// # Errors
+    ///
+    /// A usage message naming the offending argument — an unknown-style
+    /// token (`--flag` with no value), or a repeated flag.
+    pub fn parse<I>(args: I, boolean: &[&str]) -> Result<Flags, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut flags = Flags::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if let Some((key, value)) = name.split_once('=') {
+                    if flags
+                        .named
+                        .insert(key.to_string(), value.to_string())
+                        .is_some()
+                    {
+                        return Err(format!("flag --{key} given twice"));
+                    }
+                } else if boolean.contains(&name) {
+                    flags.switches.insert(name.to_string());
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("flag --{name} expects a value"))?;
+                    if flags.named.insert(name.to_string(), value).is_some() {
+                        return Err(format!("flag --{name} given twice"));
+                    }
+                }
+            } else {
+                flags.positional.push(arg);
+            }
+        }
+        Ok(flags)
+    }
+
+    /// The raw value of `--name`, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.named.get(name).map(String::as_str)
+    }
+
+    /// Parses `--name`'s value, falling back to `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the flag when its value fails to parse.
+    pub fn get_or<T: FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse `{raw}`")),
+        }
+    }
+
+    /// Whether the boolean `--name` switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.contains(name)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// Parses the `i`-th positional argument, falling back to `default`
+    /// when absent.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the position when its value fails to parse.
+    pub fn positional_or<T: FromStr>(&self, i: usize, default: T) -> Result<T, String> {
+        match self.positional(i) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("positional argument {i}: cannot parse `{raw}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn mixes_positional_named_and_switches() {
+        let f = Flags::parse(
+            strs(&[
+                "64",
+                "--workers",
+                "4",
+                "--resume",
+                "3",
+                "--artifact=t4.jsonl",
+            ]),
+            &["resume"],
+        )
+        .unwrap();
+        assert_eq!(f.positional(0), Some("64"));
+        assert_eq!(f.positional(1), Some("3"));
+        assert_eq!(f.get("workers"), Some("4"));
+        assert_eq!(f.get("artifact"), Some("t4.jsonl"));
+        assert!(f.has("resume"));
+        assert!(!f.has("deterministic"));
+        assert_eq!(f.get_or("workers", 1usize).unwrap(), 4);
+        assert_eq!(f.get_or("loops", 7usize).unwrap(), 7);
+        assert_eq!(f.positional_or(0, 0usize).unwrap(), 64);
+        assert_eq!(f.positional_or(9, 5usize).unwrap(), 5);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(Flags::parse(strs(&["--workers"]), &[])
+            .unwrap_err()
+            .contains("--workers"));
+        assert!(Flags::parse(strs(&["--w", "1", "--w", "2"]), &[])
+            .unwrap_err()
+            .contains("twice"));
+        let f = Flags::parse(strs(&["--workers", "many"]), &[]).unwrap();
+        assert!(f.get_or("workers", 1usize).unwrap_err().contains("many"));
+    }
+}

@@ -1,0 +1,367 @@
+//! A minimal, dependency-free JSON subset for the artifact format.
+//!
+//! The JSONL artifact holds one *flat* object per line — string, number,
+//! boolean, and null values only, no nesting — so a full JSON library is
+//! unnecessary (and unavailable offline). This module provides exactly
+//! that subset: an escaping writer and a strict single-object parser.
+//! Anything outside the subset (nested objects, arrays) is a parse
+//! error, which the cache loader treats as a corrupt line to skip.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A scalar JSON value. Numbers keep their raw text so integer
+/// precision is never laundered through `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A string (unescaped).
+    Str(String),
+    /// A number, as written.
+    Num(String),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonValue {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is an integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
+/// Incrementally builds one flat JSON object in insertion order.
+#[derive(Debug, Default)]
+pub struct ObjectWriter {
+    buf: String,
+    fields: usize,
+}
+
+impl ObjectWriter {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        ObjectWriter {
+            buf: String::from("{"),
+            fields: 0,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.fields > 0 {
+            self.buf.push(',');
+        }
+        self.fields += 1;
+        write_escaped(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Appends a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        write_escaped(&mut self.buf, value);
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Appends an optional unsigned integer field (`null` when absent).
+    pub fn opt_u64(&mut self, key: &str, value: Option<u64>) -> &mut Self {
+        match value {
+            Some(v) => self.u64(key, v),
+            None => self.null(key),
+        }
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Appends a `null` field.
+    pub fn null(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str("null");
+        self
+    }
+
+    /// Closes the object and returns the JSON text (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one flat JSON object into its fields.
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax problem — truncated
+/// input, a non-scalar value, trailing garbage, a bad escape.
+pub fn parse_object(input: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            map.insert(key, value);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(map)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        let end = self.pos + word.len();
+        if self.bytes.get(self.pos..end) == Some(word.as_bytes()) {
+            self.pos = end;
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let end = self.pos + 4;
+                        let hex = self
+                            .bytes
+                            .get(self.pos..end)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        // Surrogates outside the BMP are not produced by our
+                        // writer; reject rather than mis-decode.
+                        let c = char::from_u32(code).ok_or("\\u escape is a surrogate")?;
+                        out.push(c);
+                        self.pos = end;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) => {
+                    // Re-borrow as UTF-8: step back and take the full char.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let s = std::str::from_utf8(&self.bytes[start..])
+                            .map_err(|_| "invalid UTF-8 in string")?;
+                        let c = s.chars().next().ok_or("empty char")?;
+                        out.push(c);
+                        self.pos = start + c.len_utf8();
+                    }
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => {
+                self.literal("true")?;
+                Ok(JsonValue::Bool(true))
+            }
+            Some(b'f') => {
+                self.literal("false")?;
+                Ok(JsonValue::Bool(false))
+            }
+            Some(b'n') => {
+                self.literal("null")?;
+                Ok(JsonValue::Null)
+            }
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                ) {
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid number bytes")?;
+                // Validate now so `as_u64`/`as_f64` can't surprise later.
+                raw.parse::<f64>().map_err(|_| "malformed number")?;
+                Ok(JsonValue::Num(raw.to_string()))
+            }
+            Some(b'{' | b'[') => Err("nested values are outside the artifact subset".into()),
+            other => Err(format!("unexpected {other:?} at value position")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_parses_round_trip() {
+        let mut w = ObjectWriter::new();
+        w.str("name", "loop\"x\"\n")
+            .u64("n", 42)
+            .opt_u64("period", None)
+            .opt_u64("slack", Some(3))
+            .bool("ok", true);
+        let line = w.finish();
+        let m = parse_object(&line).expect("round trip");
+        assert_eq!(m["name"].as_str(), Some("loop\"x\"\n"));
+        assert_eq!(m["n"].as_u64(), Some(42));
+        assert!(m["period"].is_null());
+        assert_eq!(m["slack"].as_u64(), Some(3));
+        assert_eq!(m["ok"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn big_integers_keep_precision() {
+        let mut w = ObjectWriter::new();
+        w.u64("ticks", u64::MAX);
+        let m = parse_object(&w.finish()).expect("parse");
+        assert_eq!(m["ticks"].as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn rejects_truncation_nesting_and_garbage() {
+        assert!(parse_object("{\"a\":1").is_err());
+        assert!(parse_object("{\"a\":{}}").is_err());
+        assert!(parse_object("{\"a\":[1]}").is_err());
+        assert!(parse_object("{\"a\":1}x").is_err());
+        assert!(parse_object("{\"a\":tru}").is_err());
+        assert!(parse_object("not json at all").is_err());
+        assert!(parse_object("").is_err());
+    }
+
+    #[test]
+    fn empty_object_and_unicode_ok() {
+        assert!(parse_object("{}").expect("empty").is_empty());
+        let mut w = ObjectWriter::new();
+        w.str("s", "λοοπ—π");
+        let m = parse_object(&w.finish()).expect("unicode");
+        assert_eq!(m["s"].as_str(), Some("λοοπ—π"));
+    }
+}

@@ -160,11 +160,71 @@ impl Budget {
         child
     }
 
+    /// Ticks still spendable before the cap trips, or `None` when the
+    /// budget has no tick cap. Clones share the counter, so the value is
+    /// a snapshot that concurrent work may have reduced by the time the
+    /// caller acts on it.
+    pub fn remaining_ticks(&self) -> Option<u64> {
+        if self.tick_limit == u64::MAX {
+            return None;
+        }
+        Some(
+            self.tick_limit
+                .saturating_sub(self.ticks.load(Ordering::Relaxed)),
+        )
+    }
+
+    /// Wall-clock left before the deadline, or `None` when the budget has
+    /// no deadline. `Some(Duration::ZERO)` means the deadline has passed.
+    pub fn time_remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Slices this budget into one of `n` equal worker shares: a child
+    /// sharing the deadline, the tick counter, and the cancel flag, but
+    /// allowed at most `remaining / n` further ticks. With no tick cap
+    /// the child is a plain clone. `n` is clamped to at least 1.
+    ///
+    /// Because the counter is shared, the shares jointly never exceed the
+    /// parent's pool; a fast worker's unused allowance is *not* donated
+    /// to slow ones (use [`restrict`](Budget::restrict) for custom
+    /// splits).
+    pub fn slice(&self, n: u64) -> Budget {
+        match self.remaining_ticks() {
+            Some(rem) => self.restrict(None, Some(rem / n.max(1))),
+            None => self.clone(),
+        }
+    }
+
+    /// Derives an *isolated* child: a fresh tick counter with no cap,
+    /// the parent's deadline, and the parent's cancel flag. Work done by
+    /// the child does **not** drain the parent's tick pool, so per-task
+    /// tick accounting stays exact and deterministic even when siblings
+    /// run concurrently; firing the parent's [`CancelToken`] still stops
+    /// every isolated child.
+    pub fn fork_isolated(&self) -> Budget {
+        Budget {
+            deadline: self.deadline,
+            tick_limit: u64::MAX,
+            ticks: Arc::new(AtomicU64::new(0)),
+            cancelled: Arc::clone(&self.cancelled),
+        }
+    }
+
     /// A handle that cancels every budget sharing this one's flag.
     pub fn cancel_token(&self) -> CancelToken {
         CancelToken {
             flag: Arc::clone(&self.cancelled),
         }
+    }
+
+    /// Rebinds this budget's cancel flag to `token`'s, so a token created
+    /// *before* the budget (e.g. held by a harness across several runs,
+    /// or registered with a signal handler) controls it.
+    pub fn cancelled_by(mut self, token: &CancelToken) -> Budget {
+        self.cancelled = Arc::clone(&token.flag);
+        self
     }
 
     /// Ticks spent so far across all clones.
@@ -290,6 +350,70 @@ mod tests {
         assert_eq!(child2.tick(), Err(Exhaustion::Ticks));
         // The parent saw those ticks too.
         assert!(parent.ticks_used() >= 4);
+    }
+
+    #[test]
+    fn remaining_ticks_tracks_the_shared_counter() {
+        let b = Budget::unlimited();
+        assert_eq!(b.remaining_ticks(), None);
+        let capped = Budget::with_tick_limit(10);
+        assert_eq!(capped.remaining_ticks(), Some(10));
+        for _ in 0..4 {
+            capped.tick().unwrap();
+        }
+        assert_eq!(capped.remaining_ticks(), Some(6));
+    }
+
+    #[test]
+    fn time_remaining_reports_deadline_state() {
+        assert_eq!(Budget::unlimited().time_remaining(), None);
+        let expired = Budget::with_deadline(Duration::ZERO);
+        assert_eq!(expired.time_remaining(), Some(Duration::ZERO));
+        let live = Budget::with_deadline(Duration::from_secs(3600));
+        assert!(live.time_remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn slice_divides_the_remaining_pool() {
+        let pool = Budget::with_tick_limit(100);
+        let share = pool.slice(4);
+        // The share may spend 25 ticks; they drain the shared pool.
+        for _ in 0..25 {
+            assert_eq!(share.tick(), Ok(()));
+        }
+        assert_eq!(share.tick(), Err(Exhaustion::Ticks));
+        assert_eq!(pool.remaining_ticks(), Some(100 - 26));
+        // An uncapped pool slices to uncapped shares.
+        assert_eq!(Budget::unlimited().slice(4).remaining_ticks(), None);
+        // n = 0 is treated as 1, not a division by zero.
+        let whole = Budget::with_tick_limit(7).slice(0);
+        assert_eq!(whole.remaining_ticks(), Some(7));
+    }
+
+    #[test]
+    fn fork_isolated_has_its_own_counter_but_shared_cancel() {
+        let parent = Budget::with_tick_limit(5);
+        let child = parent.fork_isolated();
+        for _ in 0..100 {
+            assert_eq!(child.tick(), Ok(()));
+        }
+        // The parent's pool is untouched by the child's work.
+        assert_eq!(parent.remaining_ticks(), Some(5));
+        assert_eq!(child.ticks_used(), 100);
+        // Cancellation still reaches the isolated child.
+        parent.cancel_token().cancel();
+        assert_eq!(child.check(), Err(Exhaustion::Cancelled));
+    }
+
+    #[test]
+    fn cancelled_by_rebinds_to_a_pre_existing_token() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited().cancelled_by(&token);
+        assert_eq!(b.check(), Ok(()));
+        token.cancel();
+        assert_eq!(b.check(), Err(Exhaustion::Cancelled));
+        // Children forked after the rebind still share the token's flag.
+        assert_eq!(b.fork_isolated().check(), Err(Exhaustion::Cancelled));
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`heuristics`] — iterative modulo scheduling baselines.
 //! * [`loops`] — kernel DDGs, a textual loop language, and the
 //!   1066-loop synthetic suite.
+//! * [`harness`] — sharded parallel corpus execution with an on-disk
+//!   JSONL result cache and per-run telemetry.
 //!
 //! # Quickstart
 //!
@@ -35,6 +37,7 @@
 
 pub use swp_core as core;
 pub use swp_ddg as ddg;
+pub use swp_harness as harness;
 pub use swp_heuristics as heuristics;
 pub use swp_loops as loops;
 pub use swp_machine as machine;
