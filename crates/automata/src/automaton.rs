@@ -1,0 +1,249 @@
+//! The per-`(machine, T)` hazard automaton and its memo registry.
+
+use crate::bits;
+use crate::fsa::HazardFsa;
+use crate::matrix::CollisionMatrix;
+use crate::stats;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+use swp_ddg::{Ddg, OpClass};
+use swp_loops::fingerprint::machine_fingerprint;
+use swp_machine::{ConflictOracle, Machine, MachineError};
+
+/// A complete structural-conflict oracle for one machine at one period:
+/// the pairwise [`CollisionMatrix`], one [`HazardFsa`] per class, and
+/// the per-unit packing capacity derived from the conflict closure.
+#[derive(Debug)]
+pub struct HazardAutomaton {
+    machine_fp: u64,
+    period: u32,
+    matrix: CollisionMatrix,
+    fsas: Vec<HazardFsa>,
+    /// `capacity[class]`: max operations of `class` one physical unit
+    /// can carry per period without a stage collision. Equals
+    /// `ReservationTable::max_ops_per_period` (max independent set in
+    /// the circulant graph of the conflict vector).
+    capacity: Vec<u32>,
+}
+
+type Registry = Mutex<HashMap<(u64, u32), Arc<HazardAutomaton>>>;
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+impl HazardAutomaton {
+    /// Compiles the automaton for `machine` at `period` (no memo).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn build(machine: &Machine, period: u32) -> Self {
+        stats::count_memo_build();
+        let matrix = CollisionMatrix::build(machine, period);
+        let mut fsas = Vec::with_capacity(matrix.num_classes());
+        let mut capacity = Vec::with_capacity(matrix.num_classes());
+        for c in 0..matrix.num_classes() {
+            let class = OpClass::new(c);
+            let self_collides = matrix.self_collides(class).unwrap_or(true);
+            let conflict = matrix.conflict_vector(c);
+            fsas.push(HazardFsa::build(conflict, self_collides, period));
+            capacity.push(max_ops_per_unit(conflict, self_collides, period));
+        }
+        HazardAutomaton {
+            machine_fp: machine_fingerprint(machine),
+            period,
+            matrix,
+            fsas,
+            capacity,
+        }
+    }
+
+    /// Fetches the automaton for `(machine, period)` from the
+    /// process-wide registry, building and interning it on first use.
+    /// The key is `(machine_fingerprint, period)`, so every loop of a
+    /// corpus run compiled against the same machine shares one
+    /// automaton per candidate period.
+    pub fn for_machine(machine: &Machine, period: u32) -> Arc<HazardAutomaton> {
+        let fp = machine_fingerprint(machine);
+        let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut guard = match registry.lock() {
+            Ok(g) => g,
+            // A panic while holding the lock can only have happened in
+            // `HazardAutomaton::build`; the map itself is still sound.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(existing) = guard.get(&(fp, period)) {
+            stats::count_memo_hit();
+            return Arc::clone(existing);
+        }
+        let built = Arc::new(HazardAutomaton::build(machine, period));
+        guard.insert((fp, period), Arc::clone(&built));
+        built
+    }
+
+    /// The period this automaton was compiled for.
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// The fingerprint of the machine it was compiled from.
+    pub fn machine_fingerprint(&self) -> u64 {
+        self.machine_fp
+    }
+
+    /// The pairwise collision matrix.
+    pub fn matrix(&self) -> &CollisionMatrix {
+        &self.matrix
+    }
+
+    /// The hazard FSA of `class`, or `None` for an unknown class.
+    pub fn fsa(&self, class: OpClass) -> Option<&HazardFsa> {
+        self.fsas.get(class.index())
+    }
+
+    /// Max operations of `class` one unit carries per period, or `None`
+    /// for an unknown class.
+    pub fn max_ops_per_unit(&self, class: OpClass) -> Option<u32> {
+        self.capacity.get(class.index()).copied()
+    }
+}
+
+impl ConflictOracle for HazardAutomaton {
+    fn period(&self) -> u32 {
+        self.period
+    }
+
+    fn same_unit_collides(&self, a: OpClass, b: OpClass, delta: u32) -> Option<bool> {
+        stats::count_matrix_queries(1);
+        self.matrix.collides(a, b, delta)
+    }
+
+    fn self_collides(&self, class: OpClass) -> Option<bool> {
+        self.matrix.self_collides(class)
+    }
+}
+
+/// Max independent set in the circulant graph `{r1 ~ r2 ⇔ C[(r1−r2) mod
+/// T] = 1}`: the exact number of operations one unit carries per
+/// period. Pairwise stage-disjointness is equivalent to joint
+/// disjointness (a cell is multiply claimed iff some *pair* claims it),
+/// so this matches `ReservationTable::max_ops_per_period` exactly —
+/// including its rotation-symmetry normalization (residue 0 is in some
+/// maximum packing, so it is fixed).
+fn max_ops_per_unit(conflict: &[u64], self_collides: bool, period: u32) -> u32 {
+    if self_collides {
+        return 0;
+    }
+    let mut forbidden = vec![0u64; conflict.len()];
+    bits::or_rotated(&mut forbidden, conflict, 0, period);
+    let mut best = 1u32;
+    pack_dfs(conflict, period, &forbidden, 1, 1, &mut best);
+    best
+}
+
+fn pack_dfs(
+    conflict: &[u64],
+    period: u32,
+    forbidden: &[u64],
+    next: u32,
+    count: u32,
+    best: &mut u32,
+) {
+    for r in next..period {
+        // Even taking every remaining residue cannot beat the best.
+        if count + (period - r) <= *best {
+            return;
+        }
+        if bits::test(forbidden, r) {
+            continue;
+        }
+        let mut extended = forbidden.to_vec();
+        bits::or_rotated(&mut extended, conflict, r, period);
+        let new_count = count + 1;
+        if new_count > *best {
+            *best = new_count;
+        }
+        pack_dfs(conflict, period, &extended, r + 1, new_count, best);
+    }
+}
+
+/// The automaton-tightened resource bound `ResMII`: the counting bound
+/// advanced past every period where some class's operations provably
+/// cannot pack onto its units, with per-unit capacity read from the
+/// memoized automaton instead of a fresh reservation-table search.
+/// Structurally identical to [`Machine::t_res`] (same refinement loop,
+/// same `+64` cap), so the two always agree — debug-asserted by
+/// callers and pinned by the equivalence proptest.
+///
+/// # Errors
+///
+/// [`MachineError::UnknownClass`] if the DDG uses an undefined class.
+pub fn res_mii(machine: &Machine, ddg: &Ddg) -> Result<u32, MachineError> {
+    let mut bound = machine.t_res_counting(ddg)?;
+    let cap = bound + 64;
+    'refine: while bound < cap {
+        let automaton = HazardAutomaton::for_machine(machine, bound);
+        for class in ddg.classes() {
+            let fu = machine.fu_type(class)?;
+            let n_ops = ddg.nodes_of_class(class).len() as u32;
+            if n_ops == 0 {
+                continue;
+            }
+            let per_unit = automaton.max_ops_per_unit(class).unwrap_or(0);
+            if n_ops > fu.count * per_unit {
+                bound += 1;
+                continue 'refine;
+            }
+        }
+        break;
+    }
+    Ok(bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_matches_reservation_table_search() {
+        for machine in [
+            Machine::example_pldi95(),
+            Machine::example_clean(),
+            Machine::example_non_pipelined(),
+            Machine::ppc604(),
+        ] {
+            for period in 1u32..=12 {
+                let automaton = HazardAutomaton::build(&machine, period);
+                for (c, t) in machine.types().iter().enumerate() {
+                    assert_eq!(
+                        automaton.max_ops_per_unit(OpClass::new(c)),
+                        Some(t.reservation.max_ops_per_period(period)),
+                        "class {c} at T={period}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn registry_returns_shared_instances() {
+        let machine = Machine::example_pldi95();
+        let before = stats::snapshot();
+        let a = HazardAutomaton::for_machine(&machine, 7);
+        let b = HazardAutomaton::for_machine(&machine, 7);
+        assert!(Arc::ptr_eq(&a, &b));
+        let delta = stats::snapshot().since(&before);
+        assert!(delta.memo_hits >= 1);
+    }
+
+    #[test]
+    fn oracle_trait_answers_match_matrix() {
+        let machine = Machine::example_pldi95();
+        let automaton = HazardAutomaton::build(&machine, 4);
+        let fp = OpClass::new(1);
+        let oracle: &dyn ConflictOracle = &automaton;
+        assert_eq!(oracle.period(), 4);
+        assert_eq!(oracle.same_unit_collides(fp, fp, 1), Some(true));
+        assert_eq!(oracle.same_unit_collides(fp, fp, 2), Some(false));
+        assert_eq!(oracle.self_collides(fp), Some(false));
+    }
+}

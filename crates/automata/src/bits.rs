@@ -1,0 +1,68 @@
+//! Fixed-width residue bitsets: one bit per residue mod `T`, packed in
+//! 64-bit words. All rotation arithmetic is cyclic over `T` (not over
+//! the padded word width).
+
+/// Words needed to hold `period` bits.
+pub(crate) fn words_for(period: u32) -> usize {
+    (period as usize).div_ceil(64)
+}
+
+/// Whether bit `r` is set (`r` must be `< period`).
+#[inline]
+pub(crate) fn test(bits: &[u64], r: u32) -> bool {
+    bits[r as usize / 64] & (1u64 << (r as usize % 64)) != 0
+}
+
+/// Sets bit `r`.
+#[inline]
+pub(crate) fn set(bits: &mut [u64], r: u32) {
+    bits[r as usize / 64] |= 1u64 << (r as usize % 64);
+}
+
+/// ORs `rot(src, by)` into `dst`: bit `d` of `src` lands on bit
+/// `(d + by) mod period`.
+pub(crate) fn or_rotated(dst: &mut [u64], src: &[u64], by: u32, period: u32) {
+    for (w, &word) in src.iter().enumerate() {
+        let mut word = word;
+        while word != 0 {
+            let b = word.trailing_zeros() as usize;
+            word &= word - 1;
+            let d = (w * 64 + b) as u32;
+            set(dst, (d + by) % period);
+        }
+    }
+}
+
+/// Number of set bits.
+pub(crate) fn count(bits: &[u64]) -> u32 {
+    bits.iter().map(|w| w.count_ones()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_wraps_cyclically() {
+        // period 5: bits {1, 4} rotated by 2 -> {3, 1}.
+        let mut src = vec![0u64; 1];
+        set(&mut src, 1);
+        set(&mut src, 4);
+        let mut dst = vec![0u64; 1];
+        or_rotated(&mut dst, &src, 2, 5);
+        assert!(test(&dst, 3));
+        assert!(test(&dst, 1));
+        assert!(!test(&dst, 0));
+        assert_eq!(count(&dst), 2);
+    }
+
+    #[test]
+    fn multi_word_periods_work() {
+        let period = 130;
+        let mut src = vec![0u64; words_for(period)];
+        set(&mut src, 129);
+        let mut dst = vec![0u64; words_for(period)];
+        or_rotated(&mut dst, &src, 3, period);
+        assert!(test(&dst, 2)); // (129 + 3) mod 130
+    }
+}

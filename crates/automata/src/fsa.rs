@@ -1,0 +1,235 @@
+//! Cyclic hazard finite-state automata.
+//!
+//! One FSA per `(class, T)` tracks the *forbidden-residue mask* of a
+//! single physical unit. The start state is the empty mask; issuing an
+//! operation at residue `r` transitions
+//!
+//! ```text
+//! state' = state | rot(C, r)
+//! ```
+//!
+//! where `C` is the class's cyclic conflict vector (bit `d` of `C`
+//! lands on bit `(d + r) mod T`). An issue at residue `r` is legal in
+//! `state` iff bit `r` of the mask is clear. Because OR is commutative
+//! and idempotent, a state is determined by the *set* of residues
+//! issued so far, independent of order — which is what makes replaying
+//! the remaining residues after a removal sound.
+//!
+//! States are interned (hash-deduplicated) and transitions compiled to
+//! a dense `num_states × T` table during an eager BFS from the start
+//! state, so a query is two array reads. State counts are bounded in
+//! practice (masks are monotone under OR: every reachable state is an
+//! OR of rotations of `C`), but a hard cap guards pathological tables;
+//! a capped build reports [`HazardFsa::is_complete`]` == false` and
+//! consumers fall back to maintaining dense masks directly.
+
+use crate::bits;
+use std::collections::HashMap;
+
+/// Interned state index into a [`HazardFsa`] transition table.
+pub type StateId = u32;
+
+/// Hard cap on interned states; beyond it construction degrades to
+/// `is_complete() == false` rather than building an unbounded table.
+pub const MAX_FSA_STATES: usize = 4096;
+
+/// A compiled hazard automaton for one class at one period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HazardFsa {
+    period: u32,
+    /// The class's cyclic conflict vector (packed, `T` bits).
+    conflict: Box<[u64]>,
+    /// Whether a single operation self-collides at this period; if so
+    /// no issue is ever legal and the automaton is degenerate.
+    self_collides: bool,
+    /// Interned forbidden-residue masks; index 0 is the start state.
+    states: Vec<Box<[u64]>>,
+    /// `trans[s][r]` = state after issuing at residue `r` in state `s`.
+    /// Empty when `!complete`.
+    trans: Vec<Box<[StateId]>>,
+    complete: bool,
+}
+
+impl HazardFsa {
+    /// The start state (no operations issued on the unit).
+    pub const START: StateId = 0;
+
+    /// Compiles the automaton for a conflict vector at `period`.
+    pub(crate) fn build(conflict: &[u64], self_collides: bool, period: u32) -> Self {
+        let words = bits::words_for(period);
+        debug_assert_eq!(conflict.len(), words);
+        let start: Box<[u64]> = vec![0u64; words].into_boxed_slice();
+        if self_collides {
+            // Degenerate: every issue illegal; keep just the start state
+            // with a self-loop-free empty table (queries short-circuit).
+            return HazardFsa {
+                period,
+                conflict: conflict.into(),
+                self_collides,
+                states: vec![start],
+                trans: vec![vec![Self::START; period as usize].into_boxed_slice()],
+                complete: true,
+            };
+        }
+        let mut states = vec![start.clone()];
+        let mut index: HashMap<Box<[u64]>, StateId> = HashMap::new();
+        index.insert(start, Self::START);
+        let mut trans: Vec<Box<[StateId]>> = Vec::new();
+        let mut complete = true;
+        let mut done = 0usize;
+        while done < states.len() {
+            if states.len() > MAX_FSA_STATES {
+                complete = false;
+                break;
+            }
+            let mask = states[done].clone();
+            let mut row = Vec::with_capacity(period as usize);
+            for r in 0..period {
+                let mut next = mask.clone();
+                bits::or_rotated(&mut next, conflict, r, period);
+                let id = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = states.len() as StateId;
+                        index.insert(next.clone(), id);
+                        states.push(next);
+                        id
+                    }
+                };
+                row.push(id);
+            }
+            trans.push(row.into_boxed_slice());
+            done += 1;
+        }
+        if !complete {
+            // Collapse to the fallback-only shape: consumers must check
+            // `is_complete()` before using the table.
+            states.truncate(1);
+            trans.clear();
+        }
+        HazardFsa {
+            period,
+            conflict: conflict.into(),
+            self_collides,
+            states,
+            trans,
+            complete,
+        }
+    }
+
+    /// The period this automaton was compiled for.
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// Number of interned states (1 when degenerate or capped).
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the full transition table was built. When `false`
+    /// (state cap hit), only [`HazardFsa::conflict_vector`] queries are
+    /// meaningful and consumers maintain dense masks themselves.
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Whether a single operation of this class self-collides at this
+    /// period (no issue is ever legal).
+    pub fn self_collides(&self) -> bool {
+        self.self_collides
+    }
+
+    /// Whether issuing at residue `r` is legal in `state`.
+    #[inline]
+    pub fn can_issue(&self, state: StateId, r: u32) -> bool {
+        !self.self_collides && !bits::test(&self.states[state as usize], r % self.period)
+    }
+
+    /// The state after issuing at residue `r` in `state`.
+    ///
+    /// Meaningful only when [`HazardFsa::is_complete`]; the issue need
+    /// not have been legal (the mask algebra is total).
+    #[inline]
+    pub fn issue(&self, state: StateId, r: u32) -> StateId {
+        self.trans[state as usize][(r % self.period) as usize]
+    }
+
+    /// The forbidden-residue mask of `state` (packed, `T` bits).
+    pub fn forbidden_mask(&self, state: StateId) -> &[u64] {
+        &self.states[state as usize]
+    }
+
+    /// The class's conflict vector (packed, `T` bits).
+    pub fn conflict_vector(&self) -> &[u64] {
+        &self.conflict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vector(bits_set: &[u32], period: u32) -> Vec<u64> {
+        let mut v = vec![0u64; bits::words_for(period)];
+        for &b in bits_set {
+            bits::set(&mut v, b);
+        }
+        v
+    }
+
+    #[test]
+    fn clean_vector_packs_every_residue() {
+        // C = {0}: issues forbid only their own residue.
+        let c = vector(&[0], 4);
+        let fsa = HazardFsa::build(&c, false, 4);
+        assert!(fsa.is_complete());
+        let mut s = HazardFsa::START;
+        for r in 0..4 {
+            assert!(fsa.can_issue(s, r));
+            s = fsa.issue(s, r);
+        }
+        for r in 0..4 {
+            assert!(!fsa.can_issue(s, r));
+        }
+        // States: one per subset-closure level, but interning keeps the
+        // count at distinct masks only.
+        assert!(fsa.num_states() <= 16);
+    }
+
+    #[test]
+    fn pldi95_fp_vector_allows_distance_two_only() {
+        // C = {0, 1, 3} at T = 4: after issuing at 0, only residue 2
+        // remains legal; after {0, 2} the unit is full.
+        let c = vector(&[0, 1, 3], 4);
+        let fsa = HazardFsa::build(&c, false, 4);
+        let s1 = fsa.issue(HazardFsa::START, 0);
+        assert!(!fsa.can_issue(s1, 0));
+        assert!(!fsa.can_issue(s1, 1));
+        assert!(fsa.can_issue(s1, 2));
+        assert!(!fsa.can_issue(s1, 3));
+        let s2 = fsa.issue(s1, 2);
+        for r in 0..4 {
+            assert!(!fsa.can_issue(s2, r));
+        }
+    }
+
+    #[test]
+    fn states_are_order_independent() {
+        let c = vector(&[0, 1, 3], 8);
+        let fsa = HazardFsa::build(&c, false, 8);
+        let a = fsa.issue(fsa.issue(HazardFsa::START, 2), 5);
+        let b = fsa.issue(fsa.issue(HazardFsa::START, 5), 2);
+        assert_eq!(a, b, "OR-ed masks are commutative, states must intern");
+    }
+
+    #[test]
+    fn degenerate_self_colliding_class_rejects_everything() {
+        let c = vector(&[0, 1], 2);
+        let fsa = HazardFsa::build(&c, true, 2);
+        assert!(fsa.is_complete());
+        for r in 0..2 {
+            assert!(!fsa.can_issue(HazardFsa::START, r));
+        }
+    }
+}

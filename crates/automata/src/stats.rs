@@ -1,0 +1,108 @@
+//! Process-wide oracle telemetry: automaton hits versus fallback scans.
+//!
+//! Counters are plain relaxed atomics — they are *observability only*
+//! and never feed back into scheduling decisions, so cross-thread (and
+//! cross-test) interleavings are harmless. The harness snapshots before
+//! and after a run and reports the delta.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FSA_QUERIES: AtomicU64 = AtomicU64::new(0);
+static MATRIX_QUERIES: AtomicU64 = AtomicU64::new(0);
+static FALLBACK_SCANS: AtomicU64 = AtomicU64::new(0);
+static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static MEMO_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the oracle counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleCounters {
+    /// Slot probes answered by an FSA state bit test.
+    pub fsa_queries: u64,
+    /// Pairwise probes answered by a collision-matrix bit test.
+    pub matrix_queries: u64,
+    /// Queries that fell back to an exact reservation-table scan
+    /// (oracle disagreement path or detected-conflict re-derivation).
+    pub fallback_scans: u64,
+    /// Automata served from the `(machine_fingerprint, T)` registry.
+    pub memo_hits: u64,
+    /// Automata constructed from scratch.
+    pub memo_builds: u64,
+}
+
+impl OracleCounters {
+    /// The counter delta since an `earlier` snapshot (saturating, so a
+    /// stale snapshot never underflows).
+    pub fn since(&self, earlier: &OracleCounters) -> OracleCounters {
+        OracleCounters {
+            fsa_queries: self.fsa_queries.saturating_sub(earlier.fsa_queries),
+            matrix_queries: self.matrix_queries.saturating_sub(earlier.matrix_queries),
+            fallback_scans: self.fallback_scans.saturating_sub(earlier.fallback_scans),
+            memo_hits: self.memo_hits.saturating_sub(earlier.memo_hits),
+            memo_builds: self.memo_builds.saturating_sub(earlier.memo_builds),
+        }
+    }
+
+    /// Whether any counter is nonzero.
+    pub fn any(&self) -> bool {
+        self.fsa_queries != 0
+            || self.matrix_queries != 0
+            || self.fallback_scans != 0
+            || self.memo_hits != 0
+            || self.memo_builds != 0
+    }
+}
+
+/// Reads the current counter values.
+pub fn snapshot() -> OracleCounters {
+    OracleCounters {
+        fsa_queries: FSA_QUERIES.load(Ordering::Relaxed),
+        matrix_queries: MATRIX_QUERIES.load(Ordering::Relaxed),
+        fallback_scans: FALLBACK_SCANS.load(Ordering::Relaxed),
+        memo_hits: MEMO_HITS.load(Ordering::Relaxed),
+        memo_builds: MEMO_BUILDS.load(Ordering::Relaxed),
+    }
+}
+
+/// Records `n` FSA bit-test queries.
+#[inline]
+pub fn count_fsa_queries(n: u64) {
+    FSA_QUERIES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records `n` collision-matrix bit-test queries.
+#[inline]
+pub fn count_matrix_queries(n: u64) {
+    MATRIX_QUERIES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records `n` exact reservation-table fallback scans.
+#[inline]
+pub fn count_fallback_scans(n: u64) {
+    FALLBACK_SCANS.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn count_memo_hit() {
+    MEMO_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn count_memo_build() {
+    MEMO_BUILDS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_is_saturating_and_monotone() {
+        let before = snapshot();
+        count_fsa_queries(3);
+        count_fallback_scans(1);
+        let delta = snapshot().since(&before);
+        // Other tests may run concurrently; deltas are at least ours.
+        assert!(delta.fsa_queries >= 3);
+        assert!(delta.fallback_scans >= 1);
+        assert!(delta.any());
+        assert_eq!(before.since(&snapshot()), OracleCounters::default());
+    }
+}

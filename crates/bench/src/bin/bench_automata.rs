@@ -1,0 +1,290 @@
+//! Hazard-automaton A/B benchmark → `BENCH_automata.json`.
+//!
+//! Two measurements, one artifact:
+//!
+//! 1. **Micro**: per-query cost of the three conflict engines — naive
+//!    reservation-table scan, collision-matrix bit test, hazard-FSA
+//!    lookup — on the PLDI'95 FP class at `T ∈ {2, 4, 8, 16}`, with the
+//!    FSA-over-naive speedup per period.
+//! 2. **Harness A/B**: the corpus harness run twice over the same loops
+//!    (default 256) under identical deterministic tick budgets, once per
+//!    [`ConflictOracleMode`], recording wall time, outcome identity, and
+//!    the automaton's oracle telemetry.
+//!
+//! Run: `cargo run -p swp-bench --release --bin bench_automata -- [num_loops] [--out PATH]`
+
+use std::process::ExitCode;
+use std::time::Instant;
+use swp_automata::{stats, HazardAutomaton, HazardFsa};
+use swp_ddg::OpClass;
+use swp_harness::{
+    ConflictOracleMode, Flags, Harness, HarnessConfig, LoopRecord, NullSink, SuiteRunConfig,
+};
+use swp_loops::suite::{generate, SuiteConfig};
+use swp_machine::{Machine, ReservationTable};
+
+const PERIODS: [u32; 4] = [2, 4, 8, 16];
+/// Queries per timed repetition (amortizes the `Instant` overhead).
+const BATCH: u32 = 4096;
+/// Timed repetitions per engine; the minimum is reported.
+const REPS: usize = 32;
+/// Full harness A/B repetitions per oracle mode; minimum wall is
+/// reported (the runs are outcome-deterministic, so reps only tighten
+/// the timing, never the comparison).
+const AB_REPS: usize = 3;
+
+/// The checker's exact scan, inlined (same loop the pre-automaton
+/// checker runs per op pair).
+fn naive_collides(rt: &ReservationTable, period: u32, delta: u32) -> bool {
+    for s in 0..rt.stages() {
+        for l1 in rt.stage_offsets(s) {
+            for l2 in rt.stage_offsets(s) {
+                let d = (l1 as i64 - l2 as i64).rem_euclid(i64::from(period)) as u32;
+                if d == delta {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Minimum-of-`REPS` per-query nanoseconds for `f` over a batch.
+fn time_per_query<F: FnMut(u32) -> bool>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let started = Instant::now();
+        let mut hits = 0u32;
+        for q in 0..BATCH {
+            hits += u32::from(f(std::hint::black_box(q)));
+        }
+        std::hint::black_box(hits);
+        let ns = started.elapsed().as_nanos() as f64 / f64::from(BATCH);
+        best = best.min(ns);
+    }
+    best
+}
+
+struct MicroRow {
+    period: u32,
+    naive_ns: f64,
+    matrix_ns: f64,
+    fsa_ns: f64,
+}
+
+fn micro(machine: &Machine) -> Vec<MicroRow> {
+    let fp = OpClass::new(1);
+    let rt = machine.fu_type(fp).expect("FP class").reservation.clone();
+    PERIODS
+        .iter()
+        .map(|&period| {
+            let automaton = HazardAutomaton::for_machine(machine, period);
+            let fsa = automaton.fsa(fp).expect("FP FSA");
+            let state = fsa.issue(HazardFsa::START, 0);
+            for delta in 0..period {
+                assert_eq!(
+                    automaton.matrix().collides(fp, fp, delta),
+                    Some(naive_collides(&rt, period, delta)),
+                    "engines disagree at T={period}, delta={delta}"
+                );
+            }
+            MicroRow {
+                period,
+                naive_ns: time_per_query(|q| naive_collides(&rt, period, q % period)),
+                matrix_ns: time_per_query(|q| {
+                    automaton.matrix().collides(fp, fp, q % period) == Some(true)
+                }),
+                fsa_ns: time_per_query(|q| !fsa.can_issue(state, q % period)),
+            }
+        })
+        .collect()
+}
+
+struct AbRun {
+    wall_us: u64,
+    solve_us: u64,
+    lines: Vec<String>,
+    oracle: swp_automata::OracleCounters,
+}
+
+fn run_ab(machine: &Machine, num_loops: usize, oracle: ConflictOracleMode) -> AbRun {
+    let loops = generate(&SuiteConfig {
+        num_loops,
+        ..SuiteConfig::pldi95_default()
+    });
+    let harness = Harness::new(
+        machine.clone(),
+        SuiteRunConfig {
+            num_loops,
+            time_limit_per_t: None,
+            per_loop_ticks: Some(50_000),
+            max_t_above_lb: 8,
+            heuristic_incumbent: true,
+            conflict_oracle: oracle,
+        },
+        HarnessConfig {
+            workers: 1,
+            record_timing: true,
+            ..HarnessConfig::default()
+        },
+    );
+    let before = stats::snapshot();
+    let report = harness.run(&loops, &mut NullSink).expect("artifact-less");
+    assert!(!report.interrupted, "A/B run must cover every loop");
+    AbRun {
+        wall_us: report.wall_time.as_micros() as u64,
+        solve_us: report.summary.solve_time_total.as_micros() as u64,
+        lines: report
+            .records
+            .iter()
+            .map(LoopRecord::to_json_line)
+            .collect(),
+        oracle: stats::snapshot().since(&before),
+    }
+}
+
+/// Remove one `"key":value` member (and an adjoining comma) from a
+/// flat JSON line. Values must not contain `,` or `}` (fingerprint hex
+/// strings and integers both qualify).
+fn drop_field(line: &str, key: &str) -> String {
+    let needle = format!("\"{key}\":");
+    let Some(at) = line.find(&needle) else {
+        return line.to_string();
+    };
+    let val_end = line[at..].find([',', '}']).map_or(line.len(), |e| at + e);
+    if line[val_end..].starts_with(',') {
+        format!("{}{}", &line[..at], &line[val_end + 1..])
+    } else {
+        let prefix = line[..at].strip_suffix(',').unwrap_or(&line[..at]);
+        format!("{prefix}{}", &line[val_end..])
+    }
+}
+
+/// Outcome fields only: `cfg_fp` legitimately differs (the oracle mode
+/// is part of the config fingerprint so A/B artifacts never share a
+/// cache), and `solve_us` is wall-clock timing — nondeterministic
+/// between any two runs regardless of oracle. Everything else,
+/// including the deterministic effort counters (`ticks`, `bb_nodes`,
+/// `lp_iters`), must match byte-for-byte.
+fn strip_noncomparable(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .map(|l| drop_field(&drop_field(l, "cfg_fp"), "solve_us"))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let flags = match Flags::parse(std::env::args().skip(1), &[]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench_automata: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let num_loops: usize = match flags.positional_or(0, 256) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("bench_automata: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = flags
+        .get("out")
+        .unwrap_or("BENCH_automata.json")
+        .to_string();
+    let machine = Machine::example_pldi95();
+
+    eprintln!("== micro: conflict-query engines (FP class, {BATCH} queries × {REPS} reps) ==");
+    let rows = micro(&machine);
+    for r in &rows {
+        eprintln!(
+            "T={:<2}  naive {:>7.1} ns  matrix {:>6.1} ns  fsa {:>6.1} ns  (fsa speedup ×{:.1})",
+            r.period,
+            r.naive_ns,
+            r.matrix_ns,
+            r.fsa_ns,
+            r.naive_ns / r.fsa_ns
+        );
+    }
+
+    eprintln!(
+        "== harness A/B: {num_loops} loops, deterministic ticks, 1 worker, min of {AB_REPS} reps =="
+    );
+    // Interleave the reps so slow machine-wide drift hits both modes
+    // equally; keep the minimum-wall rep of each.
+    let (mut scan, mut auto) = (None::<AbRun>, None::<AbRun>);
+    for _ in 0..AB_REPS {
+        let s = run_ab(&machine, num_loops, ConflictOracleMode::Scan);
+        let a = run_ab(&machine, num_loops, ConflictOracleMode::Automaton);
+        if scan.as_ref().is_none_or(|best| s.wall_us < best.wall_us) {
+            scan = Some(s);
+        }
+        if auto.as_ref().is_none_or(|best| a.wall_us < best.wall_us) {
+            auto = Some(a);
+        }
+    }
+    let (scan, auto) = (scan.expect("AB_REPS > 0"), auto.expect("AB_REPS > 0"));
+    let (scan_cmp, auto_cmp) = (
+        strip_noncomparable(&scan.lines),
+        strip_noncomparable(&auto.lines),
+    );
+    let identical = scan_cmp == auto_cmp;
+    for (s, a) in scan_cmp
+        .iter()
+        .zip(&auto_cmp)
+        .filter(|(s, a)| s != a)
+        .take(3)
+    {
+        eprintln!("diverged:\n  scan:      {s}\n  automaton: {a}");
+    }
+    eprintln!(
+        "scan: {} µs wall ({} µs solve) | automaton: {} µs wall ({} µs solve) | outcomes identical: {identical}",
+        scan.wall_us, scan.solve_us, auto.wall_us, auto.solve_us
+    );
+    eprintln!(
+        "automaton oracle: {} FSA + {} matrix queries, {} fallback scans, {} memo hits / {} builds",
+        auto.oracle.fsa_queries,
+        auto.oracle.matrix_queries,
+        auto.oracle.fallback_scans,
+        auto.oracle.memo_hits,
+        auto.oracle.memo_builds
+    );
+
+    let mut json = String::from("{\n  \"machine\": \"example_pldi95\",\n  \"micro\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"t\": {}, \"naive_ns\": {:.2}, \"matrix_ns\": {:.2}, \"fsa_ns\": {:.2}, \"fsa_speedup_vs_naive\": {:.2}}}{}\n",
+            r.period,
+            r.naive_ns,
+            r.matrix_ns,
+            r.fsa_ns,
+            r.naive_ns / r.fsa_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"harness_ab\": {{\"loops\": {num_loops}, \"workers\": 1, \"per_loop_ticks\": 50000,\n    \"scan_wall_us\": {}, \"scan_solve_us\": {}, \"automaton_wall_us\": {}, \"automaton_solve_us\": {},\n    \"outcomes_identical\": {identical},\n    \"oracle\": {{\"fsa_queries\": {}, \"matrix_queries\": {}, \"fallback_scans\": {}, \"memo_hits\": {}, \"memo_builds\": {}}}}}\n",
+        scan.wall_us,
+        scan.solve_us,
+        auto.wall_us,
+        auto.solve_us,
+        auto.oracle.fsa_queries,
+        auto.oracle.matrix_queries,
+        auto.oracle.fallback_scans,
+        auto.oracle.memo_hits,
+        auto.oracle.memo_builds
+    ));
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_automata: writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+
+    if !identical {
+        eprintln!("bench_automata: scan and automaton outcomes DIVERGED");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

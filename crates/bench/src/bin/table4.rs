@@ -9,11 +9,13 @@
 //! * `--workers N` — shard the corpus over `N` threads (`0` = all CPUs;
 //!   the bucket counts are identical at any worker count);
 //! * `--artifact PATH` — stream per-loop JSONL records to `PATH`;
-//! * `--resume` — load `PATH` first and skip already-solved loops.
+//! * `--resume` — load `PATH` first and skip already-solved loops;
+//! * `--conflict-oracle scan|automaton` — conflict-query engine
+//!   (decision-equivalent; `automaton` uses the precomputed hazard FSA).
 
 use std::process::ExitCode;
 use std::time::Duration;
-use swp_bench::{render_table, SuiteOutcome, SuiteRunConfig};
+use swp_bench::{parse_conflict_oracle, render_table, SuiteOutcome, SuiteRunConfig};
 use swp_harness::{Flags, Harness, HarnessConfig, LoopRecord, NullSink};
 use swp_loops::suite::{generate, SuiteConfig};
 use swp_machine::Machine;
@@ -45,9 +47,17 @@ fn main() -> ExitCode {
         _ => (Machine::example_pldi95(), SuiteConfig::pldi95_default()),
     };
 
+    let conflict_oracle = match parse_conflict_oracle(&flags) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("table4: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let run = SuiteRunConfig {
         num_loops,
         time_limit_per_t: Some(Duration::from_secs(secs)),
+        conflict_oracle,
         ..Default::default()
     };
     let config = HarnessConfig {

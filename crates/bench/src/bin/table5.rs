@@ -9,12 +9,12 @@
 //! count.
 //!
 //! Run: `cargo run -p swp-bench --release --bin table5 -- [num_loops] [per-T seconds]`
-//! Harness flags: `--workers N`, `--artifact PATH`, `--resume` (as in
-//! `table4`).
+//! Harness flags: `--workers N`, `--artifact PATH`, `--resume`,
+//! `--conflict-oracle scan|automaton` (as in `table4`).
 
 use std::process::ExitCode;
 use std::time::Duration;
-use swp_bench::{render_table, SuiteOutcome, SuiteRunConfig};
+use swp_bench::{parse_conflict_oracle, render_table, SuiteOutcome, SuiteRunConfig};
 use swp_core::SolvedBy;
 use swp_harness::{Flags, Harness, HarnessConfig, NullSink};
 use swp_loops::suite::{generate, SuiteConfig};
@@ -44,10 +44,18 @@ fn main() -> ExitCode {
     println!(
         "== Table 5: ILP solve effort ({num_loops} loops, pure ILP, {secs}s per period, {workers} workers) ==\n"
     );
+    let conflict_oracle = match parse_conflict_oracle(&flags) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("table5: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let run = SuiteRunConfig {
         num_loops,
         time_limit_per_t: Some(Duration::from_secs(secs)),
         heuristic_incumbent: false,
+        conflict_oracle,
         ..Default::default()
     };
     let config = HarnessConfig {

@@ -30,11 +30,12 @@
 use crate::formulation::{self, FormulationOptions, MappingMode, Objective};
 use crate::ScheduleError;
 use std::time::Duration;
-use swp_ddg::Ddg;
+use swp_automata::HazardAutomaton;
+use swp_ddg::{Ddg, OpClass};
 use swp_heuristics::{HeuristicError, IterativeModuloScheduler};
 use swp_machine::Machine;
 use swp_machine::{PipelinedSchedule, ValidationError};
-use swp_milp::{Budget, Exhaustion, SolveError, SolveLimits};
+use swp_milp::{Budget, Exhaustion, NodePruner, SolveError, SolveLimits};
 
 /// Tick allowance for the best-effort heuristic pass that runs after the
 /// main budget is exhausted. Ticks (one per IMS placement) rather than
@@ -66,6 +67,25 @@ pub struct FaultPlan {
     pub expire_before_ilp: bool,
 }
 
+/// Which engine answers structural-conflict queries throughout the
+/// pipeline (`T_res` refinement, IMS slot probing, branch-and-bound
+/// pruning, and final schedule verification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConflictOracleMode {
+    /// Naive reservation-table cell scans everywhere (the seed
+    /// behaviour). Always available; the reference semantics.
+    #[default]
+    Scan,
+    /// Precomputed hazard automata ([`swp_automata`]): pairwise modulo
+    /// collision matrices plus a cyclic hazard FSA per class, memoized
+    /// per `(machine, T)`. Answers the same queries in O(1) per probe.
+    /// Decision-equivalent to [`ConflictOracleMode::Scan`] — every
+    /// fast-path answer is `debug_assert`-checked against the exact scan
+    /// in test builds, and the checker falls back to the exact scan
+    /// whenever the automaton cannot answer.
+    Automaton,
+}
+
 /// Configuration for [`RateOptimalScheduler`].
 #[derive(Debug, Clone)]
 pub struct SchedulerConfig {
@@ -94,6 +114,9 @@ pub struct SchedulerConfig {
     /// period has still been refuted exactly. Turn off to measure pure
     /// ILP behaviour (Table 5).
     pub heuristic_incumbent: bool,
+    /// Conflict-query engine for the whole pipeline (default: naive
+    /// scans). See [`ConflictOracleMode`].
+    pub conflict_oracle: ConflictOracleMode,
     /// Test-only fault injection; leave at `Default::default()`.
     #[doc(hidden)]
     pub faults: FaultPlan,
@@ -110,6 +133,7 @@ impl Default for SchedulerConfig {
             symmetry_breaking: true,
             packing_bound: true,
             heuristic_incumbent: true,
+            conflict_oracle: ConflictOracleMode::default(),
             faults: FaultPlan::default(),
         }
     }
@@ -359,6 +383,15 @@ impl RateOptimalScheduler {
         &self.machine
     }
 
+    fn use_automaton(&self) -> bool {
+        self.config.conflict_oracle == ConflictOracleMode::Automaton
+    }
+
+    /// An IMS instance honouring the configured conflict oracle.
+    fn ims(&self) -> IterativeModuloScheduler {
+        IterativeModuloScheduler::new(self.machine.clone()).with_automaton(self.use_automaton())
+    }
+
     /// Finds a schedule at the smallest feasible period `≥ T_lb`, under a
     /// global budget derived from
     /// [`SchedulerConfig::time_limit_total`] (unlimited if `None`).
@@ -401,7 +434,20 @@ impl RateOptimalScheduler {
         let t_dep = ddg.t_dep().ok_or(ScheduleError::NoFinitePeriod)?;
         let t_res = match (self.config.mapping, self.config.packing_bound) {
             // Fixed-assignment problem: counting bound, optionally
-            // strengthened by the exact packing capacity.
+            // strengthened by the exact packing capacity. Under the
+            // automaton oracle the same bound comes from the
+            // forbidden-latency closure (per-unit capacity = maximum
+            // independent set in the circulant conflict graph), which the
+            // automaton registry then reuses for every candidate period.
+            (MappingMode::UnifiedColoring, true) if self.use_automaton() => {
+                let bound = swp_automata::res_mii(&self.machine, ddg);
+                debug_assert_eq!(
+                    bound,
+                    self.machine.t_res(ddg),
+                    "automaton ResMII drifted from the exact packing bound"
+                );
+                bound
+            }
             (MappingMode::UnifiedColoring, true) => self.machine.t_res(ddg),
             (MappingMode::UnifiedColoring, false) => self.machine.t_res_counting(ddg),
             // Run-time unit choice: instances may rotate across units, so
@@ -490,7 +536,7 @@ impl RateOptimalScheduler {
     ) -> Result<ScheduleResult, ScheduleError> {
         let started = std::time::Instant::now();
         let grace = Budget::with_tick_limit(GRACE_TICKS);
-        let ims = IterativeModuloScheduler::new(self.machine.clone());
+        let ims = self.ims();
         match ims.schedule_with(ddg, &grace) {
             Ok(res) => {
                 let period = res.schedule.initiation_interval();
@@ -549,7 +595,15 @@ impl RateOptimalScheduler {
                 ddg: ddg.num_nodes(),
             });
         }
-        schedule.validate(ddg, &self.machine)
+        if self.use_automaton() {
+            // Checker fast path: automaton verdicts with exact-scan
+            // fallback on any query it cannot answer.
+            let oracle =
+                HazardAutomaton::for_machine(&self.machine, schedule.initiation_interval());
+            schedule.validate_with(ddg, &self.machine, Some(&*oracle))
+        } else {
+            schedule.validate(ddg, &self.machine)
+        }
     }
 
     /// Attempts exactly one period under a per-period slice of `budget`.
@@ -562,7 +616,7 @@ impl RateOptimalScheduler {
     ) -> Result<PeriodResult, ScheduleError> {
         let started = std::time::Instant::now();
         let period_budget = budget.restrict(self.config.time_limit_per_t, None);
-        let ims = IterativeModuloScheduler::new(self.machine.clone());
+        let ims = self.ims();
 
         // The heuristic produces *mapped* schedules; under CapacityOnly
         // the point is to study the capacity-only ILP, so skip it there.
@@ -656,6 +710,9 @@ impl RateOptimalScheduler {
         };
         if self.config.objective == Objective::Feasible {
             limits.stop_at_first_incumbent = true;
+        }
+        if self.use_automaton() {
+            limits.node_pruner = Some(self.build_node_pruner(ddg, &f));
         }
         let (num_vars, num_constrs) = (f.model.num_vars(), f.model.num_constrs());
         let solved = if self.config.faults.fail_ilp {
@@ -753,6 +810,83 @@ impl RateOptimalScheduler {
         }
     }
 
+    /// Builds a branch-and-bound [`NodePruner`] from the hazard
+    /// automaton's collision matrix.
+    ///
+    /// A node (subproblem box) is pruned only when its variable bounds
+    /// already *force* a structural conflict: two same-class ops whose
+    /// issue offsets are fixed (exactly one step `t` with `hi[a_{t,i}] >
+    /// 0.5` — the `Σ_t a_{t,i} = 1` row then forces that step) and whose
+    /// unit is known (both colors fixed to the same value, or the class
+    /// has a single unit), at an offset distance the collision matrix
+    /// marks forbidden. Every integer point in such a box violates a
+    /// capacity or overlap row, so discarding the box is sound; the LP
+    /// relaxation is simply skipped.
+    fn build_node_pruner(&self, ddg: &Ddg, f: &formulation::Formulation) -> NodePruner {
+        struct OpInfo {
+            class: OpClass,
+            single_unit: bool,
+            a_row: Vec<usize>,
+            color: Option<usize>,
+        }
+        let ops: Vec<OpInfo> = ddg
+            .nodes()
+            .map(|(id, node)| OpInfo {
+                class: node.class,
+                single_unit: self
+                    .machine
+                    .fu_type(node.class)
+                    .map(|fu| fu.count == 1)
+                    .unwrap_or(false),
+                a_row: f.a[id.index()].iter().map(|v| v.index()).collect(),
+                color: f.color[id.index()].map(|v| v.index()),
+            })
+            .collect();
+        // Same-class pairs, precomputed so the per-node closure is a
+        // flat scan.
+        let pairs: Vec<(usize, usize)> = (0..ops.len())
+            .flat_map(|i| ((i + 1)..ops.len()).map(move |j| (i, j)))
+            .filter(|&(i, j)| ops[i].class == ops[j].class)
+            .collect();
+        let automaton = HazardAutomaton::for_machine(&self.machine, f.period);
+        let period = f.period;
+        NodePruner::new(move |lo: &[f64], hi: &[f64]| {
+            let fixed_offset = |op: &OpInfo| -> Option<u32> {
+                let mut found = None;
+                for (t, &v) in op.a_row.iter().enumerate() {
+                    if hi[v] > 0.5 {
+                        if found.is_some() {
+                            return None;
+                        }
+                        found = Some(t as u32);
+                    }
+                }
+                found
+            };
+            let fixed_color = |op: &OpInfo| -> Option<i64> {
+                let v = op.color?;
+                let (l, h) = (lo[v].ceil() as i64, hi[v].floor() as i64);
+                (l == h).then_some(l)
+            };
+            for &(i, j) in &pairs {
+                let (a, b) = (&ops[i], &ops[j]);
+                let same_unit = a.single_unit
+                    || matches!((fixed_color(a), fixed_color(b)), (Some(x), Some(y)) if x == y);
+                if !same_unit {
+                    continue;
+                }
+                let (Some(ta), Some(tb)) = (fixed_offset(a), fixed_offset(b)) else {
+                    continue;
+                };
+                let delta = (ta + period - tb) % period;
+                if automaton.matrix().collides(a.class, b.class, delta) == Some(true) {
+                    return true;
+                }
+            }
+            false
+        })
+    }
+
     /// Runs IMS at `period` as the fallback engine and verifies the
     /// result. `None` means no certified fallback schedule exists.
     #[allow(clippy::type_complexity)]
@@ -764,7 +898,7 @@ impl RateOptimalScheduler {
         attempts: &mut Vec<PeriodAttempt>,
         started: std::time::Instant,
     ) -> Option<Result<PeriodResult, ScheduleError>> {
-        let ims = IterativeModuloScheduler::new(self.machine.clone());
+        let ims = self.ims();
         match ims.schedule_at_with(ddg, period, period_budget) {
             Ok(Some(schedule)) => {
                 if self.verify(&schedule, ddg, SolvedBy::Heuristic).is_ok() {
@@ -1005,6 +1139,67 @@ mod tests {
         assert!(matches!(err, ScheduleError::Cancelled));
         // The token handle type is exported for callers.
         let _t: CancelToken = budget.cancel_token();
+    }
+
+    #[test]
+    fn automaton_oracle_matches_scan_oracle() {
+        // The automaton is a pure query accelerator: schedules, bounds,
+        // and attempt outcomes must be identical to the scan oracle.
+        for machine in [
+            Machine::example_pldi95(),
+            Machine::example_clean(),
+            Machine::example_non_pipelined(),
+        ] {
+            let g = fp_loop();
+            let scan = RateOptimalScheduler::new(machine.clone(), SchedulerConfig::default())
+                .schedule(&g)
+                .expect("scan oracle schedulable");
+            let auto_cfg = SchedulerConfig {
+                conflict_oracle: ConflictOracleMode::Automaton,
+                ..Default::default()
+            };
+            let auto = RateOptimalScheduler::new(machine.clone(), auto_cfg)
+                .schedule(&g)
+                .expect("automaton oracle schedulable");
+            assert_eq!(scan.schedule, auto.schedule, "machine {machine:?}");
+            assert_eq!(scan.t_dep, auto.t_dep);
+            assert_eq!(scan.t_res, auto.t_res);
+            assert_eq!(
+                scan.attempts.iter().map(|a| &a.outcome).collect::<Vec<_>>(),
+                auto.attempts.iter().map(|a| &a.outcome).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn automaton_pruner_keeps_pure_ilp_path_equivalent() {
+        // Force the ILP to do the work (no heuristic incumbent) so the
+        // branch-and-bound pruner actually runs; the result must still be
+        // a valid proven-optimal schedule at the same period.
+        let machine = Machine::example_pldi95();
+        let g = fp_loop();
+        let base = SchedulerConfig {
+            heuristic_incumbent: false,
+            ..Default::default()
+        };
+        let scan = RateOptimalScheduler::new(machine.clone(), base.clone())
+            .schedule(&g)
+            .expect("scan oracle schedulable");
+        let auto = RateOptimalScheduler::new(
+            machine.clone(),
+            SchedulerConfig {
+                conflict_oracle: ConflictOracleMode::Automaton,
+                ..base
+            },
+        )
+        .schedule(&g)
+        .expect("automaton oracle schedulable");
+        assert_eq!(
+            scan.schedule.initiation_interval(),
+            auto.schedule.initiation_interval()
+        );
+        assert!(auto.is_proven_optimal());
+        assert_eq!(auto.schedule.validate(&g, &machine), Ok(()));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 use crate::json::{parse_object, ObjectWriter};
 use std::time::Duration;
-use swp_core::SolvedBy;
+use swp_core::{ConflictOracleMode, SolvedBy};
 use swp_loops::fingerprint::{from_hex, to_hex, Fnv64};
 
 /// Schema version stamped into every artifact line.
@@ -45,6 +45,11 @@ pub struct SuiteRunConfig {
     /// Let iterative modulo scheduling certify feasible periods
     /// (rate-optimality is unaffected; see `SchedulerConfig`).
     pub heuristic_incumbent: bool,
+    /// Conflict-query engine: naive reservation-table scans or the
+    /// precomputed hazard automaton ([`ConflictOracleMode`]). The two
+    /// are decision-equivalent, so records fingerprint differently only
+    /// to keep A/B comparisons honest about which engine produced them.
+    pub conflict_oracle: ConflictOracleMode,
 }
 
 impl Default for SuiteRunConfig {
@@ -55,6 +60,7 @@ impl Default for SuiteRunConfig {
             per_loop_ticks: None,
             max_t_above_lb: 8,
             heuristic_incumbent: true,
+            conflict_oracle: ConflictOracleMode::default(),
         }
     }
 }
@@ -73,6 +79,10 @@ impl SuiteRunConfig {
         h.write_u64(self.per_loop_ticks.unwrap_or(u64::MAX));
         h.write_u64(u64::from(self.max_t_above_lb));
         h.write_u64(u64::from(self.heuristic_incumbent));
+        h.write_u64(match self.conflict_oracle {
+            ConflictOracleMode::Scan => 0,
+            ConflictOracleMode::Automaton => 1,
+        });
         h.finish()
     }
 }
@@ -380,6 +390,10 @@ mod tests {
             },
             SuiteRunConfig {
                 heuristic_incumbent: false,
+                ..base.clone()
+            },
+            SuiteRunConfig {
+                conflict_oracle: ConflictOracleMode::Automaton,
                 ..base.clone()
             },
         ];

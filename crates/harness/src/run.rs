@@ -228,6 +228,7 @@ impl Harness {
                 time_limit_per_t: self.solve.time_limit_per_t,
                 max_t_above_lb: self.solve.max_t_above_lb,
                 heuristic_incumbent: self.solve.heuristic_incumbent,
+                conflict_oracle: self.solve.conflict_oracle,
                 ..Default::default()
             },
         );
@@ -245,6 +246,9 @@ impl Harness {
             .collect();
 
         let sink = Mutex::new(sink);
+        // Oracle telemetry is process-global; delta against a snapshot so
+        // the summary reports only this run's queries.
+        let oracle_before = swp_automata::stats::snapshot();
         let results = executor::run_indexed(loops.len(), workers, |w, idx| {
             // Drain (skip without a record) once the run-wide budget or
             // the cancel token has tripped.
@@ -276,7 +280,8 @@ impl Harness {
         let interrupted = results.iter().any(Option::is_none);
         let records: Vec<LoopRecord> = results.into_iter().flatten().collect();
         let wall_time = started.elapsed();
-        let summary = RunSummary::from_records(&records, wall_time);
+        let mut summary = RunSummary::from_records(&records, wall_time);
+        summary.oracle = swp_automata::stats::snapshot().since(&oracle_before);
         lock(&sink).on_summary(&summary);
         Ok(RunReport {
             cache_hits: summary.cache_hits,
@@ -412,6 +417,7 @@ mod tests {
             per_loop_ticks: None,
             max_t_above_lb: 8,
             heuristic_incumbent: true,
+            conflict_oracle: Default::default(),
         }
     }
 

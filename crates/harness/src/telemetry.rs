@@ -10,6 +10,7 @@
 use crate::record::{LoopRecord, SuiteOutcome};
 use std::fmt::Write as _;
 use std::time::Duration;
+use swp_automata::OracleCounters;
 use swp_core::SolvedBy;
 
 /// Upper edges of the solve-time histogram buckets.
@@ -59,6 +60,11 @@ pub struct RunSummary {
     /// Solve-time histogram: `(label, count)` per bucket, including the
     /// final overflow bucket.
     pub histogram: Vec<(&'static str, usize)>,
+    /// Hazard-automaton oracle activity during this run (all zeros under
+    /// the scan oracle): FSA/matrix fast-path queries vs. exact fallback
+    /// scans, and automaton memo-registry hits vs. builds. Populated by
+    /// the runner from a process-global counter delta, not from records.
+    pub oracle: OracleCounters,
 }
 
 impl RunSummary {
@@ -165,6 +171,17 @@ impl RunSummary {
             self.loops_per_sec(),
             self.speedup()
         );
+        if self.oracle.any() {
+            let _ = writeln!(
+                out,
+                "oracle: {} FSA + {} matrix queries, {} fallback scans | automata: {} memo hits / {} builds",
+                self.oracle.fsa_queries,
+                self.oracle.matrix_queries,
+                self.oracle.fallback_scans,
+                self.oracle.memo_hits,
+                self.oracle.memo_builds
+            );
+        }
         let max = self.histogram.iter().map(|&(_, c)| c).max().unwrap_or(0);
         if max > 0 {
             let _ = writeln!(out, "solve-time histogram:");

@@ -102,6 +102,8 @@ pub struct IterativeModuloScheduler {
     budget_ratio: u32,
     /// Give up after `MII + ii_span`.
     ii_span: u32,
+    /// Probe MRT slots through the memoized hazard automaton.
+    use_automaton: bool,
 }
 
 impl IterativeModuloScheduler {
@@ -112,6 +114,7 @@ impl IterativeModuloScheduler {
             machine,
             budget_ratio: 6,
             ii_span: 32,
+            use_automaton: false,
         }
     }
 
@@ -124,6 +127,17 @@ impl IterativeModuloScheduler {
     /// Overrides the II search span.
     pub fn with_ii_span(mut self, span: u32) -> Self {
         self.ii_span = span;
+        self
+    }
+
+    /// Routes MRT slot probes through the memoized [`HazardAutomaton`]
+    /// of `(machine, II)` and takes `ResMII` from its conflict closure.
+    /// Schedules are bit-identical either way (debug-asserted in the
+    /// MRT); only the probe cost changes.
+    ///
+    /// [`HazardAutomaton`]: swp_automata::HazardAutomaton
+    pub fn with_automaton(mut self, enabled: bool) -> Self {
+        self.use_automaton = enabled;
         self
     }
 
@@ -156,6 +170,7 @@ impl IterativeModuloScheduler {
             self.ii_span,
             Some(self.budget_ratio),
             budget,
+            self.use_automaton,
         )
     }
 
@@ -192,6 +207,7 @@ impl IterativeModuloScheduler {
             Some(self.budget_ratio),
             &mut evictions,
             budget,
+            self.use_automaton,
         )
         .map_err(HeuristicError::from)
     }
@@ -203,6 +219,7 @@ impl IterativeModuloScheduler {
 pub struct ListModuloScheduler {
     machine: Machine,
     ii_span: u32,
+    use_automaton: bool,
 }
 
 impl ListModuloScheduler {
@@ -211,7 +228,15 @@ impl ListModuloScheduler {
         ListModuloScheduler {
             machine,
             ii_span: 32,
+            use_automaton: false,
         }
+    }
+
+    /// Routes MRT slot probes through the memoized hazard automaton;
+    /// see [`IterativeModuloScheduler::with_automaton`].
+    pub fn with_automaton(mut self, enabled: bool) -> Self {
+        self.use_automaton = enabled;
+        self
     }
 
     /// Schedules `ddg` without backtracking.
@@ -233,7 +258,14 @@ impl ListModuloScheduler {
         ddg: &Ddg,
         budget: &Budget,
     ) -> Result<HeuristicResult, HeuristicError> {
-        run(&self.machine, ddg, self.ii_span, None, budget)
+        run(
+            &self.machine,
+            ddg,
+            self.ii_span,
+            None,
+            budget,
+            self.use_automaton,
+        )
     }
 }
 
@@ -267,19 +299,37 @@ fn run(
     ii_span: u32,
     budget_ratio: Option<u32>,
     budget: &Budget,
+    use_automaton: bool,
 ) -> Result<HeuristicResult, HeuristicError> {
     let t_dep = ddg.t_dep().ok_or(HeuristicError::NoFinitePeriod)?;
-    let t_res = machine.t_res(ddg).map_err(|e| match e {
+    let map_err = |e| match e {
         swp_machine::MachineError::UnknownClass(c) => HeuristicError::UnknownClass(c),
         swp_machine::MachineError::NoUnits(_) => HeuristicError::NoFinitePeriod,
-    })?;
+    };
+    let t_res = if use_automaton {
+        // The automaton's ResMII mirrors `Machine::t_res` exactly (same
+        // refinement loop over the memoized per-unit capacities).
+        let r = swp_automata::res_mii(machine, ddg).map_err(map_err)?;
+        debug_assert_eq!(Ok(r), machine.t_res(ddg), "automaton ResMII drifted");
+        r
+    } else {
+        machine.t_res(ddg).map_err(map_err)?
+    };
     let mii = t_dep.max(t_res);
     let mut tried = Vec::new();
     let mut evictions = 0u64;
     for ii in mii..=mii + ii_span {
         budget.check()?;
         tried.push(ii);
-        if let Some(schedule) = try_ii(machine, ddg, ii, budget_ratio, &mut evictions, budget)? {
+        if let Some(schedule) = try_ii(
+            machine,
+            ddg,
+            ii,
+            budget_ratio,
+            &mut evictions,
+            budget,
+            use_automaton,
+        )? {
             return Ok(HeuristicResult {
                 schedule,
                 mii,
@@ -294,6 +344,7 @@ fn run(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn try_ii(
     machine: &Machine,
     ddg: &Ddg,
@@ -301,6 +352,7 @@ fn try_ii(
     budget_ratio: Option<u32>,
     evictions: &mut u64,
     budget: &Budget,
+    use_automaton: bool,
 ) -> Result<Option<PipelinedSchedule>, Exhaustion> {
     let n = ddg.num_nodes();
     if n == 0 {
@@ -324,7 +376,12 @@ fn try_ii(
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(h[i]));
 
-    let mut mrt = ModuloReservationTable::new(machine, ii);
+    let mut mrt = if use_automaton {
+        let automaton = swp_automata::HazardAutomaton::for_machine(machine, ii);
+        ModuloReservationTable::with_automaton(machine, ii, automaton)
+    } else {
+        ModuloReservationTable::new(machine, ii)
+    };
     let mut time: Vec<Option<u32>> = vec![None; n];
     let mut unit: Vec<u32> = vec![0; n];
     let mut prev_time: Vec<Option<u32>> = vec![None; n];
@@ -525,6 +582,41 @@ mod tests {
             .schedule(&g)
             .expect("empty ok");
         assert_eq!(res.schedule.num_ops(), 0);
+    }
+
+    #[test]
+    fn automaton_probing_yields_identical_schedules() {
+        // The automaton accelerates probes but must not change a single
+        // decision: both runs produce the same schedule, tried list and
+        // eviction count, on clean, hazard and non-pipelined machines.
+        for machine in [
+            Machine::example_pldi95(),
+            Machine::example_clean(),
+            Machine::example_non_pipelined(),
+            Machine::ppc604(),
+        ] {
+            let g = fp_loop();
+            let plain = IterativeModuloScheduler::new(machine.clone())
+                .schedule(&g)
+                .expect("plain");
+            let fast = IterativeModuloScheduler::new(machine.clone())
+                .with_automaton(true)
+                .schedule(&g)
+                .expect("automaton");
+            assert_eq!(plain.schedule, fast.schedule);
+            assert_eq!(plain.mii, fast.mii);
+            assert_eq!(plain.tried, fast.tried);
+            assert_eq!(plain.evictions, fast.evictions);
+
+            let plain_list = ListModuloScheduler::new(machine.clone())
+                .schedule(&g)
+                .expect("plain list");
+            let fast_list = ListModuloScheduler::new(machine)
+                .with_automaton(true)
+                .schedule(&g)
+                .expect("automaton list");
+            assert_eq!(plain_list.schedule, fast_list.schedule);
+        }
     }
 
     #[test]

@@ -69,7 +69,15 @@ impl CollisionInfo {
         self.mal
     }
 
-    fn compute_mal(rt: &ReservationTable, _forbidden: &[u32]) -> u32 {
+    fn compute_mal(rt: &ReservationTable, forbidden: &[u32]) -> u32 {
+        // No forbidden latency means consecutive issues never collide,
+        // so initiations can stream every cycle: MAL = 1. This covers
+        // the single-marked-cell table (and every clean pipeline)
+        // without consulting the modulo search, whose wraparound
+        // residues would otherwise be the only signal.
+        if forbidden.is_empty() {
+            return 1;
+        }
         rt.min_self_period()
     }
 }
@@ -94,6 +102,47 @@ mod tests {
         assert_eq!(info.mal(), 4);
         assert!(info.is_forbidden(2));
         assert!(!info.is_forbidden(4));
+    }
+
+    #[test]
+    fn single_marked_cell_reports_mal_one() {
+        // The degenerate table — one stage, one mark at issue — has no
+        // forbidden latency at all, so back-to-back initiation is legal
+        // and MAL must be exactly 1.
+        let rt = ReservationTable::from_rows(&[&[true]]).expect("well formed");
+        let info = CollisionInfo::analyze(&rt);
+        assert!(info.forbidden_latencies().is_empty());
+        assert_eq!(info.mal(), 1);
+        assert_eq!(info.mal_lower_bound(), 1);
+    }
+
+    #[test]
+    fn offset_marked_single_use_stages_report_mal_one() {
+        // Several stages, each used once: still collision-free, MAL 1.
+        let rt = ReservationTable::from_rows(&[
+            &[true, false, false],
+            &[false, true, false],
+            &[false, false, true],
+        ])
+        .expect("well formed");
+        let info = CollisionInfo::analyze(&rt);
+        assert!(info.forbidden_latencies().is_empty());
+        assert_eq!(info.mal(), 1);
+    }
+
+    #[test]
+    fn figure2_style_two_stage_hazard_table() {
+        // The paper's Figure-2 shape: an issue stage at offset 0 and a
+        // hazard stage used at two consecutive offsets {1, 2}. The
+        // double-booked stage forbids latency 1; at period 2 its uses
+        // land on residues {1, 0} — disjoint — so MAL = 2.
+        let rt = ReservationTable::from_rows(&[&[true, false, false], &[false, true, true]])
+            .expect("well formed");
+        let info = CollisionInfo::analyze(&rt);
+        assert_eq!(info.forbidden_latencies(), &[1]);
+        assert_eq!(info.collision_vector(), 0b1);
+        assert_eq!(info.mal_lower_bound(), 2);
+        assert_eq!(info.mal(), 2);
     }
 
     #[test]

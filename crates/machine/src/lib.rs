@@ -31,7 +31,10 @@ mod restable;
 mod schedule;
 pub mod sim;
 
-pub use checker::{check_capacity_only, check_fixed_assignment, ConflictError, PlacedOp};
+pub use checker::{
+    check_capacity_only, check_fixed_assignment, check_fixed_assignment_with, ConflictError,
+    ConflictOracle, PlacedOp,
+};
 pub use collision::CollisionInfo;
 pub use machine::{FuType, Machine, MachineError};
 pub use parse::{parse_machine, MachineParseError};
