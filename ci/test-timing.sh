@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Per-test wall-clock gate for the tier-1 suite.
+#
+# Builds every workspace test binary, enumerates the tests inside each,
+# and runs each test on its own under `timeout`. Any single test
+# exceeding the limit (default 120 s) fails the job and is named in the
+# summary, so a slow test is caught the week it lands, not when the
+# suite quietly crosses an hour.
+#
+# Usage: ci/test-timing.sh [limit-seconds]
+
+set -euo pipefail
+
+LIMIT="${1:-120}"
+FAILED=0
+SLOW=()
+
+# Build test binaries and capture their paths. Filter to artifacts
+# compiled with the libtest harness ("test":true): `cargo test` also
+# builds the workspace's plain bin targets (so integration tests can
+# spawn them), and those neither speak `--list` nor belong here.
+mapfile -t BINARIES < <(
+  cargo test --workspace --no-run --message-format=json 2>/dev/null |
+    grep -E '"profile":\{[^}]*"test":true' |
+    sed -n 's/.*"executable":"\([^"]*\)".*/\1/p' | sort -u
+)
+
+if [ "${#BINARIES[@]}" -eq 0 ]; then
+  echo "test-timing: no test binaries found" >&2
+  exit 1
+fi
+
+echo "test-timing: ${#BINARIES[@]} test binaries, per-test limit ${LIMIT}s"
+
+for bin in "${BINARIES[@]}"; do
+  [ -x "$bin" ] || continue
+  # `<binary> --list --format terse` prints `name: test` per test.
+  mapfile -t TESTS < <("$bin" --list --format terse 2>/dev/null |
+    sed -n 's/^\(.*\): test$/\1/p')
+  for name in "${TESTS[@]}"; do
+    start=$(date +%s)
+    if ! timeout "$LIMIT" "$bin" --exact "$name" --test-threads=1 >/dev/null 2>&1; then
+      status=$?
+      elapsed=$(( $(date +%s) - start ))
+      if [ "$status" -eq 124 ]; then
+        SLOW+=("$(basename "$bin") :: $name (killed at ${LIMIT}s)")
+      else
+        # A genuine failure is the main test job's business, but a
+        # test that fails only under --exact isolation is still worth
+        # surfacing here rather than hiding.
+        SLOW+=("$(basename "$bin") :: $name (exit $status after ${elapsed}s)")
+      fi
+      FAILED=1
+      continue
+    fi
+    elapsed=$(( $(date +%s) - start ))
+    if [ "$elapsed" -ge "$LIMIT" ]; then
+      SLOW+=("$(basename "$bin") :: $name (${elapsed}s)")
+      FAILED=1
+    fi
+  done
+done
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "test-timing: tests over the ${LIMIT}s limit or failing in isolation:" >&2
+  printf '  %s\n' "${SLOW[@]}" >&2
+  exit 1
+fi
+
+echo "test-timing: all tests within ${LIMIT}s"

@@ -1,0 +1,220 @@
+//! The differential fuzzing campaign driver.
+//!
+//! ```text
+//! cargo run -p swp-fuzz --release --bin fuzz -- \
+//!     --seed 5 --cases 500 --workers 4 [--budget-ms 60000] [--shrink] \
+//!     [--artifact fuzz.jsonl] [--out DIR] [--adversarial 0.6] \
+//!     [--max-nodes 8] [--ticks 2000000] [--no-metamorphic] \
+//!     [--inject-fault reject-schedules|fail-ilp|fail-heuristic]
+//! ```
+//!
+//! Cases are sharded over the `swp-harness` work-stealing executor and
+//! reported in campaign order, so the JSONL artifact for a completed
+//! same-seed run is byte-identical at any worker count. `--budget-ms`
+//! is a wall-clock stop for CI smoke runs: cases not started before the
+//! deadline are skipped (and counted), already-finished records stay
+//! deterministic. `--inject-fault` deliberately breaks the baseline
+//! configuration via the scheduler's test-only fault plan, to
+//! demonstrate end to end that the oracle catches a broken engine and
+//! the shrinker minimizes the counterexample.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+use swp_core::FaultPlan;
+use swp_fuzz::{
+    gen_case, run_case, shrink, to_json_line, write_regression, CaseReport, DiffOptions, FuzzCase,
+    GenConfig,
+};
+use swp_harness::{executor, Flags};
+use swp_loops::fingerprint::{ddg_fingerprint, machine_fingerprint};
+
+fn parse_fault(name: &str) -> Result<FaultPlan, String> {
+    match name {
+        "reject-schedules" => Ok(FaultPlan {
+            reject_ilp_schedule: true,
+            reject_heuristic_schedule: true,
+            ..FaultPlan::default()
+        }),
+        "reject-ilp" => Ok(FaultPlan {
+            reject_ilp_schedule: true,
+            ..FaultPlan::default()
+        }),
+        "reject-heuristic" => Ok(FaultPlan {
+            reject_heuristic_schedule: true,
+            ..FaultPlan::default()
+        }),
+        "fail-ilp" => Ok(FaultPlan {
+            fail_ilp: true,
+            ..FaultPlan::default()
+        }),
+        "fail-heuristic" => Ok(FaultPlan {
+            fail_heuristic_incumbent: true,
+            ..FaultPlan::default()
+        }),
+        other => Err(format!(
+            "unknown fault `{other}` (use reject-schedules, reject-ilp, \
+             reject-heuristic, fail-ilp, or fail-heuristic)"
+        )),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run() -> Result<ExitCode, String> {
+    let flags = Flags::parse(std::env::args().skip(1), &["shrink", "no-metamorphic"])?;
+    let seed: u64 = flags.get_or("seed", 0)?;
+    let cases: usize = flags.get_or("cases", 200)?;
+    let workers: usize = flags.get_or("workers", 1)?;
+    let budget_ms: u64 = flags.get_or("budget-ms", 0)?;
+    let adversarial: f64 = flags.get_or("adversarial", 0.6)?;
+    let max_nodes: usize = flags.get_or("max-nodes", 8)?;
+    let ticks: u64 = flags.get_or("ticks", 2_000_000)?;
+    let do_shrink = flags.has("shrink");
+
+    let gen_config = GenConfig {
+        seed,
+        max_nodes,
+        adversarial_fraction: adversarial,
+        ..GenConfig::default()
+    };
+    let mut opts = DiffOptions {
+        ticks_per_config: ticks,
+        metamorphic: !flags.has("no-metamorphic"),
+        ..DiffOptions::default()
+    };
+    if let Some(fault) = flags.get("inject-fault") {
+        opts.faults = parse_fault(fault)?;
+        opts.metamorphic = false;
+    }
+
+    let deadline = (budget_ms > 0).then(|| Instant::now() + Duration::from_millis(budget_ms));
+    let started = Instant::now();
+    println!(
+        "== swp-fuzz: seed {seed}, {cases} cases, {workers} worker(s), {ticks} ticks/config =="
+    );
+
+    let gen_ref = &gen_config;
+    let opts_ref = &opts;
+    let results: Vec<Option<(FuzzCase, CaseReport)>> =
+        executor::run_indexed(cases, workers, move |_worker, index| {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Some(None); // budget spent: skip, but keep the slot
+                }
+            }
+            let case = gen_case(gen_ref, index);
+            let report = run_case(&case, opts_ref);
+            Some(Some((case, report)))
+        })
+        .into_iter()
+        .map(Option::flatten)
+        .collect();
+
+    // Artifact: completed cases, campaign order, timing-free.
+    if let Some(path) = flags.get("artifact") {
+        let mut file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create artifact {path}: {e}"))?;
+        for entry in results.iter().flatten() {
+            let (case, report) = entry;
+            let line = to_json_line(
+                report,
+                ddg_fingerprint(&case.ddg),
+                machine_fingerprint(&case.machine),
+            );
+            writeln!(file, "{line}").map_err(|e| format!("artifact write failed: {e}"))?;
+        }
+    }
+
+    // Telemetry.
+    let completed = results.iter().flatten().count();
+    let skipped = cases - completed;
+    let scheduled = results
+        .iter()
+        .flatten()
+        .filter(|(_, r)| r.proven_t.is_some())
+        .count();
+    let metamorphic: u64 = results
+        .iter()
+        .flatten()
+        .map(|(_, r)| u64::from(r.metamorphic_checked))
+        .sum();
+    let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut failing: Vec<&(FuzzCase, CaseReport)> = Vec::new();
+    for entry in results.iter().flatten() {
+        if !entry.1.passed() {
+            failing.push(entry);
+        }
+        for v in &entry.1.violations {
+            *by_kind.entry(v.kind.as_str()).or_insert(0) += 1;
+        }
+    }
+    let violations: usize = by_kind.values().sum();
+    println!(
+        "completed {completed}/{cases} case(s) ({skipped} skipped by --budget-ms), \
+         {scheduled} with a proven optimum, {metamorphic} metamorphic check(s)"
+    );
+    println!(
+        "violations: {violations} across {} failing case(s) [{:.1}s]",
+        failing.len(),
+        started.elapsed().as_secs_f64()
+    );
+    for (kind, n) in &by_kind {
+        println!("  {kind}: {n}");
+    }
+
+    if failing.is_empty() {
+        println!("ok: zero property violations");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // Report (and optionally shrink) one representative per kind.
+    let out_dir = flags.get("out").map(std::path::PathBuf::from);
+    let mut seen = BTreeMap::new();
+    for (case, report) in &failing {
+        let v = &report.violations[0];
+        if seen.contains_key(v.kind.as_str()) {
+            continue;
+        }
+        seen.insert(v.kind.as_str(), true);
+        eprintln!(
+            "\ncase {}: {} [{}] {}",
+            case.name,
+            v.kind.as_str(),
+            v.config,
+            v.details
+        );
+        let minimized = if do_shrink {
+            let outcome = shrink(case, &opts, v.kind);
+            eprintln!(
+                "shrunk to {} node(s) / {} edge(s) after {} candidate(s)",
+                outcome.case.ddg.num_nodes(),
+                outcome.case.ddg.num_edges(),
+                outcome.tested
+            );
+            outcome.case
+        } else {
+            (*case).clone()
+        };
+        let text = write_regression(&minimized, Some(v.kind));
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+            let file = dir.join(format!("{}-{}.txt", v.kind.as_str(), case.name));
+            std::fs::write(&file, &text).map_err(|e| format!("cannot write {file:?}: {e}"))?;
+            eprintln!("regression file written to {}", file.display());
+        } else {
+            eprintln!("--- regression file ---\n{text}-----------------------");
+        }
+    }
+    Ok(ExitCode::FAILURE)
+}

@@ -1,0 +1,284 @@
+//! Seeded generators for random scheduling problems.
+//!
+//! A fuzz case is a `(machine, ddg)` pair. Both halves are drawn from a
+//! per-case [`SmallRng`] derived from the campaign seed and the case
+//! index by a splitmix64 step, so case `i` of seed `s` is the same
+//! problem on every run, at any worker count, on any host.
+//!
+//! Two modes:
+//!
+//! * **Guaranteed-schedulable** — every unit type is a clean pipeline
+//!   (single issue-slot stage) and the DDG has only forward intra-
+//!   iteration edges plus distance-≥1 recurrences. Such a case always
+//!   admits a schedule at `T = max(T_lb, n)` (issue the `n` operations
+//!   at distinct cycles with inter-iteration offsets absorbing the
+//!   dependences), and `n ≤ T_lb + 16` for the sizes generated here, so
+//!   an unbudgeted complete search must succeed. The differential
+//!   runner treats "no schedule found, no timeouts" as a violation for
+//!   these cases.
+//! * **Adversarial** — unclean reservation tables with multi-stage
+//!   collisions, non-pipelined units, mismatched node/machine
+//!   latencies, denser edges, longer carried distances. No
+//!   schedulability promise; the oracle checks consistency only.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swp_ddg::{Ddg, NodeId, OpClass};
+use swp_machine::{FuType, Machine, ReservationTable};
+
+/// Knobs for the generators. The defaults keep cases small enough that
+/// the exact ILP settles every period in milliseconds, which is what
+/// makes a 500-case differential campaign practical.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Campaign seed; case `i` derives its own RNG from `(seed, i)`.
+    pub seed: u64,
+    /// Maximum DDG size (nodes). Minimum is 2.
+    pub max_nodes: usize,
+    /// Maximum number of function-unit classes. Minimum is 1.
+    pub max_classes: usize,
+    /// Maximum physical copies per unit type.
+    pub max_count: u32,
+    /// Maximum dependence latency.
+    pub max_latency: u32,
+    /// Maximum iteration distance on carried edges.
+    pub max_distance: u32,
+    /// Fraction of cases generated in adversarial mode (the rest are
+    /// guaranteed-schedulable).
+    pub adversarial_fraction: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 0,
+            max_nodes: 8,
+            max_classes: 3,
+            max_count: 2,
+            max_latency: 4,
+            max_distance: 3,
+            adversarial_fraction: 0.6,
+        }
+    }
+}
+
+/// One generated scheduling problem.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Case index within the campaign.
+    pub index: usize,
+    /// Stable name (`"case0042"`).
+    pub name: String,
+    /// Whether the case carries the schedulability guarantee.
+    pub guaranteed: bool,
+    /// The target machine.
+    pub machine: Machine,
+    /// The dependence graph.
+    pub ddg: Ddg,
+}
+
+/// splitmix64: decorrelates the per-case seed from the campaign seed so
+/// consecutive cases do not share RNG prefixes.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generates case `index` of the campaign described by `config`.
+pub fn gen_case(config: &GenConfig, index: usize) -> FuzzCase {
+    let mut rng = SmallRng::seed_from_u64(mix(config.seed, index as u64));
+    let adversarial = rng.gen_bool(config.adversarial_fraction.clamp(0.0, 1.0));
+    let machine = gen_machine(&mut rng, config, adversarial);
+    let ddg = gen_ddg(&mut rng, config, &machine, adversarial);
+    debug_assert_eq!(ddg.validate(), Ok(()));
+    FuzzCase {
+        index,
+        name: format!("case{index:04}"),
+        guaranteed: !adversarial,
+        machine,
+        ddg,
+    }
+}
+
+/// Generates the whole campaign in index order.
+pub fn gen_cases(config: &GenConfig, cases: usize) -> Vec<FuzzCase> {
+    (0..cases).map(|i| gen_case(config, i)).collect()
+}
+
+fn gen_machine(rng: &mut SmallRng, config: &GenConfig, adversarial: bool) -> Machine {
+    let num_classes = rng.gen_range(1..=config.max_classes.max(1));
+    let types = (0..num_classes)
+        .map(|c| {
+            let count = rng.gen_range(1..=config.max_count.max(1));
+            let latency = rng.gen_range(1..=config.max_latency.max(1));
+            let reservation = if adversarial {
+                match rng.gen_range(0u32..4) {
+                    0 => ReservationTable::clean(rng.gen_range(1..=3)),
+                    1 => ReservationTable::non_pipelined(rng.gen_range(1..=3)),
+                    _ => random_table(rng),
+                }
+            } else {
+                ReservationTable::clean(rng.gen_range(1..=3))
+            };
+            FuType {
+                name: format!("C{c}"),
+                count,
+                latency,
+                reservation,
+            }
+        })
+        .collect();
+    Machine::new(types).expect("generated counts are positive")
+}
+
+/// A random unclean reservation table: 1–3 stages, 2–4 cycles, an
+/// issue-slot mark at `(0, 0)` (required: every operation must occupy
+/// something at its issue cycle) and further marks with probability
+/// 0.35 — enough to produce forbidden latencies and multi-stage
+/// collisions without making most tables modulo-infeasible everywhere.
+fn random_table(rng: &mut SmallRng) -> ReservationTable {
+    let stages = rng.gen_range(1..=3);
+    let cols = rng.gen_range(2..=4usize);
+    let rows: Vec<Vec<bool>> = (0..stages)
+        .map(|s| {
+            (0..cols)
+                .map(|l| (s == 0 && l == 0) || rng.gen_bool(0.35))
+                .collect()
+        })
+        .collect();
+    let borrowed: Vec<&[bool]> = rows.iter().map(Vec::as_slice).collect();
+    ReservationTable::from_rows(&borrowed).unwrap_or_else(|| ReservationTable::clean(1))
+}
+
+fn gen_ddg(rng: &mut SmallRng, config: &GenConfig, machine: &Machine, adversarial: bool) -> Ddg {
+    let n = rng.gen_range(2..=config.max_nodes.max(2));
+    let mut g = Ddg::new();
+    let mut ids: Vec<NodeId> = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = OpClass::new(rng.gen_range(0..machine.num_classes()));
+        // Node latency usually matches the machine's class latency (the
+        // convention real front-ends follow); adversarial cases sometimes
+        // disagree, which is legal — dependence checking uses the node.
+        let machine_lat = machine.latency(class).expect("class in range");
+        let latency = if adversarial && rng.gen_bool(0.3) {
+            rng.gen_range(1..=config.max_latency.max(1))
+        } else {
+            machine_lat
+        };
+        ids.push(g.add_node(format!("n{i}"), class, latency));
+    }
+
+    // Forward dataflow, denser when adversarial.
+    for i in 1..n {
+        let max_preds = if adversarial { 3 } else { 2 };
+        let preds = rng.gen_range(0..=max_preds.min(i));
+        let mut used = Vec::new();
+        for _ in 0..preds {
+            let p = rng.gen_range(0..i);
+            if !used.contains(&p) {
+                used.push(p);
+                let distance = if adversarial && rng.gen_bool(0.2) {
+                    rng.gen_range(1..=config.max_distance.max(1))
+                } else {
+                    0
+                };
+                g.add_edge(ids[p], ids[i], distance).expect("valid ids");
+            }
+        }
+    }
+
+    // Recurrences: self-loops and backward carried edges, always with
+    // distance ≥ 1 so no zero-distance cycle can arise.
+    if rng.gen_bool(0.5) {
+        let k = rng.gen_range(0..n);
+        let dist = rng.gen_range(1..=config.max_distance.max(1));
+        g.add_edge(ids[k], ids[k], dist).expect("valid ids");
+    }
+    if n > 2 && rng.gen_bool(if adversarial { 0.4 } else { 0.2 }) {
+        let a = rng.gen_range(1..n);
+        let b = rng.gen_range(0..a);
+        let dist = rng.gen_range(1..=config.max_distance.max(1));
+        g.add_edge(ids[a], ids[b], dist).expect("valid ids");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_index() {
+        let cfg = GenConfig {
+            seed: 42,
+            ..GenConfig::default()
+        };
+        for i in [0usize, 7, 31] {
+            let a = gen_case(&cfg, i);
+            let b = gen_case(&cfg, i);
+            assert_eq!(a.ddg, b.ddg);
+            assert_eq!(a.machine, b.machine);
+            assert_eq!(a.guaranteed, b.guaranteed);
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let a = gen_case(
+            &GenConfig {
+                seed: 1,
+                ..GenConfig::default()
+            },
+            0,
+        );
+        let b = gen_case(
+            &GenConfig {
+                seed: 2,
+                ..GenConfig::default()
+            },
+            0,
+        );
+        assert!(a.ddg != b.ddg || a.machine != b.machine);
+    }
+
+    #[test]
+    fn all_cases_well_formed() {
+        let cfg = GenConfig {
+            seed: 7,
+            ..GenConfig::default()
+        };
+        for case in gen_cases(&cfg, 200) {
+            assert_eq!(case.ddg.validate(), Ok(()), "{}", case.name);
+            assert!(case.ddg.num_nodes() >= 2);
+            assert!(case.machine.num_classes() >= 1);
+            for (_, node) in case.ddg.nodes() {
+                assert!(case.machine.fu_type(node.class).is_ok());
+            }
+            if case.guaranteed {
+                for t in case.machine.types() {
+                    assert!(t.reservation.is_clean(), "{}", case.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_modes_appear() {
+        let cfg = GenConfig {
+            seed: 9,
+            adversarial_fraction: 0.5,
+            ..GenConfig::default()
+        };
+        let cases = gen_cases(&cfg, 100);
+        assert!(cases.iter().any(|c| c.guaranteed));
+        assert!(cases.iter().any(|c| !c.guaranteed));
+        // Adversarial cases actually produce unclean pipelines somewhere.
+        assert!(cases.iter().filter(|c| !c.guaranteed).any(|c| c
+            .machine
+            .types()
+            .iter()
+            .any(|t| !t.reservation.is_clean())));
+    }
+}

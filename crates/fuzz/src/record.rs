@@ -1,0 +1,85 @@
+//! The per-case JSONL artifact record.
+//!
+//! One flat JSON object per case, in campaign (index) order, reusing
+//! the harness's dependency-free JSON subset. The record deliberately
+//! carries **no timing** and no host-dependent field: together with the
+//! tick-budgeted runner this makes same-seed campaigns byte-identical
+//! across runs, worker counts, and machines — which is itself asserted
+//! by the determinism tests and the CI smoke job.
+
+use crate::diff::CaseReport;
+use swp_harness::json::{parse_object, ObjectWriter};
+use swp_loops::fingerprint::{ddg_fingerprint, machine_fingerprint, to_hex};
+
+/// Schema tag stamped on every record line.
+pub const FUZZ_SCHEMA_VERSION: &str = "swp-fuzz-v1";
+
+/// Renders one case report as a JSONL line (no trailing newline).
+///
+/// `ddg_fp`/`machine_fp` identify the case content so an artifact can
+/// be correlated with a regenerated campaign.
+pub fn to_json_line(report: &CaseReport, ddg_fp: u64, machine_fp: u64) -> String {
+    let mut w = ObjectWriter::new();
+    w.str("schema", FUZZ_SCHEMA_VERSION)
+        .u64("index", report.index as u64)
+        .str("name", &report.name)
+        .str("ddg", &to_hex(ddg_fp))
+        .str("machine", &to_hex(machine_fp))
+        .bool("guaranteed", report.guaranteed)
+        .u64("nodes", report.num_nodes as u64)
+        .u64("edges", report.num_edges as u64)
+        .u64("t_dep", report.t_dep as u64)
+        .u64("t_res", report.t_res as u64)
+        .opt_u64("proven_t", report.proven_t.map(u64::from))
+        .u64("metamorphic", report.metamorphic_checked as u64);
+    for o in &report.outcomes {
+        w.str(o.config, &o.summary);
+    }
+    w.u64("violations", report.violations.len() as u64);
+    let kinds: Vec<&str> = report.violations.iter().map(|v| v.kind.as_str()).collect();
+    w.str("violation_kinds", &kinds.join(","));
+    w.finish()
+}
+
+/// Convenience: fingerprints straight from the case halves.
+pub fn fingerprints(ddg: &swp_ddg::Ddg, machine: &swp_machine::Machine) -> (u64, u64) {
+    (ddg_fingerprint(ddg), machine_fingerprint(machine))
+}
+
+/// Sanity-parses an artifact line (used by tests and tooling).
+///
+/// # Errors
+///
+/// The JSON subset parser's message for malformed lines, or a schema
+/// mismatch message.
+pub fn check_json_line(line: &str) -> Result<(), String> {
+    let obj = parse_object(line)?;
+    match obj.get("schema").and_then(|v| v.as_str()) {
+        Some(FUZZ_SCHEMA_VERSION) => Ok(()),
+        Some(other) => Err(format!("unknown schema `{other}`")),
+        None => Err("missing schema field".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::{run_case, DiffOptions};
+    use crate::gen::{gen_case, GenConfig};
+
+    #[test]
+    fn lines_parse_and_are_deterministic() {
+        let cfg = GenConfig {
+            seed: 21,
+            ..GenConfig::default()
+        };
+        let case = gen_case(&cfg, 0);
+        let (dfp, mfp) = fingerprints(&case.ddg, &case.machine);
+        let a = to_json_line(&run_case(&case, &DiffOptions::default()), dfp, mfp);
+        let b = to_json_line(&run_case(&case, &DiffOptions::default()), dfp, mfp);
+        assert_eq!(a, b);
+        check_json_line(&a).expect("parses");
+        assert!(a.contains("\"schema\":\"swp-fuzz-v1\""));
+        check_json_line("{\"schema\":\"bogus\"}").unwrap_err();
+    }
+}

@@ -1,0 +1,245 @@
+//! Self-contained regression files for shrunk counterexamples.
+//!
+//! A regression file carries everything needed to replay a case — the
+//! machine (in the `swp-machine` textual format) and the DDG — plus the
+//! violation kind it once triggered:
+//!
+//! ```text
+//! # swp-fuzz regression
+//! # kind: proven-mismatch
+//! machine m {
+//!     unit C0 count=1 latency=2 table[X./.X]
+//! }
+//! ddg {
+//!     node n0 class=0 latency=2
+//!     node n1 class=0 latency=2
+//!     edge 0 -> 1 distance=0
+//!     edge 1 -> 0 distance=1
+//! }
+//! ```
+//!
+//! The committed corpus under `tests/regressions/` is loaded by a
+//! table-driven test that replays every file through the differential
+//! runner and requires a clean report — once a bug is fixed, its
+//! counterexample keeps guarding the fix.
+
+use crate::diff::ViolationKind;
+use crate::gen::FuzzCase;
+use swp_ddg::{Ddg, NodeId, OpClass};
+use swp_machine::{parse_machine, write_machine};
+
+/// A parsed regression file.
+#[derive(Debug, Clone)]
+pub struct RegressionCase {
+    /// The violation this case once triggered (from the `# kind:` line).
+    pub kind: Option<ViolationKind>,
+    /// The replayable case.
+    pub case: FuzzCase,
+}
+
+/// Renders `case` as a self-contained regression file.
+pub fn write_regression(case: &FuzzCase, kind: Option<ViolationKind>) -> String {
+    let mut out = String::new();
+    out.push_str("# swp-fuzz regression\n");
+    if let Some(k) = kind {
+        out.push_str(&format!("# kind: {}\n", k.as_str()));
+    }
+    out.push_str(&write_machine("m", &case.machine));
+    out.push_str("ddg {\n");
+    for (_, n) in case.ddg.nodes() {
+        out.push_str(&format!(
+            "    node {} class={} latency={}\n",
+            n.name.replace(char::is_whitespace, "_"),
+            n.class.index(),
+            n.latency
+        ));
+    }
+    for e in case.ddg.edges() {
+        out.push_str(&format!(
+            "    edge {} -> {} distance={}\n",
+            e.src.index(),
+            e.dst.index(),
+            e.distance
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses a regression file written by [`write_regression`].
+///
+/// # Errors
+///
+/// A human-readable message naming the offending line.
+pub fn parse_regression(name: &str, source: &str) -> Result<RegressionCase, String> {
+    let mut kind = None;
+    let mut machine_text = String::new();
+    let mut in_machine = false;
+    let mut in_ddg = false;
+    let mut ddg = Ddg::new();
+    let mut ids: Vec<NodeId> = Vec::new();
+    let mut machine = None;
+
+    for (ln, raw) in source.lines().enumerate() {
+        let line_no = ln + 1;
+        let line = raw.trim();
+        if let Some(rest) = line.strip_prefix("# kind:") {
+            kind = ViolationKind::parse(rest.trim());
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if in_machine {
+            machine_text.push_str(raw);
+            machine_text.push('\n');
+            if line == "}" {
+                in_machine = false;
+                let (_, m) = parse_machine(&machine_text)
+                    .map_err(|e| format!("{name}: machine block: {e}"))?;
+                machine = Some(m);
+            }
+        } else if in_ddg {
+            if line == "}" {
+                in_ddg = false;
+            } else if let Some(rest) = line.strip_prefix("node ") {
+                let mut node_name = None;
+                let mut class = None;
+                let mut latency = None;
+                for tok in rest.split_whitespace() {
+                    if let Some(v) = tok.strip_prefix("class=") {
+                        class = Some(
+                            v.parse::<usize>()
+                                .map_err(|_| format!("{name}:{line_no}: bad class `{v}`"))?,
+                        );
+                    } else if let Some(v) = tok.strip_prefix("latency=") {
+                        latency = Some(
+                            v.parse::<u32>()
+                                .map_err(|_| format!("{name}:{line_no}: bad latency `{v}`"))?,
+                        );
+                    } else if node_name.is_none() {
+                        node_name = Some(tok.to_string());
+                    } else {
+                        return Err(format!("{name}:{line_no}: unexpected token `{tok}`"));
+                    }
+                }
+                let node_name =
+                    node_name.ok_or_else(|| format!("{name}:{line_no}: node needs a name"))?;
+                let class =
+                    class.ok_or_else(|| format!("{name}:{line_no}: node needs `class=`"))?;
+                let latency =
+                    latency.ok_or_else(|| format!("{name}:{line_no}: node needs `latency=`"))?;
+                ids.push(ddg.add_node(node_name, OpClass::new(class), latency));
+            } else if let Some(rest) = line.strip_prefix("edge ") {
+                let (src_dst, dist) = rest
+                    .split_once("distance=")
+                    .ok_or_else(|| format!("{name}:{line_no}: edge needs `distance=`"))?;
+                let (src, dst) = src_dst
+                    .split_once("->")
+                    .ok_or_else(|| format!("{name}:{line_no}: edge needs `->`"))?;
+                let src: usize = src
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("{name}:{line_no}: bad edge source"))?;
+                let dst: usize = dst
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("{name}:{line_no}: bad edge target"))?;
+                let dist: u32 = dist
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("{name}:{line_no}: bad distance"))?;
+                let (src, dst) = (
+                    *ids.get(src)
+                        .ok_or_else(|| format!("{name}:{line_no}: node {src} out of range"))?,
+                    *ids.get(dst)
+                        .ok_or_else(|| format!("{name}:{line_no}: node {dst} out of range"))?,
+                );
+                ddg.add_edge(src, dst, dist)
+                    .map_err(|e| format!("{name}:{line_no}: {e}"))?;
+            } else {
+                return Err(format!("{name}:{line_no}: unexpected line `{line}`"));
+            }
+        } else if line.starts_with("machine") {
+            in_machine = true;
+            machine_text.push_str(raw);
+            machine_text.push('\n');
+        } else if line == "ddg {" {
+            in_ddg = true;
+        } else {
+            return Err(format!("{name}:{line_no}: unexpected line `{line}`"));
+        }
+    }
+
+    let machine = machine.ok_or_else(|| format!("{name}: no machine block"))?;
+    if ddg.num_nodes() == 0 {
+        return Err(format!("{name}: no ddg nodes"));
+    }
+    ddg.validate()
+        .map_err(|e| format!("{name}: invalid ddg: {e}"))?;
+    for (_, n) in ddg.nodes() {
+        machine
+            .fu_type(n.class)
+            .map_err(|e| format!("{name}: {e}"))?;
+    }
+    Ok(RegressionCase {
+        kind,
+        case: FuzzCase {
+            index: 0,
+            name: name.to_string(),
+            guaranteed: false,
+            machine,
+            ddg,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_cases, GenConfig};
+
+    #[test]
+    fn round_trips_generated_cases() {
+        let cfg = GenConfig {
+            seed: 77,
+            ..GenConfig::default()
+        };
+        for case in gen_cases(&cfg, 50) {
+            let text = write_regression(&case, Some(ViolationKind::ProvenMismatch));
+            let parsed =
+                parse_regression(&case.name, &text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            assert_eq!(parsed.kind, Some(ViolationKind::ProvenMismatch));
+            assert_eq!(parsed.case.machine, case.machine);
+            assert_eq!(parsed.case.ddg.num_nodes(), case.ddg.num_nodes());
+            assert_eq!(parsed.case.ddg.num_edges(), case.ddg.num_edges());
+            for ((_, a), (_, b)) in parsed.case.ddg.nodes().zip(case.ddg.nodes()) {
+                assert_eq!(a.class, b.class);
+                assert_eq!(a.latency, b.latency);
+            }
+            for (a, b) in parsed.case.ddg.edges().zip(case.ddg.edges()) {
+                assert_eq!((a.src, a.dst, a.distance), (b.src, b.dst, b.distance));
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_name_the_line() {
+        let bad = "# swp-fuzz regression\nmachine m {\n unit A count=1 latency=1 clean\n}\nddg {\n node n0 class=zero latency=1\n}\n";
+        let e = parse_regression("bad", bad).unwrap_err();
+        assert!(e.contains("bad:6"), "{e}");
+        assert!(parse_regression("empty", "").is_err());
+    }
+
+    #[test]
+    fn kind_labels_round_trip() {
+        for k in [
+            ViolationKind::CheckerReject,
+            ViolationKind::FalseRefutation,
+            ViolationKind::MetamorphicTPlusOne,
+        ] {
+            assert_eq!(ViolationKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(ViolationKind::parse("no-such-kind"), None);
+    }
+}

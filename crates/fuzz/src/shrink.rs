@@ -1,0 +1,408 @@
+//! Delta-debugging shrinker for failing cases.
+//!
+//! Given a case on which the differential runner reports a violation of
+//! kind `K`, the shrinker greedily applies reduction moves, keeping a
+//! candidate only if it still triggers a violation of the *same kind*
+//! (so shrinking cannot silently slip onto a different bug):
+//!
+//! * drop a node (with its incident edges);
+//! * drop an edge;
+//! * lower an edge's iteration distance;
+//! * lower a node's latency;
+//! * simplify a unit's reservation table to a clean pipeline, or erase
+//!   single marks;
+//! * lower a unit's latency or its copy count;
+//! * drop trailing unused unit classes.
+//!
+//! Every candidate is revalidated (`Ddg::validate`) before testing, so
+//! a distance decrement that would create a zero-distance cycle is
+//! simply skipped. The loop runs moves to fixpoint; because the runner
+//! is deterministic (tick budgets, no wall clock), so is the shrink.
+
+use crate::diff::{run_case, DiffOptions, ViolationKind};
+use crate::gen::FuzzCase;
+use swp_ddg::{Ddg, NodeId};
+use swp_machine::{FuType, Machine, ReservationTable};
+
+/// Result of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized case (still triggers the violation kind).
+    pub case: FuzzCase,
+    /// Reduction moves that were accepted.
+    pub accepted: usize,
+    /// Candidates tested in total.
+    pub tested: usize,
+}
+
+/// Rebuilds the DDG without node `drop` (incident edges removed).
+fn without_node(ddg: &Ddg, drop: NodeId) -> Option<Ddg> {
+    if ddg.num_nodes() <= 1 {
+        return None;
+    }
+    let mut g = Ddg::new();
+    let mut map: Vec<Option<NodeId>> = vec![None; ddg.num_nodes()];
+    for (id, n) in ddg.nodes() {
+        if id != drop {
+            map[id.index()] = Some(g.add_node(n.name.clone(), n.class, n.latency));
+        }
+    }
+    for e in ddg.edges() {
+        if let (Some(s), Some(d)) = (map[e.src.index()], map[e.dst.index()]) {
+            g.add_edge(s, d, e.distance).ok()?;
+        }
+    }
+    Some(g)
+}
+
+/// Rebuilds the DDG with edge number `skip` removed, or with its
+/// distance replaced when `new_distance` is given.
+fn with_edge_change(ddg: &Ddg, target: usize, new_distance: Option<u32>) -> Option<Ddg> {
+    let mut g = Ddg::new();
+    let ids: Vec<NodeId> = ddg
+        .nodes()
+        .map(|(_, n)| g.add_node(n.name.clone(), n.class, n.latency))
+        .collect();
+    for (i, e) in ddg.edges().enumerate() {
+        if i == target {
+            match new_distance {
+                None => continue,
+                Some(d) => g.add_edge(ids[e.src.index()], ids[e.dst.index()], d).ok()?,
+            };
+        } else {
+            g.add_edge(ids[e.src.index()], ids[e.dst.index()], e.distance)
+                .ok()?;
+        }
+    }
+    g.validate().ok()?;
+    Some(g)
+}
+
+/// Rebuilds the DDG with node `target`'s latency replaced.
+fn with_latency(ddg: &Ddg, target: NodeId, latency: u32) -> Ddg {
+    let mut g = Ddg::new();
+    let ids: Vec<NodeId> = ddg
+        .nodes()
+        .map(|(id, n)| {
+            let lat = if id == target { latency } else { n.latency };
+            g.add_node(n.name.clone(), n.class, lat)
+        })
+        .collect();
+    for e in ddg.edges() {
+        let _ = g.add_edge(ids[e.src.index()], ids[e.dst.index()], e.distance);
+    }
+    g
+}
+
+fn with_type_change(machine: &Machine, target: usize, change: &FuType) -> Option<Machine> {
+    let mut types: Vec<FuType> = machine.types().to_vec();
+    types[target] = change.clone();
+    Machine::new(types).ok()
+}
+
+/// Drops trailing classes no node references (index remap unnecessary).
+fn truncated_machine(machine: &Machine, ddg: &Ddg) -> Option<Machine> {
+    let used = ddg.nodes().map(|(_, n)| n.class.index()).max().unwrap_or(0);
+    if used + 1 >= machine.num_classes() {
+        return None;
+    }
+    Machine::new(machine.types()[..=used].to_vec()).ok()
+}
+
+/// Erases one reservation-table mark (never the issue slot `(0, 0)`).
+fn without_mark(table: &ReservationTable, stage: usize, cycle: usize) -> Option<ReservationTable> {
+    if stage == 0 && cycle == 0 {
+        return None;
+    }
+    if !table.mark(stage, cycle) {
+        return None;
+    }
+    let rows: Vec<Vec<bool>> = (0..table.stages())
+        .map(|s| {
+            (0..table.exec_time() as usize)
+                .map(|l| table.mark(s, l) && !(s == stage && l == cycle))
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[bool]> = rows.iter().map(Vec::as_slice).collect();
+    ReservationTable::from_rows(&refs)
+}
+
+/// Minimizes `case` while it keeps violating `kind`.
+///
+/// `case` itself must already trigger the violation; the returned case
+/// always does.
+pub fn shrink(case: &FuzzCase, opts: &DiffOptions, kind: ViolationKind) -> ShrinkOutcome {
+    let mut tested = 0usize;
+    let mut accepted = 0usize;
+    let mut current = case.clone();
+    let still_fails = |cand: &FuzzCase, tested: &mut usize| -> bool {
+        *tested += 1;
+        run_case(cand, opts)
+            .violations
+            .iter()
+            .any(|v| v.kind == kind)
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // 1. Drop nodes, largest index first (stable renumbering).
+        let mut i = current.ddg.num_nodes();
+        while i > 0 {
+            i -= 1;
+            if let Some(g) = without_node(&current.ddg, NodeId::from_index(i)) {
+                let cand = FuzzCase {
+                    ddg: g,
+                    ..current.clone()
+                };
+                if still_fails(&cand, &mut tested) {
+                    current = cand;
+                    accepted += 1;
+                    progressed = true;
+                }
+            }
+        }
+
+        // 2. Drop edges.
+        let mut e = current.ddg.num_edges();
+        while e > 0 {
+            e -= 1;
+            if let Some(g) = with_edge_change(&current.ddg, e, None) {
+                let cand = FuzzCase {
+                    ddg: g,
+                    ..current.clone()
+                };
+                if still_fails(&cand, &mut tested) {
+                    current = cand;
+                    accepted += 1;
+                    progressed = true;
+                }
+            }
+        }
+
+        // 3. Lower distances (one step at a time, to fixpoint per edge).
+        for e in 0..current.ddg.num_edges() {
+            loop {
+                let dist = current.ddg.edges().nth(e).map(|x| x.distance).unwrap_or(0);
+                if dist == 0 {
+                    break;
+                }
+                let Some(g) = with_edge_change(&current.ddg, e, Some(dist - 1)) else {
+                    break;
+                };
+                let cand = FuzzCase {
+                    ddg: g,
+                    ..current.clone()
+                };
+                if still_fails(&cand, &mut tested) {
+                    current = cand;
+                    accepted += 1;
+                    progressed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // 4. Lower node latencies.
+        for n in 0..current.ddg.num_nodes() {
+            let id = NodeId::from_index(n);
+            loop {
+                let lat = current.ddg.node(id).latency;
+                if lat <= 1 {
+                    break;
+                }
+                let cand = FuzzCase {
+                    ddg: with_latency(&current.ddg, id, lat - 1),
+                    ..current.clone()
+                };
+                if still_fails(&cand, &mut tested) {
+                    current = cand;
+                    accepted += 1;
+                    progressed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // 5. Simplify the machine: clean tables, fewer marks, smaller
+        //    latencies and counts, fewer classes.
+        for c in 0..current.machine.num_classes() {
+            let t = current.machine.types()[c].clone();
+
+            if t.reservation != ReservationTable::clean(t.latency) {
+                let cand_type = FuType {
+                    reservation: ReservationTable::clean(t.latency),
+                    ..t.clone()
+                };
+                if let Some(m) = with_type_change(&current.machine, c, &cand_type) {
+                    let cand = FuzzCase {
+                        machine: m,
+                        ..current.clone()
+                    };
+                    if still_fails(&cand, &mut tested) {
+                        current = cand;
+                        accepted += 1;
+                        progressed = true;
+                    }
+                }
+            }
+
+            let t = current.machine.types()[c].clone();
+            for stage in 0..t.reservation.stages() {
+                for cycle in 0..t.reservation.exec_time() as usize {
+                    if let Some(table) = without_mark(&t.reservation, stage, cycle) {
+                        let cand_type = FuType {
+                            reservation: table,
+                            ..t.clone()
+                        };
+                        if let Some(m) = with_type_change(&current.machine, c, &cand_type) {
+                            let cand = FuzzCase {
+                                machine: m,
+                                ..current.clone()
+                            };
+                            if still_fails(&cand, &mut tested) {
+                                current = cand;
+                                accepted += 1;
+                                progressed = true;
+                            }
+                        }
+                    }
+                }
+            }
+
+            let t = current.machine.types()[c].clone();
+            if t.latency > 1 {
+                let cand_type = FuType {
+                    latency: t.latency - 1,
+                    ..t.clone()
+                };
+                if let Some(m) = with_type_change(&current.machine, c, &cand_type) {
+                    let cand = FuzzCase {
+                        machine: m,
+                        ..current.clone()
+                    };
+                    if still_fails(&cand, &mut tested) {
+                        current = cand;
+                        accepted += 1;
+                        progressed = true;
+                    }
+                }
+            }
+
+            let t = current.machine.types()[c].clone();
+            if t.count > 1 {
+                let cand_type = FuType {
+                    count: t.count - 1,
+                    ..t.clone()
+                };
+                if let Some(m) = with_type_change(&current.machine, c, &cand_type) {
+                    let cand = FuzzCase {
+                        machine: m,
+                        ..current.clone()
+                    };
+                    if still_fails(&cand, &mut tested) {
+                        current = cand;
+                        accepted += 1;
+                        progressed = true;
+                    }
+                }
+            }
+        }
+
+        if let Some(m) = truncated_machine(&current.machine, &current.ddg) {
+            let cand = FuzzCase {
+                machine: m,
+                ..current.clone()
+            };
+            if still_fails(&cand, &mut tested) {
+                current = cand;
+                accepted += 1;
+                progressed = true;
+            }
+        }
+
+        if !progressed {
+            break;
+        }
+    }
+
+    ShrinkOutcome {
+        case: current,
+        accepted,
+        tested,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::DiffOptions;
+    use crate::gen::{gen_cases, GenConfig};
+    use swp_core::FaultPlan;
+
+    /// With the checker deliberately rejecting every schedule in the
+    /// baseline configuration, the runner reports violations; the
+    /// shrinker must drive such a counterexample down to a handful of
+    /// nodes while preserving the violation kind.
+    #[test]
+    fn shrinks_fault_injected_counterexample_to_a_few_nodes() {
+        let cfg = GenConfig {
+            seed: 3,
+            ..GenConfig::default()
+        };
+        let opts = DiffOptions {
+            faults: FaultPlan {
+                reject_ilp_schedule: true,
+                reject_heuristic_schedule: true,
+                ..FaultPlan::default()
+            },
+            metamorphic: false,
+            ..DiffOptions::default()
+        };
+        let failing = gen_cases(&cfg, 25).into_iter().find_map(|case| {
+            let report = run_case(&case, &opts);
+            report.violations.first().map(|v| (case, v.kind))
+        });
+        let (case, kind) = failing.expect("fault injection must trip the oracle");
+        let out = shrink(&case, &opts, kind);
+        assert!(
+            out.case.ddg.num_nodes() <= 6,
+            "shrunk case still has {} nodes",
+            out.case.ddg.num_nodes()
+        );
+        assert!(run_case(&out.case, &opts)
+            .violations
+            .iter()
+            .any(|v| v.kind == kind));
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let cfg = GenConfig {
+            seed: 3,
+            ..GenConfig::default()
+        };
+        let opts = DiffOptions {
+            faults: FaultPlan {
+                reject_ilp_schedule: true,
+                reject_heuristic_schedule: true,
+                ..FaultPlan::default()
+            },
+            metamorphic: false,
+            ..DiffOptions::default()
+        };
+        let case = gen_cases(&cfg, 25)
+            .into_iter()
+            .find(|c| !run_case(c, &opts).passed())
+            .expect("fault injection must trip the oracle");
+        let kind = run_case(&case, &opts).violations[0].kind;
+        let a = shrink(&case, &opts, kind);
+        let b = shrink(&case, &opts, kind);
+        assert_eq!(a.case.ddg, b.case.ddg);
+        assert_eq!(a.case.machine, b.case.machine);
+        assert_eq!(a.tested, b.tested);
+    }
+}

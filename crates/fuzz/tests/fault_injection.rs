@@ -1,0 +1,74 @@
+//! End-to-end acceptance: a deliberately broken engine is caught and
+//! the counterexample shrinks to a handful of nodes.
+//!
+//! The scheduler's test-only fault plan flips the exact checker into
+//! rejecting every schedule the engines emit. The differential runner
+//! must flag that as a violation, and the integrated shrinker must
+//! reduce the failing case to at most 6 nodes while preserving the
+//! violation kind — the bar the subsystem is specified against.
+
+use swp_core::FaultPlan;
+use swp_fuzz::{
+    gen_case, parse_regression, run_case, shrink, write_regression, DiffOptions, GenConfig,
+};
+
+fn broken_checker() -> DiffOptions {
+    DiffOptions {
+        faults: FaultPlan {
+            reject_ilp_schedule: true,
+            reject_heuristic_schedule: true,
+            ..FaultPlan::default()
+        },
+        metamorphic: false,
+        ..DiffOptions::default()
+    }
+}
+
+#[test]
+fn broken_checker_is_caught_and_shrinks_small() {
+    let cfg = GenConfig {
+        seed: 5,
+        ..GenConfig::default()
+    };
+    let opts = broken_checker();
+
+    // Find a case the fault plan breaks.
+    let mut found = None;
+    for index in 0..24 {
+        let case = gen_case(&cfg, index);
+        let report = run_case(&case, &opts);
+        if let Some(v) = report.violations.first() {
+            found = Some((case, v.kind));
+            break;
+        }
+    }
+    let (case, kind) = found.expect("a broken checker must be caught within a few cases");
+
+    // Shrink it, preserving the violation kind.
+    let outcome = shrink(&case, &opts, kind);
+    assert!(
+        outcome.case.ddg.num_nodes() <= 6,
+        "shrinker left {} nodes (expected <= 6)",
+        outcome.case.ddg.num_nodes()
+    );
+    let replay = run_case(&outcome.case, &opts);
+    assert!(
+        replay.violations.iter().any(|v| v.kind == kind),
+        "shrunk case no longer reproduces the violation"
+    );
+
+    // The minimized case round-trips through the regression format.
+    let text = write_regression(&outcome.case, Some(kind));
+    let parsed = parse_regression("shrunk", &text).expect("regression text parses");
+    assert_eq!(parsed.kind, Some(kind));
+    let reparsed = run_case(&parsed.case, &opts);
+    assert!(
+        reparsed.violations.iter().any(|v| v.kind == kind),
+        "parsed regression no longer reproduces the violation"
+    );
+
+    // Without the fault plan the same case is clean — the violation was
+    // the injected bug, not a real one.
+    let clean = run_case(&outcome.case, &DiffOptions::default());
+    assert!(clean.passed(), "{:?}", clean.violations);
+}

@@ -1,0 +1,73 @@
+//! Table-driven replay of the committed regression corpus.
+//!
+//! Every file under `tests/regressions/` is a self-contained case —
+//! either a shrunk counterexample promoted from a fuzzing campaign
+//! (tagged `# kind:`) or a curated adversarial structure. Each is
+//! replayed through the full differential runner and must come back
+//! clean: once a bug is fixed, its counterexample keeps guarding the
+//! fix.
+
+use std::fs;
+use std::path::PathBuf;
+use swp_fuzz::{parse_regression, run_case, DiffOptions};
+
+fn corpus_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/regressions");
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("tests/regressions must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "txt"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_nonempty() {
+    assert!(
+        corpus_files().len() >= 4,
+        "the committed regression corpus should not shrink silently"
+    );
+}
+
+#[test]
+fn every_regression_replays_clean() {
+    for path in corpus_files() {
+        let name = path
+            .file_stem()
+            .expect("file stem")
+            .to_string_lossy()
+            .into_owned();
+        let source = fs::read_to_string(&path).expect("readable corpus file");
+        let parsed = parse_regression(&name, &source).unwrap_or_else(|e| panic!("{e}"));
+        let report = run_case(&parsed.case, &DiffOptions::default());
+        assert!(
+            report.passed(),
+            "{name}: replay produced violations: {:#?}",
+            report.violations
+        );
+        assert!(
+            report.proven_t.is_some(),
+            "{name}: corpus cases are expected to reach a proven optimum"
+        );
+    }
+}
+
+#[test]
+fn promoted_counterexamples_keep_their_kind_tag() {
+    let tagged = corpus_files()
+        .iter()
+        .filter(|p| {
+            let src = fs::read_to_string(p).expect("readable corpus file");
+            let name = p.file_stem().expect("stem").to_string_lossy().into_owned();
+            parse_regression(&name, &src)
+                .unwrap_or_else(|e| panic!("{e}"))
+                .kind
+                .is_some()
+        })
+        .count();
+    assert!(
+        tagged >= 2,
+        "promoted (fault-found) counterexamples must carry a `# kind:` header"
+    );
+}

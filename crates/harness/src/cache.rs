@@ -34,20 +34,37 @@ impl ResultCache {
     }
 
     /// Loads an artifact. A missing file yields an empty cache (first
-    /// run); unreadable lines are skipped with a warning on stderr and
-    /// counted in [`skipped_lines`](Self::skipped_lines). When the same
-    /// key appears on several lines the last one wins.
+    /// run); unreadable lines are skipped and counted in
+    /// [`skipped_lines`](Self::skipped_lines). When the same key appears
+    /// on several lines the last one wins.
+    ///
+    /// Corruption is reported as **one warning per file** on stderr
+    /// (first offending line plus a total), not one per line — a
+    /// half-overwritten artifact can hold thousands of bad lines and
+    /// must not bury the run's real output.
     ///
     /// # Errors
     ///
     /// Only real I/O errors (permission, disk) — never parse problems.
     pub fn load(path: &Path) -> io::Result<ResultCache> {
+        Self::load_with_warner(path, &mut |msg| eprintln!("{msg}"))
+    }
+
+    /// [`load`](Self::load) with the warning sink made explicit, so
+    /// tests (and embedders with their own logging) can observe exactly
+    /// what would be printed. `warn` is invoked at most once per file.
+    ///
+    /// # Errors
+    ///
+    /// Only real I/O errors (permission, disk) — never parse problems.
+    pub fn load_with_warner(path: &Path, warn: &mut dyn FnMut(&str)) -> io::Result<ResultCache> {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(ResultCache::empty()),
             Err(e) => return Err(e),
         };
         let mut cache = ResultCache::empty();
+        let mut first_bad: Option<(usize, String)> = None;
         for (lineno, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
@@ -59,13 +76,19 @@ impl ResultCache {
                 }
                 Err(why) => {
                     cache.skipped_lines += 1;
-                    eprintln!(
-                        "swp-harness: skipping corrupt artifact line {} of {}: {why}",
-                        lineno + 1,
-                        path.display()
-                    );
+                    if first_bad.is_none() {
+                        first_bad = Some((lineno + 1, why));
+                    }
                 }
             }
+        }
+        if let Some((lineno, why)) = first_bad {
+            warn(&format!(
+                "swp-harness: skipped {} corrupt artifact line(s) in {} \
+                 (first at line {lineno}: {why})",
+                cache.skipped_lines,
+                path.display()
+            ));
         }
         Ok(cache)
     }
@@ -174,6 +197,48 @@ mod tests {
         assert_eq!(order, vec![0, 1, 2]);
         assert!(c.lookup(&rec(1, 1).key).is_some());
         assert!(c.lookup(&rec(1, 999).key).is_none(), "config key mismatch");
+    }
+
+    #[test]
+    fn many_corrupt_lines_warn_exactly_once_per_file() {
+        let path = tmp("very-corrupt.jsonl");
+        let good = rec(0, 1).to_json_line();
+        let mut body = String::new();
+        body.push_str("not json at all\n");
+        body.push_str("{\"schema\":\"wrong\"}\n");
+        body.push_str(&good[..good.len() / 3]); // truncated mid-write
+        body.push('\n');
+        body.push_str(&good);
+        body.push('\n');
+        body.push_str("}{ inverted\n");
+        std::fs::write(&path, body).unwrap();
+
+        let mut warnings: Vec<String> = Vec::new();
+        let c =
+            ResultCache::load_with_warner(&path, &mut |m| warnings.push(m.to_string())).unwrap();
+        assert_eq!(c.len(), 1, "the one good line still loads");
+        assert_eq!(c.skipped_lines(), 4);
+        assert_eq!(
+            warnings.len(),
+            1,
+            "4 corrupt lines must produce exactly one deduplicated warning, got: {warnings:?}"
+        );
+        assert!(warnings[0].contains("skipped 4 corrupt artifact line(s)"));
+        assert!(
+            warnings[0].contains("first at line 1"),
+            "warning should locate the first bad line: {}",
+            warnings[0]
+        );
+    }
+
+    #[test]
+    fn clean_artifact_warns_never() {
+        let path = tmp("clean.jsonl");
+        std::fs::write(&path, format!("{}\n", rec(0, 1).to_json_line())).unwrap();
+        let mut warnings = 0usize;
+        let c = ResultCache::load_with_warner(&path, &mut |_| warnings += 1).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(warnings, 0);
     }
 
     #[test]

@@ -96,6 +96,47 @@ pub fn parse_machine(source: &str) -> Result<(String, Machine), MachineParseErro
     Ok((name, machine))
 }
 
+/// Serializes `machine` back into the textual format accepted by
+/// [`parse_machine`], so generated or shrunk machines can be stored as
+/// self-contained data files. `write_machine` ∘ `parse_machine` is the
+/// identity on the [`Machine`] (names included), which the round-trip
+/// tests pin down.
+///
+/// Shapes that exactly match `clean`/`nonpipelined` at the unit's
+/// latency use the keyword; everything else is written as an explicit
+/// `table[...]`, which can express any reservation table.
+pub fn write_machine(name: &str, machine: &Machine) -> String {
+    let mut out = String::new();
+    // Header names and unit names are whitespace-delimited tokens.
+    let safe = |s: &str| s.replace(char::is_whitespace, "_");
+    out.push_str(&format!("machine {} {{\n", safe(name)));
+    for t in machine.types() {
+        let shape = if t.reservation == ReservationTable::clean(t.latency) {
+            "clean".to_string()
+        } else if t.reservation == ReservationTable::non_pipelined(t.latency) {
+            "nonpipelined".to_string()
+        } else {
+            let rows: Vec<String> = (0..t.reservation.stages())
+                .map(|s| {
+                    (0..t.reservation.exec_time() as usize)
+                        .map(|l| if t.reservation.mark(s, l) { 'X' } else { '.' })
+                        .collect()
+                })
+                .collect();
+            format!("table[{}]", rows.join("/"))
+        };
+        out.push_str(&format!(
+            "    unit {} count={} latency={} {}\n",
+            safe(&t.name),
+            t.count,
+            t.latency,
+            shape
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
 fn parse_unit(line: &str, line_no: usize) -> Result<FuType, MachineParseError> {
     let rest = line
         .strip_prefix("unit")
@@ -247,6 +288,39 @@ mod tests {
         assert!(e.message.contains("reservation table")); // idle at issue
         let e = parse_machine("machine m {\n unit A count=1 latency=2 table[XQ]\n}").unwrap_err();
         assert!(e.message.contains("bad table char"));
+    }
+
+    #[test]
+    fn write_machine_round_trips() {
+        for (name, machine) in [
+            ("example", Machine::example_pldi95()),
+            ("clean", Machine::example_clean()),
+            ("nonpipe", Machine::example_non_pipelined()),
+            ("ppc604", Machine::ppc604()),
+        ] {
+            let text = write_machine(name, &machine);
+            let (parsed_name, parsed) = parse_machine(&text)
+                .unwrap_or_else(|e| panic!("{name}: generated text failed to parse: {e}\n{text}"));
+            assert_eq!(parsed_name, name);
+            assert_eq!(parsed, machine, "{name} did not round-trip:\n{text}");
+        }
+    }
+
+    #[test]
+    fn write_machine_uses_explicit_tables_when_needed() {
+        // A clean table whose execution time differs from the dependence
+        // latency cannot use the `clean` keyword (which ties the two).
+        let m = Machine::new(vec![FuType {
+            name: "A".to_string(),
+            count: 1,
+            latency: 4,
+            reservation: ReservationTable::clean(2),
+        }])
+        .unwrap();
+        let text = write_machine("m", &m);
+        assert!(text.contains("table["), "{text}");
+        let (_, parsed) = parse_machine(&text).expect("parses");
+        assert_eq!(parsed, m);
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Tick budgets make solves a pure function of the model.
+//!
+//! The fuzzing and golden-snapshot layers above this crate rely on one
+//! contract: a solve bounded only by *ticks* (never the wall clock)
+//! produces bit-identical search statistics on every run, on every
+//! machine, at any load. These tests pin that contract at the MILP
+//! layer directly.
+
+use swp_milp::{Budget, Model, Sense, SolveError};
+
+/// A 0-1 knapsack-ish model hard enough to branch a few times.
+fn model() -> Model {
+    let mut m = Model::new();
+    let xs: Vec<_> = (0..10).map(|i| m.add_binary(format!("x{i}"))).collect();
+    let weights = [3.0, 5.0, 7.0, 2.0, 9.0, 4.0, 6.0, 8.0, 5.0, 3.0];
+    let values = [-2.0, -4.0, -7.0, -1.0, -9.0, -3.0, -5.0, -8.0, -4.0, -2.0];
+    m.minimize(
+        xs.iter()
+            .zip(values)
+            .map(|(&x, v)| (x, v))
+            .collect::<Vec<_>>(),
+    );
+    m.add_constr(
+        xs.iter()
+            .zip(weights)
+            .map(|(&x, w)| (x, w))
+            .collect::<Vec<_>>(),
+        Sense::Le,
+        20.0,
+    );
+    // A coupling row so the LP relaxation is fractional.
+    m.add_constr(
+        vec![(xs[0], 1.0), (xs[4], 1.0), (xs[7], 1.0)],
+        Sense::Le,
+        2.0,
+    );
+    m
+}
+
+fn limits(ticks: u64) -> swp_milp::SolveLimits {
+    swp_milp::SolveLimits {
+        budget: Budget::unlimited().limit_ticks(ticks),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn tick_limited_solves_are_bit_identical_across_runs() {
+    let m = model();
+    let a = m.solve_with(&limits(1_000_000)).expect("solvable");
+    let b = m.solve_with(&limits(1_000_000)).expect("solvable");
+    assert_eq!(a.objective(), b.objective());
+    assert_eq!(a.stats().nodes, b.stats().nodes);
+    assert_eq!(a.stats().lp_iterations, b.stats().lp_iterations);
+    assert_eq!(a.stats().proven_optimal, b.stats().proven_optimal);
+    assert!(
+        a.stats().proven_optimal,
+        "generous tick budget should prove optimality"
+    );
+}
+
+#[test]
+fn exhausted_tick_budget_fails_identically_across_runs() {
+    let m = model();
+    // Too few ticks to finish: the truncation point must also be
+    // deterministic — same incumbent, same stats, same stop reason,
+    // run after run (whether it surfaces as an unproven Ok or an Err).
+    let a = m.solve_with(&limits(8));
+    let b = m.solve_with(&limits(8));
+    match (&a, &b) {
+        (Ok(x), Ok(y)) => {
+            assert!(
+                !x.stats().proven_optimal,
+                "8 ticks cannot prove optimality for this model"
+            );
+            assert_eq!(x.objective(), y.objective());
+            assert_eq!(x.stats().nodes, y.stats().nodes);
+            assert_eq!(x.stats().lp_iterations, y.stats().lp_iterations);
+            assert_eq!(
+                format!("{:?}", x.stats().stop_reason),
+                format!("{:?}", y.stats().stop_reason),
+            );
+            assert!(
+                format!("{:?}", x.stats().stop_reason).contains("Ticks"),
+                "truncation must be attributed to the tick budget, got {:?}",
+                x.stats().stop_reason
+            );
+        }
+        (Err(SolveError::LimitReached(x)), Err(SolveError::LimitReached(y))) => {
+            assert_eq!(x, y, "incumbent at truncation differs between runs");
+        }
+        other => panic!("expected identical truncation, got {other:?}"),
+    }
+}
+
+#[test]
+fn tick_budget_never_changes_the_answer_only_whether_there_is_one() {
+    let m = model();
+    let unlimited = m.solve_with(&limits(u64::MAX)).expect("solvable");
+    for ticks in [50u64, 500, 5_000, 50_000] {
+        match m.solve_with(&limits(ticks)) {
+            Ok(sol) if sol.stats().proven_optimal => {
+                assert_eq!(
+                    sol.objective(),
+                    unlimited.objective(),
+                    "a proven solve under {ticks} ticks found a different optimum"
+                );
+            }
+            Ok(sol) => {
+                // Unproven incumbent: must never beat the true optimum.
+                assert!(
+                    sol.objective() >= unlimited.objective() - 1e-9,
+                    "incumbent {} beats the optimum {}",
+                    sol.objective(),
+                    unlimited.objective()
+                );
+            }
+            Err(SolveError::LimitReached(_)) => {}
+            Err(e) => panic!("unexpected error under {ticks} ticks: {e:?}"),
+        }
+    }
+}

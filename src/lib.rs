@@ -18,6 +18,8 @@
 //!   1066-loop synthetic suite.
 //! * [`harness`] — sharded parallel corpus execution with an on-disk
 //!   JSONL result cache and per-run telemetry.
+//! * [`fuzz`] — differential fuzzing of the engines against each other,
+//!   metamorphic oracles, and a delta-debugging shrinker.
 //!
 //! # Quickstart
 //!
@@ -37,6 +39,7 @@
 
 pub use swp_core as core;
 pub use swp_ddg as ddg;
+pub use swp_fuzz as fuzz;
 pub use swp_harness as harness;
 pub use swp_heuristics as heuristics;
 pub use swp_loops as loops;

@@ -15,6 +15,16 @@
 //! case index so it can be replayed by rerunning the (deterministic)
 //! test. Generation is seeded per test from the test's name, so runs are
 //! reproducible.
+//!
+//! # Reseeding a run
+//!
+//! Set `SWP_PROPTEST_SEED=<u64>` (decimal or `0x…` hex) to perturb every
+//! suite's value stream — the seed is mixed into each test's per-case
+//! RNG, so seed `0` (the default when the variable is unset) reproduces
+//! the historical streams bit for bit, and any other value explores a
+//! fresh deterministic batch of cases. On failure the harness prints the
+//! test name, case index, and active seed, so the exact failing run can
+//! be replayed with `SWP_PROPTEST_SEED=<seed> cargo test <name>`.
 
 use std::cell::Cell;
 
@@ -72,12 +82,21 @@ pub mod test_runner {
         /// Seeds deterministically from an arbitrary byte string (the
         /// test name) plus a case index.
         pub fn from_name_and_case(name: &str, case: u64) -> Self {
+            Self::from_name_case_and_seed(name, case, 0)
+        }
+
+        /// [`from_name_and_case`](Self::from_name_and_case) with an
+        /// extra campaign seed mixed in (the `SWP_PROPTEST_SEED`
+        /// mechanism). Seed `0` reproduces the unseeded stream exactly.
+        pub fn from_name_case_and_seed(name: &str, case: u64, seed: u64) -> Self {
             let mut h: u64 = 0xcbf2_9ce4_8422_2325;
             for b in name.bytes() {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x0000_0100_0000_01B3);
             }
-            let mut x = h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut x = h
+                ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ seed.wrapping_mul(0xA24B_AED4_963E_E407);
             let mut next = move || {
                 x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
                 let mut z = x;
@@ -118,6 +137,38 @@ pub mod test_runner {
 }
 
 use test_runner::TestRng;
+
+/// Parses an `SWP_PROPTEST_SEED` value: `None` or an empty/whitespace
+/// string means seed `0` (the historical stream); otherwise a decimal or
+/// `0x`-prefixed hexadecimal `u64`.
+///
+/// # Errors
+///
+/// A message naming the unparseable value — a typo'd seed should fail
+/// the run loudly, not silently test the default stream.
+pub fn parse_seed(var: Option<&str>) -> Result<u64, String> {
+    let Some(raw) = var else { return Ok(0) };
+    let s = raw.trim();
+    if s.is_empty() {
+        return Ok(0);
+    }
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse::<u64>(),
+    };
+    parsed.map_err(|_| format!("SWP_PROPTEST_SEED must be a u64 (decimal or 0x hex), got `{raw}`"))
+}
+
+/// The process-wide campaign seed from `SWP_PROPTEST_SEED` (cached;
+/// panics on an unparseable value).
+#[doc(hidden)]
+pub fn __env_seed() -> u64 {
+    static SEED: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *SEED.get_or_init(|| {
+        parse_seed(std::env::var("SWP_PROPTEST_SEED").ok().as_deref())
+            .unwrap_or_else(|e| panic!("{e}"))
+    })
+}
 
 thread_local! {
     static REJECT_BUDGET: Cell<u32> = const { Cell::new(u32::MAX) };
@@ -569,14 +620,38 @@ macro_rules! __proptest_items {
             let config: $crate::test_runner::ProptestConfig = $cfg;
             // Bind each strategy once, shadowing the argument names.
             $(let $arg = $strat;)+
-            for case in 0..config.cases {
-                $crate::__set_reject_budget(config.max_global_rejects);
-                let mut rng = $crate::test_runner::TestRng::from_name_and_case(
-                    concat!(module_path!(), "::", stringify!($name)),
-                    case as u64,
+            let __swp_seed = $crate::__env_seed();
+            let __swp_name = concat!(module_path!(), "::", stringify!($name));
+            let __swp_case = ::std::cell::Cell::new(0u32);
+            // The whole case loop lives inside one catch_unwind so that
+            // `prop_assume!` (which expands to `continue`) still targets
+            // the loop, while a panic anywhere reports which case — and
+            // which campaign seed — to replay.
+            let __swp_result =
+                ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    for case in 0..config.cases {
+                        __swp_case.set(case);
+                        $crate::__set_reject_budget(config.max_global_rejects);
+                        let mut rng =
+                            $crate::test_runner::TestRng::from_name_case_and_seed(
+                                __swp_name,
+                                case as u64,
+                                __swp_seed,
+                            );
+                        $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut rng);)+
+                        $body
+                    }
+                }));
+            if let Err(panic) = __swp_result {
+                eprintln!(
+                    "proptest: {} failed at case {} with SWP_PROPTEST_SEED={} \
+                     (set SWP_PROPTEST_SEED={} to replay this stream)",
+                    __swp_name,
+                    __swp_case.get(),
+                    __swp_seed,
+                    __swp_seed,
                 );
-                $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut rng);)+
-                $body
+                ::std::panic::resume_unwind(panic);
             }
         }
         $crate::__proptest_items! { ($cfg); $($rest)* }
@@ -661,5 +736,70 @@ mod tests {
         let mut a = TestRng::from_name_and_case("t", 3);
         let mut b = TestRng::from_name_and_case("t", 3);
         assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn seed_zero_reproduces_the_unseeded_stream() {
+        let mut unseeded = TestRng::from_name_and_case("t", 3);
+        let mut zero = TestRng::from_name_case_and_seed("t", 3, 0);
+        for _ in 0..16 {
+            assert_eq!(unseeded.next_u64(), zero.next_u64());
+        }
+    }
+
+    #[test]
+    fn nonzero_seeds_diverge_and_are_deterministic() {
+        let mut base = TestRng::from_name_and_case("t", 3);
+        let mut seeded = TestRng::from_name_case_and_seed("t", 3, 42);
+        let mut seeded2 = TestRng::from_name_case_and_seed("t", 3, 42);
+        let mut other = TestRng::from_name_case_and_seed("t", 3, 43);
+        let (a, b, c, d) = (
+            base.next_u64(),
+            seeded.next_u64(),
+            seeded2.next_u64(),
+            other.next_u64(),
+        );
+        assert_eq!(b, c, "same seed, same stream");
+        assert_ne!(a, b, "seed 42 must perturb the stream");
+        assert_ne!(b, d, "different seeds, different streams");
+    }
+
+    #[test]
+    fn parse_seed_accepts_decimal_hex_and_absent() {
+        assert_eq!(crate::parse_seed(None), Ok(0));
+        assert_eq!(crate::parse_seed(Some("")), Ok(0));
+        assert_eq!(crate::parse_seed(Some("  ")), Ok(0));
+        assert_eq!(crate::parse_seed(Some("12345")), Ok(12345));
+        assert_eq!(crate::parse_seed(Some(" 7 ")), Ok(7));
+        assert_eq!(crate::parse_seed(Some("0xff")), Ok(255));
+        assert_eq!(crate::parse_seed(Some("0XFF")), Ok(255));
+        assert_eq!(crate::parse_seed(Some(&u64::MAX.to_string())), Ok(u64::MAX));
+        assert!(crate::parse_seed(Some("banana")).is_err());
+        assert!(crate::parse_seed(Some("-1")).is_err());
+        assert!(crate::parse_seed(Some("0xg")).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        #[should_panic(expected = "deliberate failure")]
+        fn failures_reach_the_test_harness_through_the_wrapper(x in 0u32..10) {
+            // Exercises the catch_unwind Err path: the wrapper reports
+            // test/case/seed on stderr, then must re-throw the original
+            // panic so the harness still sees the test fail.
+            if x >= 3 {
+                panic!("deliberate failure at x={x}");
+            }
+        }
+
+        #[test]
+        fn assume_still_skips_under_the_panic_wrapper(x in 0u32..10) {
+            // `prop_assume!` expands to `continue`; this compiles and
+            // runs only if the case loop is still the innermost loop
+            // around the body after the catch_unwind wrapping.
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
     }
 }
