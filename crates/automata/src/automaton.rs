@@ -122,6 +122,21 @@ impl ConflictOracle for HazardAutomaton {
     }
 }
 
+/// Test-only: empties the memo registry so the next
+/// [`HazardAutomaton::for_machine`] call builds from scratch.
+/// Outstanding `Arc`s stay valid. Called by
+/// [`stats::reset_for_test`](crate::stats::reset_for_test), which also
+/// holds the serialization lock — use that entry point.
+pub(crate) fn clear_registry_for_test() {
+    if let Some(registry) = REGISTRY.get() {
+        let mut guard = match registry.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.clear();
+    }
+}
+
 /// Max independent set in the circulant graph `{r1 ~ r2 ⇔ C[(r1−r2) mod
 /// T] = 1}`: the exact number of operations one unit carries per
 /// period. Pairwise stage-disjointness is equivalent to joint
@@ -226,13 +241,18 @@ mod tests {
 
     #[test]
     fn registry_returns_shared_instances() {
+        // The reset guard clears the process-global registry and zeroes
+        // the counters, so the build/hit sequence below is exact even
+        // when other suites in this process already interned (machine,
+        // 7) — no ad-hoc snapshot/delta arithmetic needed.
+        let _guard = stats::reset_for_test();
         let machine = Machine::example_pldi95();
-        let before = stats::snapshot();
         let a = HazardAutomaton::for_machine(&machine, 7);
         let b = HazardAutomaton::for_machine(&machine, 7);
         assert!(Arc::ptr_eq(&a, &b));
-        let delta = stats::snapshot().since(&before);
-        assert!(delta.memo_hits >= 1);
+        let after = stats::snapshot();
+        assert!(after.memo_hits >= 1, "second fetch must be a memo hit");
+        assert!(after.memo_builds >= 1, "first fetch must build");
     }
 
     #[test]

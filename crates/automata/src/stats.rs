@@ -6,6 +6,7 @@
 //! and after a run and reports the delta.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 static FSA_QUERIES: AtomicU64 = AtomicU64::new(0);
 static MATRIX_QUERIES: AtomicU64 = AtomicU64::new(0);
@@ -89,6 +90,48 @@ pub(crate) fn count_memo_build() {
     MEMO_BUILDS.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Serializes tests that reset the process-global telemetry; see
+/// [`reset_for_test`].
+static RESET_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the telemetry-reset lock for the duration of one test's
+/// counter assertions. Returned by [`reset_for_test`]; dropping it
+/// releases the lock for the next telemetry-observing test.
+#[must_use = "drop the guard only after the test's counter assertions"]
+#[derive(Debug)]
+pub struct TelemetryResetGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+/// Test-only: zeroes every oracle counter *and* clears the automaton
+/// memo registry, under a process-wide lock that the returned guard
+/// holds until dropped.
+///
+/// Counters and the registry are process-global, so test suites running
+/// many `#[test]`s in one process double-count each other's queries and
+/// see registry entries interned by earlier tests (a first-use
+/// `for_machine` may report a memo *hit*). Tests that assert on
+/// telemetry must call this once at the top and keep the guard alive —
+/// it replaces the ad-hoc snapshot/delta and registry-clear dances —
+/// which both resets the world and serializes such tests against each
+/// other. Tests that never assert on telemetry need no guard: their
+/// stray counts are wiped by the next holder's reset.
+pub fn reset_for_test() -> TelemetryResetGuard {
+    let lock = match RESET_LOCK.lock() {
+        Ok(g) => g,
+        // A previous holder panicked mid-test; the counters are mere
+        // atomics and about to be zeroed anyway.
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    FSA_QUERIES.store(0, Ordering::Relaxed);
+    MATRIX_QUERIES.store(0, Ordering::Relaxed);
+    FALLBACK_SCANS.store(0, Ordering::Relaxed);
+    MEMO_HITS.store(0, Ordering::Relaxed);
+    MEMO_BUILDS.store(0, Ordering::Relaxed);
+    crate::automaton::clear_registry_for_test();
+    TelemetryResetGuard { _lock: lock }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +147,21 @@ mod tests {
         assert!(delta.fallback_scans >= 1);
         assert!(delta.any());
         assert_eq!(before.since(&snapshot()), OracleCounters::default());
+    }
+
+    #[test]
+    fn reset_guard_zeroes_counters_and_serializes_holders() {
+        let guard = reset_for_test();
+        // Immediately after a reset, only counts made while holding the
+        // guard are visible (concurrent guardless tests may still add;
+        // the assertions stay one-sided for that reason).
+        count_matrix_queries(2);
+        let s = snapshot();
+        assert!(s.matrix_queries >= 2);
+        drop(guard);
+        // Re-acquiring after a drop must not deadlock; the second reset
+        // wipes what the first holder counted. (No exact zero assertion:
+        // guardless tests running concurrently may count in between.)
+        let _guard = reset_for_test();
     }
 }

@@ -65,6 +65,11 @@ pub struct FaultPlan {
     /// Pretend the global budget expires right before the ILP stage of
     /// the first attempted period.
     pub expire_before_ilp: bool,
+    /// Panic inside the driver before the first candidate period —
+    /// exercises crash isolation (`catch_unwind` supervision) in
+    /// embedders like the `swpd` daemon without corrupting any engine
+    /// state: the panic fires before any solver structure is built.
+    pub panic_in_solver: bool,
 }
 
 /// Which engine answers structural-conflict queries throughout the
@@ -431,6 +436,9 @@ impl RateOptimalScheduler {
         ddg: &Ddg,
         budget: &Budget,
     ) -> Result<ScheduleResult, ScheduleError> {
+        if self.config.faults.panic_in_solver {
+            panic!("injected fault: panic_in_solver");
+        }
         let t_dep = ddg.t_dep().ok_or(ScheduleError::NoFinitePeriod)?;
         let t_res = match (self.config.mapping, self.config.packing_bound) {
             // Fixed-assignment problem: counting bound, optionally

@@ -98,6 +98,15 @@ impl ResultCache {
         self.map.get(key)
     }
 
+    /// Inserts (or replaces, matching the loader's last-wins rule) a
+    /// record under its own key. This is the live-update path for
+    /// embedders that keep the cache hot in memory while appending the
+    /// same records to the artifact — the `swpd` daemon serves repeat
+    /// fingerprints from here without a disk round trip.
+    pub fn insert(&mut self, record: LoopRecord) {
+        self.map.insert(record.key, record);
+    }
+
     /// Number of distinct cached records.
     pub fn len(&self) -> usize {
         self.map.len()

@@ -367,13 +367,15 @@ mod tests {
 
     #[test]
     fn automaton_probe_counts_telemetry() {
+        // Hold the process-wide telemetry reset guard instead of doing
+        // snapshot/delta arithmetic by hand (swp-automata satellite).
+        let _guard = swp_automata::stats::reset_for_test();
         let machine = Machine::example_pldi95();
         let automaton = HazardAutomaton::for_machine(&machine, 4);
         let mrt = ModuloReservationTable::with_automaton(&machine, 4, automaton);
-        let before = swp_automata::stats::snapshot();
         let _ = mrt.find_free_unit(&machine, FP, 0);
-        let delta = swp_automata::stats::snapshot().since(&before);
-        assert!(delta.fsa_queries + delta.matrix_queries >= 1);
+        let after = swp_automata::stats::snapshot();
+        assert!(after.fsa_queries + after.matrix_queries >= 1);
     }
 
     #[test]

@@ -190,11 +190,46 @@ impl Budget {
     /// parent's pool; a fast worker's unused allowance is *not* donated
     /// to slow ones (use [`restrict`](Budget::restrict) for custom
     /// splits).
+    ///
+    /// A nearly exhausted parent yields a *zero-tick* share whose first
+    /// [`tick`](Budget::tick) trips immediately. Admission-control
+    /// callers that must refuse such dead work up front should use
+    /// [`try_slice`](Budget::try_slice) instead.
     pub fn slice(&self, n: u64) -> Budget {
-        match self.remaining_ticks() {
-            Some(rem) => self.restrict(None, Some(rem / n.max(1))),
+        match self.share_ticks(n) {
+            Some(share) => self.restrict(None, Some(share)),
             None => self.clone(),
         }
+    }
+
+    /// Like [`slice`](Budget::slice), but refuses work that can make no
+    /// progress: the admission-control form. Returns the exhaustion
+    /// instead of a budget when the parent is already cancelled, past
+    /// its deadline, or so close to its tick cap that an equal share
+    /// rounds down to zero ticks (`remaining / n == 0`, saturating —
+    /// a parent drained *below* its cap by concurrent work never
+    /// underflows into a huge allowance).
+    ///
+    /// # Errors
+    ///
+    /// The [`Exhaustion`] that makes the slice pointless:
+    /// [`Exhaustion::Ticks`] for an empty share, or whatever
+    /// [`check`](Budget::check) reports for the parent.
+    pub fn try_slice(&self, n: u64) -> Result<Budget, Exhaustion> {
+        self.check()?;
+        match self.share_ticks(n) {
+            Some(0) => Err(Exhaustion::Ticks),
+            Some(share) => Ok(self.restrict(None, Some(share))),
+            None => Ok(self.clone()),
+        }
+    }
+
+    /// `remaining / n` (saturating via [`remaining_ticks`]), or `None`
+    /// when this budget has no tick cap.
+    ///
+    /// [`remaining_ticks`]: Budget::remaining_ticks
+    fn share_ticks(&self, n: u64) -> Option<u64> {
+        self.remaining_ticks().map(|rem| rem / n.max(1))
     }
 
     /// Derives an *isolated* child: a fresh tick counter with no cap,
@@ -388,6 +423,50 @@ mod tests {
         // n = 0 is treated as 1, not a division by zero.
         let whole = Budget::with_tick_limit(7).slice(0);
         assert_eq!(whole.remaining_ticks(), Some(7));
+    }
+
+    #[test]
+    fn try_slice_admits_only_budgets_that_can_work() {
+        // A healthy pool slices normally.
+        let pool = Budget::with_tick_limit(100);
+        let share = pool.try_slice(4).expect("healthy pool admits");
+        assert_eq!(share.remaining_ticks(), Some(25));
+        // An uncapped pool admits an uncapped share.
+        assert!(Budget::unlimited().try_slice(4).is_ok());
+
+        // Nearly exhausted: 3 remaining ticks across 4 workers rounds
+        // down to a zero-tick share, which must be refused outright.
+        let nearly = Budget::with_tick_limit(3);
+        assert_eq!(nearly.try_slice(4).map(|_| ()), Err(Exhaustion::Ticks));
+        // ... but a 1-way slice of the same pool still admits.
+        assert!(nearly.try_slice(1).is_ok());
+
+        // Fully exhausted: refused with Ticks even before division.
+        let spent = Budget::with_tick_limit(2);
+        spent.tick().unwrap();
+        spent.tick().unwrap();
+        assert_eq!(spent.try_slice(1).map(|_| ()), Err(Exhaustion::Ticks));
+
+        // Cancellation and deadline expiry dominate the tick check.
+        let cancelled = Budget::with_tick_limit(100);
+        cancelled.cancel_token().cancel();
+        assert_eq!(
+            cancelled.try_slice(2).map(|_| ()),
+            Err(Exhaustion::Cancelled)
+        );
+        let late = Budget::with_deadline(Duration::ZERO);
+        assert_eq!(late.try_slice(2).map(|_| ()), Err(Exhaustion::Deadline));
+    }
+
+    #[test]
+    fn zero_tick_slice_from_slice_still_trips_immediately() {
+        // `slice` keeps its infallible contract: the dead share is
+        // created, but its very first tick (and check) trips.
+        let pool = Budget::with_tick_limit(3);
+        let dead = pool.slice(4);
+        assert_eq!(dead.remaining_ticks(), Some(0));
+        assert_eq!(dead.tick(), Err(Exhaustion::Ticks));
+        assert_eq!(dead.check(), Err(Exhaustion::Ticks));
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! The `swpd` daemon binary.
+//!
+//! ```text
+//! swpd [--addr 127.0.0.1:0] [--workers 4] [--queue 64]
+//!      [--artifact swpd.jsonl] [--resume] [--admission-ticks N]
+//!      [--default-timeout-ms 10000] [--max-timeout-ms 120000]
+//!      [--drain-grace-ms 5000] [--allow-fault-injection]
+//! ```
+//!
+//! Prints `swpd listening on <addr>` once ready (scripts scrape the
+//! port from it), then serves until a `shutdown` request drains it.
+//! Exits 0 after a clean drain.
+
+use std::path::PathBuf;
+use std::time::Duration;
+use swp_harness::Flags;
+use swp_swpd::{Daemon, DaemonConfig};
+
+fn main() {
+    let flags = match Flags::parse(
+        std::env::args().skip(1),
+        &["resume", "allow-fault-injection"],
+    ) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("swpd: {e}");
+            std::process::exit(2);
+        }
+    };
+    let config = match build_config(&flags) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("swpd: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let handle = match Daemon::start(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("swpd: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("swpd listening on {}", handle.addr());
+
+    let stats = handle.wait();
+    println!(
+        "swpd drained: requests={} solved={} cached={} unscheduled={} \
+         budget_exhausted={} overloaded={} cancelled={} panics={} \
+         bad_requests={} internal_errors={} replayed={}",
+        stats.requests,
+        stats.solved,
+        stats.cached,
+        stats.unscheduled,
+        stats.budget_exhausted,
+        stats.overloaded,
+        stats.cancelled,
+        stats.panics,
+        stats.bad_requests,
+        stats.internal_errors,
+        stats.replayed,
+    );
+    let clean = stats.in_flight == 0 && stats.queue_depth == 0 && stats.internal_errors == 0;
+    std::process::exit(if clean { 0 } else { 1 });
+}
+
+fn build_config(flags: &Flags) -> Result<DaemonConfig, String> {
+    let defaults = DaemonConfig::default();
+    Ok(DaemonConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:0").to_string(),
+        workers: flags.get_or("workers", defaults.workers)?,
+        queue_capacity: flags.get_or("queue", defaults.queue_capacity)?,
+        artifact: flags.get("artifact").map(PathBuf::from),
+        resume: flags.has("resume"),
+        admission_ticks: match flags.get("admission-ticks") {
+            None => None,
+            Some(raw) => Some(
+                raw.parse()
+                    .map_err(|_| format!("flag --admission-ticks: cannot parse `{raw}`"))?,
+            ),
+        },
+        default_timeout_ms: flags.get_or("default-timeout-ms", defaults.default_timeout_ms)?,
+        max_timeout_ms: flags.get_or("max-timeout-ms", defaults.max_timeout_ms)?,
+        drain_grace: Duration::from_millis(
+            flags.get_or("drain-grace-ms", defaults.drain_grace.as_millis() as u64)?,
+        ),
+        allow_fault_injection: flags.has("allow-fault-injection"),
+    })
+}

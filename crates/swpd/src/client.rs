@@ -1,0 +1,132 @@
+//! A small blocking client with overload-aware retry.
+//!
+//! One connection per call keeps the failure model trivial (no
+//! half-dead pipelines to reason about); the load generator, which
+//! wants pipelining, speaks the JSONL protocol directly instead. On an
+//! `overloaded` reply the client honours the daemon's `retry_after_ms`
+//! hint with jittered exponential backoff: sleep a uniformly random
+//! duration in `[hint/2, hint]`, doubling `hint` each attempt (capped),
+//! so a thundering herd of refused clients decorrelates instead of
+//! re-stampeding in lockstep.
+
+use crate::proto::{Reply, ReplyStatus, Request, SolveRequest};
+use crate::stats::StatsSnapshot;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+/// Longest single backoff sleep, whatever the hint escalates to.
+const BACKOFF_CAP_MS: u64 = 2_000;
+
+/// A blocking swpd client.
+#[derive(Debug)]
+pub struct SwpdClient {
+    addr: String,
+    /// Additional attempts after the first when the daemon sheds load
+    /// (so `max_retries = 3` means at most 4 round trips).
+    pub max_retries: u32,
+    /// Backoff used when an `overloaded` reply carries no hint.
+    pub fallback_backoff_ms: u64,
+    /// Per-call socket read timeout (a hung daemon surfaces as an
+    /// `io::Error` instead of a hung client).
+    pub read_timeout: Option<Duration>,
+    rng: SmallRng,
+}
+
+impl SwpdClient {
+    /// A client for the daemon at `addr` (e.g. `"127.0.0.1:4455"`),
+    /// with retry jitter seeded from `seed` for reproducible tests.
+    pub fn new(addr: impl Into<String>, seed: u64) -> SwpdClient {
+        SwpdClient {
+            addr: addr.into(),
+            max_retries: 5,
+            fallback_backoff_ms: 25,
+            read_timeout: Some(Duration::from_secs(120)),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Solves, retrying with jittered exponential backoff while the
+    /// daemon sheds load. The final reply is returned even if it is
+    /// still `overloaded` (the caller sees the refusal, never a lie).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only (connect, write, read, parse); protocol-
+    /// level failures arrive as the reply's status.
+    pub fn solve(&mut self, req: &SolveRequest) -> io::Result<Reply> {
+        let mut hint_ms: Option<u64> = None;
+        for attempt in 0..=self.max_retries {
+            if attempt > 0 {
+                let base = hint_ms
+                    .unwrap_or(self.fallback_backoff_ms)
+                    .saturating_mul(1 << (attempt - 1).min(8))
+                    .clamp(1, BACKOFF_CAP_MS);
+                // Jitter: uniform in [base/2, base].
+                let sleep_ms = self.rng.gen_range(base / 2..=base.max(1));
+                thread::sleep(Duration::from_millis(sleep_ms));
+            }
+            let reply = self.roundtrip(&Request::Solve(req.clone()))?;
+            if reply.status != ReplyStatus::Overloaded || attempt == self.max_retries {
+                return Ok(reply);
+            }
+            hint_ms = reply.retry_after_ms.or(hint_ms);
+        }
+        unreachable!("loop returns on the final attempt");
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn ping(&mut self) -> io::Result<Reply> {
+        self.roundtrip(&Request::Ping { id: "ping".into() })
+    }
+
+    /// Fetches the daemon's telemetry counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a stats reply missing its counters.
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        let reply = self.roundtrip(&Request::Stats { id: "stats".into() })?;
+        reply.counters.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "stats reply had no counters")
+        })
+    }
+
+    /// Asks the daemon to drain.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn shutdown(&mut self) -> io::Result<Reply> {
+        self.roundtrip(&Request::Shutdown {
+            id: "shutdown".into(),
+        })
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> io::Result<Reply> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        stream.set_nodelay(true).ok();
+        let mut writer = stream.try_clone()?;
+        writer.write_all(req.to_json_line().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line)?;
+        if line.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection without replying",
+            ));
+        }
+        Reply::from_json_line(line.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
