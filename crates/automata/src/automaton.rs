@@ -24,6 +24,15 @@ pub struct HazardAutomaton {
     /// `ReservationTable::max_ops_per_period` (max independent set in
     /// the circulant graph of the conflict vector).
     capacity: Vec<u32>,
+    /// `closure[class]`: the forbidden-latency closure anchored at
+    /// residue 0 — the OR of the conflict vector rotated to residue 0,
+    /// i.e. exactly the root `forbidden` mask the packing search
+    /// ([`max_ops_per_unit`]) starts from. Hoisted into the registry
+    /// entry so `res_mii` and the CP structural propagator
+    /// ([`Self::forbidden_closure`] / [`Self::or_forbidden_from`]) share
+    /// one computation per `(machine, T)` instead of re-deriving it per
+    /// node.
+    closure: Vec<Box<[u64]>>,
 }
 
 type Registry = Mutex<HashMap<(u64, u32), Arc<HazardAutomaton>>>;
@@ -41,12 +50,20 @@ impl HazardAutomaton {
         let matrix = CollisionMatrix::build(machine, period);
         let mut fsas = Vec::with_capacity(matrix.num_classes());
         let mut capacity = Vec::with_capacity(matrix.num_classes());
+        let mut closure = Vec::with_capacity(matrix.num_classes());
         for c in 0..matrix.num_classes() {
             let class = OpClass::new(c);
             let self_collides = matrix.self_collides(class).unwrap_or(true);
             let conflict = matrix.conflict_vector(c);
             fsas.push(HazardFsa::build(conflict, self_collides, period));
-            capacity.push(max_ops_per_unit(conflict, self_collides, period));
+            // The forbidden-latency closure at residue 0 seeds both the
+            // packing search below and the CP propagator's word-parallel
+            // domain pruning; computing it once here is the whole point
+            // of storing it on the registry entry.
+            let mut root = vec![0u64; conflict.len()].into_boxed_slice();
+            bits::or_rotated(&mut root, conflict, 0, period);
+            capacity.push(max_ops_per_unit(conflict, &root, self_collides, period));
+            closure.push(root);
         }
         HazardAutomaton {
             machine_fp: machine_fingerprint(machine),
@@ -54,6 +71,7 @@ impl HazardAutomaton {
             matrix,
             fsas,
             capacity,
+            closure,
         }
     }
 
@@ -105,6 +123,34 @@ impl HazardAutomaton {
     pub fn max_ops_per_unit(&self, class: OpClass) -> Option<u32> {
         self.capacity.get(class.index()).copied()
     }
+
+    /// The forbidden-latency closure of `class` anchored at residue 0:
+    /// one bit per residue `d`, set iff an issue `d mod T` after an
+    /// anchor issue on the same unit collides. Identical to the conflict
+    /// vector closed under rotation to 0, precomputed at build time so
+    /// consumers (the `ResMII` refinement, the CP structural propagator)
+    /// never re-derive it per node. `None` for an unknown class.
+    pub fn forbidden_closure(&self, class: OpClass) -> Option<&[u64]> {
+        self.closure.get(class.index()).map(|c| &**c)
+    }
+
+    /// ORs the forbidden-latency closure of `class`, rotated so its
+    /// anchor sits at residue `anchor`, into `dst` (one bit per residue,
+    /// `words_for(T)` words). This is the CP propagator's bulk domain
+    /// prune: after it, every set bit of `dst` is a residue where a new
+    /// op of `class` would collide with an op already issued at `anchor`
+    /// on the same unit. No-op for an unknown class.
+    pub fn or_forbidden_from(&self, class: OpClass, anchor: u32, dst: &mut [u64]) {
+        if let Some(closure) = self.closure.get(class.index()) {
+            bits::or_rotated(dst, closure, anchor % self.period, self.period);
+        }
+    }
+
+    /// Words needed for a residue mask at this automaton's period (the
+    /// layout [`or_forbidden_from`](Self::or_forbidden_from) expects).
+    pub fn mask_words(&self) -> usize {
+        bits::words_for(self.period)
+    }
 }
 
 impl ConflictOracle for HazardAutomaton {
@@ -144,14 +190,14 @@ pub(crate) fn clear_registry_for_test() {
 /// so this matches `ReservationTable::max_ops_per_period` exactly —
 /// including its rotation-symmetry normalization (residue 0 is in some
 /// maximum packing, so it is fixed).
-fn max_ops_per_unit(conflict: &[u64], self_collides: bool, period: u32) -> u32 {
+fn max_ops_per_unit(conflict: &[u64], closure: &[u64], self_collides: bool, period: u32) -> u32 {
     if self_collides {
         return 0;
     }
-    let mut forbidden = vec![0u64; conflict.len()];
-    bits::or_rotated(&mut forbidden, conflict, 0, period);
+    // `closure` is the hoisted root mask (conflict vector rotated to
+    // residue 0) shared with `HazardAutomaton::forbidden_closure`.
     let mut best = 1u32;
-    pack_dfs(conflict, period, &forbidden, 1, 1, &mut best);
+    pack_dfs(conflict, period, closure, 1, 1, &mut best);
     best
 }
 
@@ -253,6 +299,47 @@ mod tests {
         let after = stats::snapshot();
         assert!(after.memo_hits >= 1, "second fetch must be a memo hit");
         assert!(after.memo_builds >= 1, "first fetch must build");
+    }
+
+    #[test]
+    fn hoisted_closure_matches_matrix_and_rotates_correctly() {
+        for machine in [
+            Machine::example_pldi95(),
+            Machine::example_clean(),
+            Machine::example_non_pipelined(),
+            Machine::ppc604(),
+        ] {
+            for period in [2u32, 4, 7, 13] {
+                let a = HazardAutomaton::build(&machine, period);
+                for c in 0..machine.num_classes() {
+                    let class = OpClass::new(c);
+                    let closure = a.forbidden_closure(class).expect("known class");
+                    // Bit d of the hoisted closure must equal the
+                    // pairwise matrix verdict at delta d.
+                    for d in 0..period {
+                        assert_eq!(
+                            crate::bits::test(closure, d),
+                            a.matrix().collides(class, class, d) == Some(true),
+                            "class {c} T={period} delta {d}"
+                        );
+                    }
+                    // The rotated form anchors the closure at `anchor`:
+                    // bit r set iff (r - anchor) mod T collides.
+                    for anchor in 0..period {
+                        let mut mask = vec![0u64; a.mask_words()];
+                        a.or_forbidden_from(class, anchor, &mut mask);
+                        for r in 0..period {
+                            let delta = (r + period - anchor) % period;
+                            assert_eq!(
+                                crate::bits::test(&mask, r),
+                                a.matrix().collides(class, class, delta) == Some(true),
+                                "class {c} T={period} anchor {anchor} residue {r}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -121,6 +121,7 @@ fn run_ab(machine: &Machine, num_loops: usize, oracle: ConflictOracleMode) -> Ab
             max_t_above_lb: 8,
             heuristic_incumbent: true,
             conflict_oracle: oracle,
+            engine: Default::default(),
         },
         HarnessConfig {
             workers: 1,

@@ -1,0 +1,234 @@
+//! Exact-engine A/B benchmark: ILP vs CP vs portfolio → `BENCH_cpsat.json`.
+//!
+//! The harness runs the same PLDI'95 corpus three times — once per
+//! [`Engine`] — with the IMS incumbent *off*, so the exact engines
+//! settle every period themselves (with the heuristic on, most loops
+//! close on an IMS certificate and the comparison measures nothing).
+//! Methodology follows `bench_automata`: one worker, deterministic tick
+//! budgets, interleaved repetitions with the per-loop **minimum** solve
+//! time kept (`AB_REPS` reps), decision identity asserted across
+//! engines.
+//!
+//! The artifact records, per loop, the min solve time under each engine
+//! and the portfolio's ratio against `min(ILP, CP)` — the acceptance
+//! gate is that the portfolio never loses to the *faster* engine by
+//! more than the race overhead (a ≤ 1.1× ratio once a fixed per-race
+//! thread-spawn allowance is granted; sub-millisecond loops are
+//! dominated by that constant, which the analysis in EXPERIMENTS.md
+//! quantifies).
+//!
+//! Run: `cargo run -p swp-bench --release --bin bench_cpsat -- [num_loops] [--out PATH] [--ticks N]`
+
+use std::process::ExitCode;
+use swp_core::Engine;
+use swp_harness::{Flags, Harness, HarnessConfig, LoopRecord, NullSink, SuiteRunConfig};
+use swp_loops::suite::{generate, GeneratedLoop, SuiteConfig};
+use swp_machine::Machine;
+
+/// Interleaved repetitions per engine; per-loop minimum is kept.
+const AB_REPS: usize = 3;
+/// Fixed per-loop allowance for race overhead (thread spawn + channel
+/// polling across the sweep's periods), granted before the 1.1× ratio
+/// test. Portfolio mode pays this constant even when both engines are
+/// instant, so on microsecond-scale loops the raw ratio is meaningless.
+const RACE_OVERHEAD_US: u64 = 400;
+
+struct EngineRun {
+    wall_us: u64,
+    records: Vec<LoopRecord>,
+    /// Per-loop minimum solve time across reps, in µs.
+    per_loop_us: Vec<u64>,
+}
+
+fn run_engine(machine: &Machine, loops: &[GeneratedLoop], engine: Engine, ticks: u64) -> EngineRun {
+    let harness = Harness::new(
+        machine.clone(),
+        SuiteRunConfig {
+            num_loops: loops.len(),
+            time_limit_per_t: None,
+            per_loop_ticks: Some(ticks),
+            max_t_above_lb: 8,
+            heuristic_incumbent: false,
+            conflict_oracle: Default::default(),
+            engine,
+        },
+        HarnessConfig {
+            workers: 1,
+            record_timing: true,
+            ..HarnessConfig::default()
+        },
+    );
+    let report = harness.run(loops, &mut NullSink).expect("artifact-less");
+    assert!(!report.interrupted, "A/B run must cover every loop");
+    let per_loop_us = report
+        .records
+        .iter()
+        .map(|r| r.solve_time.as_micros() as u64)
+        .collect();
+    EngineRun {
+        wall_us: report.wall_time.as_micros() as u64,
+        records: report.records,
+        per_loop_us,
+    }
+}
+
+/// The decision an engine reached on one loop — everything that must be
+/// engine-independent (timing and race telemetry are not compared).
+fn decision(r: &LoopRecord) -> (Option<u32>, bool, bool) {
+    (r.period, r.proven, r.any_timeout)
+}
+
+fn main() -> ExitCode {
+    let flags = match Flags::parse(std::env::args().skip(1), &[]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench_cpsat: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let num_loops: usize = match flags.positional_or(0, 128) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("bench_cpsat: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ticks: u64 = match flags.get_or("ticks", 500_000) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("bench_cpsat: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = flags.get("out").unwrap_or("BENCH_cpsat.json").to_string();
+    let machine = Machine::example_pldi95();
+    let loops = generate(&SuiteConfig {
+        num_loops,
+        ..SuiteConfig::pldi95_default()
+    });
+
+    eprintln!(
+        "== exact-engine A/B: {num_loops} loops, {ticks} ticks/loop, heuristic off, \
+         1 worker, per-loop min of {AB_REPS} reps =="
+    );
+    let engines = [Engine::Ilp, Engine::Cp, Engine::Portfolio];
+    let mut best: [Option<EngineRun>; 3] = [None, None, None];
+    for _ in 0..AB_REPS {
+        // Interleaved so machine-wide drift hits every engine equally.
+        for (slot, &engine) in engines.iter().enumerate() {
+            let run = run_engine(&machine, &loops, engine, ticks);
+            match &mut best[slot] {
+                None => best[slot] = Some(run),
+                Some(b) => {
+                    b.wall_us = b.wall_us.min(run.wall_us);
+                    for (m, v) in b.per_loop_us.iter_mut().zip(&run.per_loop_us) {
+                        *m = (*m).min(*v);
+                    }
+                }
+            }
+        }
+    }
+    let [ilp, cp, port] = best.map(|b| b.expect("AB_REPS > 0"));
+
+    // Decision identity: every engine is decision-equivalent, so with
+    // the same tick budget the (period, proven, timeout) triple must
+    // agree wherever no engine tripped its budget. Budget-tripped loops
+    // may legitimately differ (the engines spend ticks differently).
+    let mut mismatches = 0usize;
+    let mut budget_limited = 0usize;
+    for i in 0..num_loops {
+        let d = [
+            decision(&ilp.records[i]),
+            decision(&cp.records[i]),
+            decision(&port.records[i]),
+        ];
+        if d.iter().any(|&(_, _, timeout)| timeout) {
+            budget_limited += 1;
+            continue;
+        }
+        if d[1] != d[0] || d[2] != d[0] {
+            mismatches += 1;
+            if mismatches <= 3 {
+                eprintln!(
+                    "decision mismatch on {}: ilp {:?} cp {:?} portfolio {:?}",
+                    ilp.records[i].name, d[0], d[1], d[2]
+                );
+            }
+        }
+    }
+
+    // Per-loop comparison on the minimums.
+    let mut cp_faster = 0usize;
+    let mut within_ratio = 0usize;
+    let mut within_overhead = 0usize;
+    let mut worst_ratio = 0.0f64;
+    let mut per_loop = String::new();
+    for i in 0..num_loops {
+        let (i_us, c_us, p_us) = (ilp.per_loop_us[i], cp.per_loop_us[i], port.per_loop_us[i]);
+        let floor = i_us.min(c_us);
+        if c_us < i_us {
+            cp_faster += 1;
+        }
+        let ratio = p_us as f64 / floor.max(1) as f64;
+        worst_ratio = worst_ratio.max(ratio);
+        if ratio <= 1.1 {
+            within_ratio += 1;
+        }
+        if p_us <= floor + floor / 10 + RACE_OVERHEAD_US {
+            within_overhead += 1;
+        }
+        per_loop.push_str(&format!(
+            "    {{\"loop\": {i}, \"period\": {}, \"ilp_us\": {i_us}, \"cp_us\": {c_us}, \
+             \"portfolio_us\": {p_us}, \"ratio_vs_best\": {ratio:.2}}}{}\n",
+            ilp.records[i].period.map_or(-1i64, i64::from),
+            if i + 1 < num_loops { "," } else { "" }
+        ));
+    }
+    let races: u64 = port.records.iter().map(|r| u64::from(r.races)).sum();
+    let cp_wins: u64 = port.records.iter().map(|r| u64::from(r.race_cp_wins)).sum();
+    let ilp_wins: u64 = port
+        .records
+        .iter()
+        .map(|r| u64::from(r.race_ilp_wins))
+        .sum();
+
+    eprintln!(
+        "wall: ilp {} µs | cp {} µs | portfolio {} µs",
+        ilp.wall_us, cp.wall_us, port.wall_us
+    );
+    eprintln!(
+        "per-loop: CP faster on {cp_faster}/{num_loops}, portfolio ≤1.1× best on \
+         {within_ratio}/{num_loops} raw, {within_overhead}/{num_loops} with a \
+         {RACE_OVERHEAD_US} µs race-overhead allowance (worst ratio ×{worst_ratio:.2})"
+    );
+    eprintln!(
+        "portfolio races: {races} ({cp_wins} CP wins, {ilp_wins} ILP wins) | \
+         decisions: {mismatches} mismatches, {budget_limited} budget-limited loops"
+    );
+
+    let json = format!(
+        "{{\n  \"machine\": \"example_pldi95\",\n  \"loops\": {num_loops},\n  \
+         \"per_loop_ticks\": {ticks},\n  \"reps\": {AB_REPS},\n  \
+         \"heuristic_incumbent\": false,\n  \
+         \"wall_us\": {{\"ilp\": {}, \"cp\": {}, \"portfolio\": {}}},\n  \
+         \"races\": {{\"total\": {races}, \"cp_wins\": {cp_wins}, \"ilp_wins\": {ilp_wins}}},\n  \
+         \"per_loop_summary\": {{\"cp_faster_than_ilp\": {cp_faster}, \
+         \"portfolio_within_1_1x\": {within_ratio}, \
+         \"portfolio_within_1_1x_plus_{RACE_OVERHEAD_US}us\": {within_overhead}, \
+         \"worst_portfolio_ratio\": {worst_ratio:.2}, \
+         \"decision_mismatches\": {mismatches}, \"budget_limited\": {budget_limited}}},\n  \
+         \"per_loop\": [\n{per_loop}  ]\n}}\n",
+        ilp.wall_us, cp.wall_us, port.wall_us
+    );
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_cpsat: writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+
+    if mismatches > 0 {
+        eprintln!("bench_cpsat: engines DISAGREED on fully-settled loops");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -11,11 +11,13 @@
 //! * `--artifact PATH` — stream per-loop JSONL records to `PATH`;
 //! * `--resume` — load `PATH` first and skip already-solved loops;
 //! * `--conflict-oracle scan|automaton` — conflict-query engine
-//!   (decision-equivalent; `automaton` uses the precomputed hazard FSA).
+//!   (decision-equivalent; `automaton` uses the precomputed hazard FSA);
+//! * `--engine ilp|cp|portfolio` — the exact engine settling each
+//!   period (decision-equivalent; `portfolio` races CP against the ILP).
 
 use std::process::ExitCode;
 use std::time::Duration;
-use swp_bench::{parse_conflict_oracle, render_table, SuiteOutcome, SuiteRunConfig};
+use swp_bench::{parse_conflict_oracle, parse_engine, render_table, SuiteOutcome, SuiteRunConfig};
 use swp_harness::{Flags, Harness, HarnessConfig, LoopRecord, NullSink};
 use swp_loops::suite::{generate, SuiteConfig};
 use swp_machine::Machine;
@@ -47,8 +49,9 @@ fn main() -> ExitCode {
         _ => (Machine::example_pldi95(), SuiteConfig::pldi95_default()),
     };
 
-    let conflict_oracle = match parse_conflict_oracle(&flags) {
-        Ok(o) => o,
+    let parsed = (|| Ok::<_, String>((parse_conflict_oracle(&flags)?, parse_engine(&flags)?)))();
+    let (conflict_oracle, engine) = match parsed {
+        Ok(v) => v,
         Err(e) => {
             eprintln!("table4: {e}");
             return ExitCode::FAILURE;
@@ -58,6 +61,7 @@ fn main() -> ExitCode {
         num_loops,
         time_limit_per_t: Some(Duration::from_secs(secs)),
         conflict_oracle,
+        engine,
         ..Default::default()
     };
     let config = HarnessConfig {

@@ -10,11 +10,12 @@
 //!
 //! Run: `cargo run -p swp-bench --release --bin table5 -- [num_loops] [per-T seconds]`
 //! Harness flags: `--workers N`, `--artifact PATH`, `--resume`,
-//! `--conflict-oracle scan|automaton` (as in `table4`).
+//! `--conflict-oracle scan|automaton`, `--engine ilp|cp|portfolio`
+//! (as in `table4`).
 
 use std::process::ExitCode;
 use std::time::Duration;
-use swp_bench::{parse_conflict_oracle, render_table, SuiteOutcome, SuiteRunConfig};
+use swp_bench::{parse_conflict_oracle, parse_engine, render_table, SuiteOutcome, SuiteRunConfig};
 use swp_core::SolvedBy;
 use swp_harness::{Flags, Harness, HarnessConfig, NullSink};
 use swp_loops::suite::{generate, SuiteConfig};
@@ -44,8 +45,9 @@ fn main() -> ExitCode {
     println!(
         "== Table 5: ILP solve effort ({num_loops} loops, pure ILP, {secs}s per period, {workers} workers) ==\n"
     );
-    let conflict_oracle = match parse_conflict_oracle(&flags) {
-        Ok(o) => o,
+    let parsed = (|| Ok::<_, String>((parse_conflict_oracle(&flags)?, parse_engine(&flags)?)))();
+    let (conflict_oracle, engine) = match parsed {
+        Ok(v) => v,
         Err(e) => {
             eprintln!("table5: {e}");
             return ExitCode::FAILURE;
@@ -56,6 +58,7 @@ fn main() -> ExitCode {
         time_limit_per_t: Some(Duration::from_secs(secs)),
         heuristic_incumbent: false,
         conflict_oracle,
+        engine,
         ..Default::default()
     };
     let config = HarnessConfig {

@@ -35,3 +35,20 @@ pub fn parse_conflict_oracle(
         )),
     }
 }
+
+/// Parses the shared `--engine ilp|cp|portfolio` harness flag (default
+/// `ilp`), selecting the exact engine that settles each period.
+///
+/// # Errors
+///
+/// A usage message when the value names no engine.
+pub fn parse_engine(flags: &swp_harness::Flags) -> Result<swp_core::Engine, String> {
+    match flags.get("engine").unwrap_or("ilp") {
+        "ilp" => Ok(swp_core::Engine::Ilp),
+        "cp" => Ok(swp_core::Engine::Cp),
+        "portfolio" => Ok(swp_core::Engine::Portfolio),
+        other => Err(format!(
+            "flag --engine: unknown engine `{other}` (expected `ilp`, `cp`, or `portfolio`)"
+        )),
+    }
+}

@@ -26,7 +26,7 @@
 use crate::ScheduleError;
 use swp_ddg::{Ddg, NodeId};
 use swp_machine::Machine;
-use swp_milp::{LinExpr, Model, Sense, VarId, VarKind};
+use swp_milp::{Budget, Exhaustion, LinExpr, Model, Sense, VarId, VarKind};
 
 /// How the mapping (instruction → physical unit) is handled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -118,6 +118,11 @@ pub struct Formulation {
 
 /// Builds the ILP for scheduling `ddg` on `machine` at period `period`.
 ///
+/// Convenience wrapper around [`build_with`] with an unlimited budget —
+/// for callers (tests, benches, one-shot tools) that never cancel a
+/// build in flight. The scheduler goes through [`build_with`] so that a
+/// portfolio race loser aborts model construction promptly.
+///
 /// # Errors
 ///
 /// [`ScheduleError::UnknownClass`] if the DDG uses a class the machine
@@ -128,7 +133,35 @@ pub fn build(
     period: u32,
     options: FormulationOptions,
 ) -> Result<Formulation, ScheduleError> {
+    build_with(ddg, machine, period, options, &Budget::unlimited())
+}
+
+/// Budget-aware [`build`]: consults `budget`'s **cancel flag** (only —
+/// ticks and deadline are the solver's business, and the solver trips
+/// on them the moment it starts) at every loop boundary, so a cancelled
+/// caller pays at most one constraint family of dead work instead of
+/// the whole model. This is what keeps portfolio-race cancellation
+/// prompt: on small loops the build dominates the ILP's wall time.
+///
+/// # Errors
+///
+/// [`ScheduleError::UnknownClass`] for an undefined class,
+/// [`ScheduleError::Cancelled`] when the budget's cancel flag fires
+/// mid-build.
+pub fn build_with(
+    ddg: &Ddg,
+    machine: &Machine,
+    period: u32,
+    options: FormulationOptions,
+    budget: &Budget,
+) -> Result<Formulation, ScheduleError> {
     assert!(period > 0, "period must be positive");
+    let bail = || -> Result<(), ScheduleError> {
+        match budget.check() {
+            Err(Exhaustion::Cancelled) => Err(ScheduleError::Cancelled),
+            _ => Ok(()),
+        }
+    };
     let FormulationOptions {
         mapping,
         objective,
@@ -150,6 +183,7 @@ pub fn build(
     let mut a = Vec::with_capacity(n);
     let mut t_vars = Vec::with_capacity(n);
     let mut k_vars = Vec::with_capacity(n);
+    bail()?;
     for (id, node) in ddg.nodes() {
         let i = id.index();
         let row: Vec<VarId> = (0..period)
@@ -217,6 +251,7 @@ pub fn build(
 
     // --- Capacity per class/stage/step (eqs. (5)/(25)) ---
     for class in ddg.classes() {
+        bail()?;
         let fu = machine
             .fu_type(class)
             .map_err(|_| ScheduleError::UnknownClass(class))?;
@@ -239,6 +274,7 @@ pub fn build(
             }
         }
         for s in 0..rt.stages() {
+            bail()?;
             let offsets = rt.stage_offsets(s);
             if offsets.is_empty() {
                 continue;
@@ -289,6 +325,7 @@ pub fn build(
     let mut unit_count_vars: Vec<VarId> = Vec::new();
     if mapping == MappingMode::UnifiedColoring {
         for class in ddg.classes() {
+            bail()?;
             let fu = machine
                 .fu_type(class)
                 .map_err(|_| ScheduleError::UnknownClass(class))?;
@@ -339,6 +376,7 @@ pub fn build(
             }
             let rt = &fu.reservation;
             for (x, &i_id) in members.iter().enumerate() {
+                bail()?;
                 for &j_id in &members[x + 1..] {
                     let (i, j) = (i_id.index(), j_id.index());
                     // δ_{ij}: 1 if the two ops overlap on some stage/step.

@@ -56,8 +56,8 @@ mod scheduler;
 
 pub use formulation::{Formulation, FormulationOptions, MappingMode, Objective};
 pub use scheduler::{
-    ConflictOracleMode, FaultPlan, Optimality, PeriodAttempt, PeriodOutcome, RateOptimalScheduler,
-    ScheduleResult, SchedulerConfig, SolvedBy, SolverStats,
+    ConflictOracleMode, Engine, FaultPlan, Optimality, PeriodAttempt, PeriodOutcome, RaceEngine,
+    RaceReport, RateOptimalScheduler, ScheduleResult, SchedulerConfig, SolvedBy, SolverStats,
 };
 pub use swp_machine::{Matrices, PipelinedSchedule, ValidationError};
 pub use swp_milp::{Budget, CancelToken};

@@ -29,8 +29,10 @@
 
 use crate::formulation::{self, FormulationOptions, MappingMode, Objective};
 use crate::ScheduleError;
+use std::sync::mpsc;
 use std::time::Duration;
 use swp_automata::HazardAutomaton;
+use swp_cpsat::{CpError, CpOptions, CpOutcome};
 use swp_ddg::{Ddg, OpClass};
 use swp_heuristics::{HeuristicError, IterativeModuloScheduler};
 use swp_machine::Machine;
@@ -91,6 +93,30 @@ pub enum ConflictOracleMode {
     Automaton,
 }
 
+/// Which exact engine settles each candidate period (after the optional
+/// IMS incumbent probe, which is engine-independent).
+///
+/// The CP backend implements the unified-coloring feasibility problem
+/// only; under [`MappingMode::CapacityOnly`] or a non-`Feasible`
+/// [`Objective`] the driver transparently uses the ILP regardless of
+/// this setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The unified ILP (simplex + branch-and-bound). The seed behaviour.
+    #[default]
+    Ilp,
+    /// The constraint-propagation backend (`swp-cpsat`): offset/color
+    /// search with interval, capacity, and hazard-automaton propagators
+    /// plus no-good recording. Proven-exact, decision-equivalent to the
+    /// ILP.
+    Cp,
+    /// Race both exact engines on isolated slices of the per-period
+    /// budget; the first proven answer (feasible schedule or exact
+    /// refutation) wins and cancels the loser. Per-period win/loss
+    /// telemetry lands in [`PeriodAttempt::race`] and [`SolverStats`].
+    Portfolio,
+}
+
 /// Configuration for [`RateOptimalScheduler`].
 #[derive(Debug, Clone)]
 pub struct SchedulerConfig {
@@ -122,6 +148,9 @@ pub struct SchedulerConfig {
     /// Conflict-query engine for the whole pipeline (default: naive
     /// scans). See [`ConflictOracleMode`].
     pub conflict_oracle: ConflictOracleMode,
+    /// Which exact engine settles each candidate period (default: the
+    /// ILP). See [`Engine`].
+    pub engine: Engine,
     /// Test-only fault injection; leave at `Default::default()`.
     #[doc(hidden)]
     pub faults: FaultPlan,
@@ -139,6 +168,7 @@ impl Default for SchedulerConfig {
             packing_bound: true,
             heuristic_incumbent: true,
             conflict_oracle: ConflictOracleMode::default(),
+            engine: Engine::default(),
             faults: FaultPlan::default(),
         }
     }
@@ -149,9 +179,37 @@ impl Default for SchedulerConfig {
 pub enum SolvedBy {
     /// The unified ILP.
     Ilp,
+    /// The constraint-propagation backend (`swp-cpsat`).
+    Cp,
     /// The iterative-modulo-scheduling certificate (see
     /// [`SchedulerConfig::heuristic_incumbent`]).
     Heuristic,
+}
+
+/// One of the two exact engines in a portfolio race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceEngine {
+    /// The unified ILP.
+    Ilp,
+    /// The constraint-propagation backend.
+    Cp,
+}
+
+/// What happened in one portfolio race (attached to the attempt of the
+/// raced period).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceReport {
+    /// The engine whose proven answer settled the period first, or
+    /// `None` when neither produced one (both exhausted or failed).
+    pub winner: Option<RaceEngine>,
+    /// Whether the losing engine was stopped by the winner's
+    /// cancellation (as opposed to finishing — or failing — on its own
+    /// before the cancel landed).
+    pub loser_cancelled: bool,
+    /// Ticks the ILP racer spent on its isolated budget slice.
+    pub ilp_ticks: u64,
+    /// Ticks the CP racer spent on its isolated budget slice.
+    pub cp_ticks: u64,
 }
 
 /// Outcome of one candidate period.
@@ -183,10 +241,12 @@ pub struct PeriodAttempt {
     pub lp_iterations: u64,
     /// Wall-clock spent on this period.
     pub elapsed: Duration,
-    /// Variables in the ILP (0 if rejected at build).
+    /// Variables in the ILP (0 if rejected at build or settled by CP).
     pub num_vars: usize,
-    /// Constraints in the ILP (0 if rejected at build).
+    /// Constraints in the ILP (0 if rejected at build or settled by CP).
     pub num_constrs: usize,
+    /// Portfolio-race telemetry (`None` outside portfolio mode).
+    pub race: Option<RaceReport>,
 }
 
 /// Aggregated solver-effort statistics over a per-period attempt log —
@@ -207,6 +267,8 @@ pub struct SolverStats {
     pub periods_attempted: u32,
     /// Periods settled feasible by the unified ILP.
     pub ilp_feasible: u32,
+    /// Periods settled feasible by the CP backend.
+    pub cp_feasible: u32,
     /// Periods settled feasible by the IMS certificate.
     pub heuristic_feasible: u32,
     /// Periods proven infeasible (exact refutations, either by the ILP or
@@ -216,6 +278,16 @@ pub struct SolverStats {
     pub timeouts: u32,
     /// Periods on which the exact engine failed numerically.
     pub engine_failures: u32,
+    /// Portfolio races run (periods attempted in portfolio mode).
+    pub races: u32,
+    /// Races the CP backend settled first.
+    pub race_cp_wins: u32,
+    /// Races the ILP settled first.
+    pub race_ilp_wins: u32,
+    /// Races neither engine settled (both exhausted or failed).
+    pub race_undecided: u32,
+    /// Races whose losing engine was stopped by cancellation.
+    pub race_losers_cancelled: u32,
 }
 
 impl SolverStats {
@@ -230,10 +302,22 @@ impl SolverStats {
             s.bb_nodes += a.nodes;
             match a.outcome {
                 PeriodOutcome::Feasible(SolvedBy::Ilp) => s.ilp_feasible += 1,
+                PeriodOutcome::Feasible(SolvedBy::Cp) => s.cp_feasible += 1,
                 PeriodOutcome::Feasible(SolvedBy::Heuristic) => s.heuristic_feasible += 1,
                 PeriodOutcome::Infeasible | PeriodOutcome::RejectedAtBuild => s.refuted += 1,
                 PeriodOutcome::TimedOut => s.timeouts += 1,
                 PeriodOutcome::EngineFailed => s.engine_failures += 1,
+            }
+            if let Some(r) = a.race {
+                s.races += 1;
+                match r.winner {
+                    Some(RaceEngine::Cp) => s.race_cp_wins += 1,
+                    Some(RaceEngine::Ilp) => s.race_ilp_wins += 1,
+                    None => s.race_undecided += 1,
+                }
+                if r.loser_cancelled {
+                    s.race_losers_cancelled += 1;
+                }
             }
         }
         s
@@ -336,6 +420,38 @@ impl ScheduleResult {
     pub fn total_elapsed(&self) -> Duration {
         self.attempts.iter().map(|a| a.elapsed).sum()
     }
+}
+
+/// What one exact engine concluded about one candidate period, before
+/// the driver turns it into an attempt-log entry (and possibly a
+/// fallback). Normalizing both engines onto this type is what lets the
+/// ILP path, the CP path, and the portfolio race share one settlement
+/// routine.
+enum ExactVerdict {
+    /// A candidate schedule (not yet re-verified by the checker).
+    Feasible {
+        starts: Vec<u32>,
+        units: Vec<Option<u32>>,
+        nodes: u64,
+        lp_iterations: u64,
+        num_vars: usize,
+        num_constrs: usize,
+    },
+    /// Proven infeasible; `at_build` means rejected before any search.
+    Refuted {
+        at_build: bool,
+        num_vars: usize,
+        num_constrs: usize,
+    },
+    /// The per-period budget ran out undecided.
+    Limit { num_vars: usize, num_constrs: usize },
+    /// The cancel token fired mid-solve.
+    Cancelled,
+    /// The engine failed on this instance (numerical stall, or a colored
+    /// class too wide for the CP backend's 64-bit unit domains).
+    Failed { num_vars: usize, num_constrs: usize },
+    /// A hard error to propagate to the caller.
+    Error(ScheduleError),
 }
 
 /// What one candidate period contributed to the search.
@@ -558,6 +674,7 @@ impl RateOptimalScheduler {
                             elapsed: started.elapsed(),
                             num_vars: 0,
                             num_constrs: 0,
+                            race: None,
                         });
                         Ok(ScheduleResult {
                             schedule: res.schedule,
@@ -594,6 +711,7 @@ impl RateOptimalScheduler {
     ) -> Result<(), ValidationError> {
         let injected = match engine {
             SolvedBy::Ilp => self.config.faults.reject_ilp_schedule,
+            SolvedBy::Cp => false,
             SolvedBy::Heuristic => self.config.faults.reject_heuristic_schedule,
         };
         if injected {
@@ -643,6 +761,7 @@ impl RateOptimalScheduler {
                             elapsed: started.elapsed(),
                             num_vars: 0,
                             num_constrs: 0,
+                            race: None,
                         });
                         return Ok(PeriodResult::Schedule(schedule));
                     }
@@ -661,6 +780,7 @@ impl RateOptimalScheduler {
                         elapsed: started.elapsed(),
                         num_vars: 0,
                         num_constrs: 0,
+                        race: None,
                     });
                     return Ok(if budget.check().is_err() {
                         PeriodResult::BudgetExhausted
@@ -680,11 +800,85 @@ impl RateOptimalScheduler {
                 elapsed: started.elapsed(),
                 num_vars: 0,
                 num_constrs: 0,
+                race: None,
             });
             return Ok(PeriodResult::BudgetExhausted);
         }
 
-        let f = match formulation::build(
+        match self.effective_engine() {
+            Engine::Ilp => {
+                let verdict = self.run_ilp_exact(ddg, period, &period_budget);
+                self.settle_exact(
+                    ddg,
+                    period,
+                    verdict,
+                    SolvedBy::Ilp,
+                    None,
+                    budget,
+                    &period_budget,
+                    attempts,
+                    started,
+                )
+            }
+            Engine::Cp => {
+                // The CP backend cannot color classes wider than its
+                // 64-bit unit domains; on such instances fall back to the
+                // ILP for this period instead of reporting engine failure.
+                let (verdict, engine) = match self.run_cp_exact(ddg, period, &period_budget) {
+                    ExactVerdict::Failed { .. } => (
+                        self.run_ilp_exact(ddg, period, &period_budget),
+                        SolvedBy::Ilp,
+                    ),
+                    v => (v, SolvedBy::Cp),
+                };
+                self.settle_exact(
+                    ddg,
+                    period,
+                    verdict,
+                    engine,
+                    None,
+                    budget,
+                    &period_budget,
+                    attempts,
+                    started,
+                )
+            }
+            Engine::Portfolio => {
+                let (verdict, engine, race) = self.race_period(ddg, period, budget, &period_budget);
+                self.settle_exact(
+                    ddg,
+                    period,
+                    verdict,
+                    engine,
+                    Some(race),
+                    budget,
+                    &period_budget,
+                    attempts,
+                    started,
+                )
+            }
+        }
+    }
+
+    /// The engine that will actually settle periods: the CP backend
+    /// implements the unified-coloring feasibility problem only, so any
+    /// other mapping mode or objective forces the ILP regardless of
+    /// [`SchedulerConfig::engine`].
+    fn effective_engine(&self) -> Engine {
+        if self.config.mapping != MappingMode::UnifiedColoring
+            || self.config.objective != Objective::Feasible
+        {
+            Engine::Ilp
+        } else {
+            self.config.engine
+        }
+    }
+
+    /// Runs the unified ILP at `period` under `period_budget` and
+    /// normalizes the outcome. Pushes no attempt-log entry — that is
+    /// [`Self::settle_exact`]'s job, so race losers never pollute the log.
+    fn run_ilp_exact(&self, ddg: &Ddg, period: u32, period_budget: &Budget) -> ExactVerdict {
+        let f = match formulation::build_with(
             ddg,
             &self.machine,
             period,
@@ -695,21 +889,18 @@ impl RateOptimalScheduler {
                 packing_bound: self.config.packing_bound,
                 ..FormulationOptions::standard()
             },
+            period_budget,
         ) {
             Ok(f) => f,
             Err(ScheduleError::PeriodInfeasible { .. }) => {
-                attempts.push(PeriodAttempt {
-                    period,
-                    outcome: PeriodOutcome::RejectedAtBuild,
-                    nodes: 0,
-                    lp_iterations: 0,
-                    elapsed: started.elapsed(),
+                return ExactVerdict::Refuted {
+                    at_build: true,
                     num_vars: 0,
                     num_constrs: 0,
-                });
-                return Ok(PeriodResult::Refuted);
+                }
             }
-            Err(e) => return Err(e),
+            Err(ScheduleError::Cancelled) => return ExactVerdict::Cancelled,
+            Err(e) => return ExactVerdict::Error(e),
         };
         let mut limits = SolveLimits {
             time_limit: self.config.time_limit_per_t,
@@ -731,55 +922,267 @@ impl RateOptimalScheduler {
         match solved {
             Ok(sol) => {
                 let stats = *sol.stats();
-                let (starts, colors) = f.extract(&sol);
-                let assignment = self.complete_assignment(ddg, period, &starts, &colors)?;
+                let (starts, units) = f.extract(&sol);
+                ExactVerdict::Feasible {
+                    starts,
+                    units,
+                    nodes: stats.nodes,
+                    lp_iterations: stats.lp_iterations,
+                    num_vars,
+                    num_constrs,
+                }
+            }
+            Err(SolveError::Infeasible) => ExactVerdict::Refuted {
+                at_build: false,
+                num_vars,
+                num_constrs,
+            },
+            Err(SolveError::LimitReached(_)) => ExactVerdict::Limit {
+                num_vars,
+                num_constrs,
+            },
+            Err(SolveError::Cancelled) => ExactVerdict::Cancelled,
+            Err(SolveError::Numerical(_)) => ExactVerdict::Failed {
+                num_vars,
+                num_constrs,
+            },
+            Err(e) => ExactVerdict::Error(ScheduleError::Solver(e)),
+        }
+    }
+
+    /// Runs the CP backend at `period` under `period_budget` and
+    /// normalizes the outcome onto the same verdict type as the ILP.
+    fn run_cp_exact(&self, ddg: &Ddg, period: u32, period_budget: &Budget) -> ExactVerdict {
+        let opts = CpOptions {
+            symmetry_breaking: self.config.symmetry_breaking,
+            packing_bound: self.config.packing_bound,
+        };
+        match swp_cpsat::solve_at(ddg, &self.machine, period, opts, period_budget) {
+            Ok((CpOutcome::Feasible { starts, units }, stats)) => ExactVerdict::Feasible {
+                starts,
+                units,
+                nodes: stats.nodes,
+                lp_iterations: 0,
+                num_vars: 0,
+                num_constrs: 0,
+            },
+            Ok((CpOutcome::Infeasible, _)) => ExactVerdict::Refuted {
+                at_build: false,
+                num_vars: 0,
+                num_constrs: 0,
+            },
+            Err(CpError::Exhausted(Exhaustion::Cancelled)) => ExactVerdict::Cancelled,
+            Err(CpError::Exhausted(_)) => ExactVerdict::Limit {
+                num_vars: 0,
+                num_constrs: 0,
+            },
+            Err(CpError::UnknownClass(c)) => ExactVerdict::Error(ScheduleError::UnknownClass(c)),
+            Err(CpError::TooManyUnits { .. }) => ExactVerdict::Failed {
+                num_vars: 0,
+                num_constrs: 0,
+            },
+        }
+    }
+
+    /// Races the ILP and the CP backend on isolated slices of
+    /// `period_budget`. The first engine with a proven answer (feasible
+    /// schedule or exact refutation) wins and cancels the other via its
+    /// private cancel token. Race ticks are spent on the isolated slices
+    /// only, never the shared pool — a loser's progress depends on
+    /// wall-clock interleaving, so letting it drain the caller's tick
+    /// budget would destroy the sweep's tick-level determinism.
+    fn race_period(
+        &self,
+        ddg: &Ddg,
+        period: u32,
+        budget: &Budget,
+        period_budget: &Budget,
+    ) -> (ExactVerdict, SolvedBy, RaceReport) {
+        let (ilp_budget, ilp_token) = period_budget.fork_racer();
+        let (cp_budget, cp_token) = period_budget.fork_racer();
+        let (tx, rx) = mpsc::channel();
+        let mut ilp_done: Option<(ExactVerdict, u64)> = None;
+        let mut cp_done: Option<(ExactVerdict, u64)> = None;
+        let mut winner: Option<RaceEngine> = None;
+        std::thread::scope(|scope| {
+            // CP is spawned first deliberately: on a single-core host the
+            // run queue is roughly FIFO, and the CP arm — typically
+            // microseconds on this corpus — finishing before the ILP arm
+            // is even scheduled turns the race into "CP time plus two
+            // context switches" instead of an OS scheduling quantum.
+            // With more cores the order is irrelevant.
+            let cp_tx = tx.clone();
+            let cp_budget = &cp_budget;
+            scope.spawn(move || {
+                let v = self.run_cp_exact(ddg, period, cp_budget);
+                let _ = cp_tx.send((RaceEngine::Cp, v, cp_budget.ticks_used()));
+            });
+            let ilp_budget = &ilp_budget;
+            scope.spawn(move || {
+                let v = self.run_ilp_exact(ddg, period, ilp_budget);
+                let _ = tx.send((RaceEngine::Ilp, v, ilp_budget.ticks_used()));
+            });
+            let mut received = 0;
+            while received < 2 {
+                match rx.recv_timeout(Duration::from_millis(2)) {
+                    Ok((engine, verdict, ticks)) => {
+                        received += 1;
+                        let decisive = matches!(
+                            verdict,
+                            ExactVerdict::Feasible { .. } | ExactVerdict::Refuted { .. }
+                        );
+                        if decisive && winner.is_none() {
+                            winner = Some(engine);
+                            match engine {
+                                RaceEngine::Ilp => cp_token.cancel(),
+                                RaceEngine::Cp => ilp_token.cancel(),
+                            }
+                        }
+                        match engine {
+                            RaceEngine::Ilp => ilp_done = Some((verdict, ticks)),
+                            RaceEngine::Cp => cp_done = Some((verdict, ticks)),
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        // Forward the caller's cancellation into both
+                        // racers. Deadline death needs no forwarding: the
+                        // forked slices carry the parent deadline.
+                        if matches!(budget.check(), Err(Exhaustion::Cancelled)) {
+                            ilp_token.cancel();
+                            cp_token.cancel();
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        });
+        let (ilp_verdict, ilp_ticks) = ilp_done.unwrap_or((ExactVerdict::Cancelled, 0));
+        let (cp_verdict, cp_ticks) = cp_done.unwrap_or((ExactVerdict::Cancelled, 0));
+        let loser_cancelled = match winner {
+            Some(RaceEngine::Ilp) => matches!(cp_verdict, ExactVerdict::Cancelled),
+            Some(RaceEngine::Cp) => matches!(ilp_verdict, ExactVerdict::Cancelled),
+            None => false,
+        };
+        let report = RaceReport {
+            winner,
+            loser_cancelled,
+            ilp_ticks,
+            cp_ticks,
+        };
+        match winner {
+            Some(RaceEngine::Ilp) => (ilp_verdict, SolvedBy::Ilp, report),
+            Some(RaceEngine::Cp) => (cp_verdict, SolvedBy::Cp, report),
+            None => {
+                // Neither engine proved anything. Hard errors propagate
+                // (the ILP's takes precedence); a cancelled racer with no
+                // winner means either the caller's token fired (surface
+                // it) or a forwarded budget death (undecided timeout);
+                // two failures stay a failure; otherwise the slice limits
+                // tripped.
+                let verdict = match (ilp_verdict, cp_verdict) {
+                    (v @ ExactVerdict::Error(_), _) => v,
+                    (_, v @ ExactVerdict::Error(_)) => v,
+                    (ExactVerdict::Cancelled, _) | (_, ExactVerdict::Cancelled) => {
+                        if matches!(budget.check(), Err(Exhaustion::Cancelled)) {
+                            ExactVerdict::Cancelled
+                        } else {
+                            ExactVerdict::Limit {
+                                num_vars: 0,
+                                num_constrs: 0,
+                            }
+                        }
+                    }
+                    (ExactVerdict::Failed { .. }, v @ ExactVerdict::Failed { .. }) => v,
+                    (v @ ExactVerdict::Limit { .. }, _) | (_, v @ ExactVerdict::Limit { .. }) => v,
+                    (v, _) => v,
+                };
+                (verdict, SolvedBy::Ilp, report)
+            }
+        }
+    }
+
+    /// Converts an exact-engine verdict into an attempt-log entry and a
+    /// [`PeriodResult`], running the shared verification and fallback
+    /// paths. All three engine modes settle through here, so degradation
+    /// behaviour is identical regardless of which engine answered.
+    #[allow(clippy::too_many_arguments)]
+    fn settle_exact(
+        &self,
+        ddg: &Ddg,
+        period: u32,
+        verdict: ExactVerdict,
+        engine: SolvedBy,
+        race: Option<RaceReport>,
+        budget: &Budget,
+        period_budget: &Budget,
+        attempts: &mut Vec<PeriodAttempt>,
+        started: std::time::Instant,
+    ) -> Result<PeriodResult, ScheduleError> {
+        match verdict {
+            ExactVerdict::Feasible {
+                starts,
+                units,
+                nodes,
+                lp_iterations,
+                num_vars,
+                num_constrs,
+            } => {
+                let assignment = self.complete_assignment(ddg, period, &starts, &units)?;
                 let schedule = PipelinedSchedule::new(period, starts, assignment);
-                match self.verify(&schedule, ddg, SolvedBy::Ilp) {
+                match self.verify(&schedule, ddg, engine) {
                     Ok(()) => {
                         attempts.push(PeriodAttempt {
                             period,
-                            outcome: PeriodOutcome::Feasible(SolvedBy::Ilp),
-                            nodes: stats.nodes,
-                            lp_iterations: stats.lp_iterations,
+                            outcome: PeriodOutcome::Feasible(engine),
+                            nodes,
+                            lp_iterations,
                             elapsed: started.elapsed(),
                             num_vars,
                             num_constrs,
+                            race,
                         });
                         Ok(PeriodResult::Schedule(schedule))
                     }
                     Err(error) => {
-                        // Checker rejected the ILP schedule: fall back to
-                        // the other engine at this period.
-                        match self.heuristic_fallback(
-                            ddg,
-                            period,
-                            &period_budget,
-                            attempts,
-                            started,
-                        ) {
+                        // Checker rejected the exact schedule: fall back
+                        // to the heuristic at this same period.
+                        match self.heuristic_fallback(ddg, period, period_budget, attempts, started)
+                        {
                             Some(result) => result,
                             None => Err(ScheduleError::VerificationFailed {
                                 period,
-                                engine: SolvedBy::Ilp,
+                                engine,
                                 error,
                             }),
                         }
                     }
                 }
             }
-            Err(SolveError::Infeasible) => {
+            ExactVerdict::Refuted {
+                at_build,
+                num_vars,
+                num_constrs,
+            } => {
                 attempts.push(PeriodAttempt {
                     period,
-                    outcome: PeriodOutcome::Infeasible,
+                    outcome: if at_build {
+                        PeriodOutcome::RejectedAtBuild
+                    } else {
+                        PeriodOutcome::Infeasible
+                    },
                     nodes: 0,
                     lp_iterations: 0,
                     elapsed: started.elapsed(),
                     num_vars,
                     num_constrs,
+                    race,
                 });
                 Ok(PeriodResult::Refuted)
             }
-            Err(SolveError::LimitReached(_)) => {
+            ExactVerdict::Limit {
+                num_vars,
+                num_constrs,
+            } => {
                 attempts.push(PeriodAttempt {
                     period,
                     outcome: PeriodOutcome::TimedOut,
@@ -788,6 +1191,7 @@ impl RateOptimalScheduler {
                     elapsed: started.elapsed(),
                     num_vars,
                     num_constrs,
+                    race,
                 });
                 Ok(if budget.check().is_err() {
                     PeriodResult::BudgetExhausted
@@ -795,8 +1199,11 @@ impl RateOptimalScheduler {
                     PeriodResult::Undecided
                 })
             }
-            Err(SolveError::Cancelled) => Err(ScheduleError::Cancelled),
-            Err(SolveError::Numerical(_)) => {
+            ExactVerdict::Cancelled => Err(ScheduleError::Cancelled),
+            ExactVerdict::Failed {
+                num_vars,
+                num_constrs,
+            } => {
                 attempts.push(PeriodAttempt {
                     period,
                     outcome: PeriodOutcome::EngineFailed,
@@ -805,16 +1212,17 @@ impl RateOptimalScheduler {
                     elapsed: started.elapsed(),
                     num_vars,
                     num_constrs,
+                    race,
                 });
                 // The exact engine lost traction: degrade to the heuristic
                 // at this period. Its success is a certificate; its failure
                 // proves nothing, so the period stays undecided.
-                match self.heuristic_fallback(ddg, period, &period_budget, attempts, started) {
+                match self.heuristic_fallback(ddg, period, period_budget, attempts, started) {
                     Some(result) => result,
                     None => Ok(PeriodResult::Undecided),
                 }
             }
-            Err(e) => Err(ScheduleError::Solver(e)),
+            ExactVerdict::Error(e) => Err(e),
         }
     }
 
@@ -918,6 +1326,7 @@ impl RateOptimalScheduler {
                         elapsed: started.elapsed(),
                         num_vars: 0,
                         num_constrs: 0,
+                        race: None,
                     });
                     Some(Ok(PeriodResult::Schedule(schedule)))
                 } else {
@@ -1208,6 +1617,172 @@ mod tests {
         );
         assert!(auto.is_proven_optimal());
         assert_eq!(auto.schedule.validate(&g, &machine), Ok(()));
+    }
+
+    #[test]
+    fn cp_engine_agrees_with_ilp_on_proven_results() {
+        // The CP backend must be decision-equivalent to the ILP: same
+        // first feasible period, same proven-optimality claim, and the
+        // same feasible/refuted shape of the attempt log (refutation
+        // *kind* may differ: the CP backend folds build-time rejections
+        // into Infeasible).
+        for machine in [
+            Machine::example_pldi95(),
+            Machine::example_clean(),
+            Machine::example_non_pipelined(),
+        ] {
+            let g = fp_loop();
+            let base = SchedulerConfig {
+                heuristic_incumbent: false,
+                ..Default::default()
+            };
+            let ilp = RateOptimalScheduler::new(machine.clone(), base.clone())
+                .schedule(&g)
+                .expect("ilp schedulable");
+            let cp = RateOptimalScheduler::new(
+                machine.clone(),
+                SchedulerConfig {
+                    engine: Engine::Cp,
+                    ..base
+                },
+            )
+            .schedule(&g)
+            .expect("cp schedulable");
+            assert_eq!(
+                ilp.schedule.initiation_interval(),
+                cp.schedule.initiation_interval(),
+                "machine {machine:?}"
+            );
+            assert!(cp.is_proven_optimal());
+            assert_eq!(cp.schedule.validate(&g, &machine), Ok(()));
+            assert_eq!(
+                ilp.attempts
+                    .iter()
+                    .map(|a| matches!(a.outcome, PeriodOutcome::Feasible(_)))
+                    .collect::<Vec<_>>(),
+                cp.attempts
+                    .iter()
+                    .map(|a| matches!(a.outcome, PeriodOutcome::Feasible(_)))
+                    .collect::<Vec<_>>(),
+                "machine {machine:?}"
+            );
+            assert_eq!(cp.solved_by(), SolvedBy::Cp);
+            assert_eq!(cp.solver_stats().cp_feasible, 1);
+        }
+    }
+
+    #[test]
+    fn cp_engine_defers_to_ilp_outside_unified_coloring() {
+        // CapacityOnly has no coloring problem for the CP backend; the
+        // driver must transparently use the ILP (and never race).
+        let machine = Machine::example_pldi95();
+        let cfg = SchedulerConfig {
+            mapping: MappingMode::CapacityOnly,
+            engine: Engine::Cp,
+            heuristic_incumbent: false,
+            ..Default::default()
+        };
+        let s = RateOptimalScheduler::new(machine, cfg)
+            .schedule(&fp_loop())
+            .expect("ilp settles");
+        assert!(s.attempts.iter().all(|a| a.race.is_none()));
+        assert_eq!(s.solved_by(), SolvedBy::Ilp);
+    }
+
+    #[test]
+    fn portfolio_matches_proven_period_and_counts_races() {
+        let machine = Machine::example_pldi95();
+        let g = fp_loop();
+        let base = SchedulerConfig {
+            heuristic_incumbent: false,
+            ..Default::default()
+        };
+        let ilp = RateOptimalScheduler::new(machine.clone(), base.clone())
+            .schedule(&g)
+            .expect("ilp schedulable");
+        let port = RateOptimalScheduler::new(
+            machine.clone(),
+            SchedulerConfig {
+                engine: Engine::Portfolio,
+                ..base
+            },
+        )
+        .schedule(&g)
+        .expect("portfolio schedulable");
+        assert!(port.is_proven_optimal());
+        assert_eq!(
+            ilp.schedule.initiation_interval(),
+            port.schedule.initiation_interval()
+        );
+        assert_eq!(port.schedule.validate(&g, &machine), Ok(()));
+        let stats = port.solver_stats();
+        // Every settled period was a race, and the win/undecided split
+        // accounts for all of them exactly.
+        assert_eq!(stats.races, port.attempts.len() as u32);
+        assert_eq!(
+            stats.races,
+            stats.race_cp_wins + stats.race_ilp_wins + stats.race_undecided
+        );
+        for a in &port.attempts {
+            let r = a.race.expect("portfolio attempt carries a race report");
+            match a.outcome {
+                PeriodOutcome::Feasible(SolvedBy::Ilp) => {
+                    assert_eq!(r.winner, Some(RaceEngine::Ilp));
+                }
+                PeriodOutcome::Feasible(SolvedBy::Cp) => {
+                    assert_eq!(r.winner, Some(RaceEngine::Cp));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_cancellation_is_an_error() {
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let cfg = SchedulerConfig {
+            engine: Engine::Portfolio,
+            heuristic_incumbent: false,
+            ..Default::default()
+        };
+        let err = RateOptimalScheduler::new(Machine::example_pldi95(), cfg)
+            .schedule_with(&fp_loop(), &budget)
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::Cancelled));
+    }
+
+    #[test]
+    fn portfolio_survives_ilp_failure_with_cp_wins() {
+        // With every ILP solve failing numerically, the CP racer must win
+        // every race and the result is still exact. Whether the loser
+        // reports its own failure or a cancellation depends on thread
+        // interleaving (CP may win and cancel the ILP arm before it even
+        // reaches the injected fault), so only the winner is asserted.
+        let machine = Machine::example_pldi95();
+        let g = fp_loop();
+        let cfg = SchedulerConfig {
+            engine: Engine::Portfolio,
+            heuristic_incumbent: false,
+            faults: FaultPlan {
+                fail_ilp: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let s = RateOptimalScheduler::new(machine.clone(), cfg)
+            .schedule(&g)
+            .expect("cp wins every race");
+        assert!(s.is_proven_optimal());
+        assert_eq!(s.schedule.validate(&g, &machine), Ok(()));
+        let stats = s.solver_stats();
+        assert_eq!(stats.race_ilp_wins, 0);
+        assert_eq!(stats.races, stats.race_cp_wins);
+        assert!(s.attempts.iter().all(|a| {
+            a.race
+                .map(|r| r.winner == Some(RaceEngine::Cp))
+                .unwrap_or(false)
+        }));
     }
 
     #[test]

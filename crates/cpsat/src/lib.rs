@@ -1,0 +1,1128 @@
+//! Constraint-propagation exact backend for scheduling-and-mapping.
+//!
+//! This crate decides the *same* question as the ILP formulation in
+//! `swp-core` — "does a modulo schedule with a valid unit mapping exist
+//! at period `T`?" — with a different exact method: depth-first search
+//! over MRT **row/offset assignments** (one residue `o_i = t_i mod T`
+//! per operation) and **unit colors** for the classes where mapping can
+//! bind, driven to a fixpoint after every decision by four propagators:
+//!
+//! 1. **Dependence bounds** — interval propagation of the difference
+//!    constraints `t_j − t_i ≥ d_i − T·m_ij` over `[lo_i, hi_i]` boxes
+//!    (longest-path tightening, the CP analogue of the ILP's dependence
+//!    rows plus its earliest-start potentials).
+//! 2. **Congruence sync** — each node's start must hit an allowed
+//!    residue: windows narrower than `T` prune the offset domain, and
+//!    `lo`/`hi` are rounded in to the nearest allowed residue.
+//! 3. **Capacity** — per class/stage/step demand counting of *fixed*
+//!    offsets against the unit count `R_r` (the ILP's capacity rows,
+//!    eq. (5)/(25)), with forward pruning of residues that would land
+//!    an operation on a saturated stage-step.
+//! 4. **Hazard/coloring** — for classes where the ILP emits
+//!    circular-arc coloring (`count ≥ 2`, `≥ 2` members, unclean
+//!    table), structural conflicts come from the hazard automaton of
+//!    `swp-automata`: two members whose fixed offsets collide (a bit
+//!    test on the precompiled forbidden-latency closure) must take
+//!    distinct colors; members forced onto one unit prune each other's
+//!    offset domains word-parallel via the rotated closure mask
+//!    ([`swp_automata::HazardAutomaton::or_forbidden_from`]); and a
+//!    per-unit pigeonhole bounds each unit's load by the closure-derived
+//!    packing capacity.
+//!
+//! Dead ends record **no-goods** (refuted decision prefixes, kept
+//! short) that later branches consult before cloning a state, so the
+//! search never re-explores a refuted subtree reached in a different
+//! order.
+//!
+//! # Exactness and agreement with the ILP
+//!
+//! The solver is complete over the same solution space the ILP
+//! searches: the identical horizon (`Σd_i + 2T`), the identical root
+//! rejections (self-loop period test, `modulo_feasible`, the
+//! pigeonhole packing pre-check when enabled), the identical capacity
+//! and coloring constraints, and the identical symmetry reductions
+//! (node 0 pinned to pattern step 0, the first member of each colored
+//! class pinned to color 0). Soundness of a `Feasible` answer: at a
+//! full assignment the propagation fixpoint gives `lo_j ≥ lo_i + w` for
+//! every dependence, so `t_i = lo_i` is a concrete witness, and the
+//! fixed-offset capacity/coloring checks are exact. Completeness of an
+//! `Infeasible` answer: every propagator only removes values that no
+//! extension of the current assignment can use, so the branch carrying
+//! any existing solution is never pruned. Hence for every case where
+//! both engines finish within budget, CP and ILP verdicts agree — the
+//! property the differential fuzzer enforces.
+//!
+//! # Budget integration
+//!
+//! The inner propagation loop and every search node call
+//! [`swp_milp::Budget::tick`], so deadline, tick-cap, and
+//! [`swp_milp::CancelToken`] cancellation are all observed within one
+//! budget-check interval — the contract the portfolio racer in
+//! `swp-core` relies on to cancel the losing engine promptly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use swp_automata::HazardAutomaton;
+use swp_ddg::{Ddg, OpClass};
+use swp_machine::Machine;
+use swp_milp::{Budget, Exhaustion};
+
+/// Widest colored class the color-mask representation supports. The
+/// driver falls back to the ILP for machines beyond it (none of the
+/// paper's machines come close).
+pub const MAX_COLORED_UNITS: u32 = 64;
+
+/// Longest decision prefix recorded as a no-good. Short prefixes are
+/// the ones a reordered search can actually rediscover; long ones cost
+/// more to index than they save.
+const MAX_NOGOOD_LEN: usize = 4;
+
+/// Cap on the no-good store, bounding memory on adversarial inputs.
+const MAX_NOGOODS: usize = 4096;
+
+/// Knobs mirrored from `SchedulerConfig` so both exact engines search
+/// the same reduced space (a precondition for differential agreement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpOptions {
+    /// Pin node 0 to pattern step 0 and the first member of each
+    /// colored class to color 0 (feasibility-preserving, same as the
+    /// ILP's rotation/color pinning).
+    pub symmetry_breaking: bool,
+    /// Apply the pigeonhole packing pre-check at the root and the
+    /// per-unit packing bound inside the coloring propagator.
+    pub packing_bound: bool,
+}
+
+impl Default for CpOptions {
+    fn default() -> Self {
+        CpOptions {
+            symmetry_breaking: true,
+            packing_bound: true,
+        }
+    }
+}
+
+/// Verdict of [`solve_at`] when the search ran to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpOutcome {
+    /// A schedule exists; `starts[i]` is the start time of node `i`
+    /// (within the shared horizon) and `units[i]` the 0-based physical
+    /// unit for nodes of colored classes (`None` for nodes whose
+    /// mapping is left to first-fit completion, exactly like the ILP's
+    /// uncolored nodes).
+    Feasible {
+        /// Start time per node.
+        starts: Vec<u32>,
+        /// Unit assignment per node, colored classes only.
+        units: Vec<Option<u32>>,
+    },
+    /// The search space is exhausted: no schedule exists at this
+    /// period (a proven refutation, like the ILP's `Infeasible`).
+    Infeasible,
+}
+
+/// Why [`solve_at`] could not produce a verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpError {
+    /// The DDG uses a class the machine does not define.
+    UnknownClass(OpClass),
+    /// The budget ran out (deadline, tick cap, or cancellation) before
+    /// the search finished; the verdict is unknown.
+    Exhausted(Exhaustion),
+    /// A colored class has more than [`MAX_COLORED_UNITS`] units; the
+    /// caller should fall back to the ILP.
+    TooManyUnits {
+        /// The offending class.
+        class: OpClass,
+        /// Its unit count.
+        count: u32,
+    },
+}
+
+impl fmt::Display for CpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpError::UnknownClass(c) => write!(f, "machine does not define class {c}"),
+            CpError::Exhausted(e) => write!(f, "budget exhausted: {e:?}"),
+            CpError::TooManyUnits { class, count } => write!(
+                f,
+                "class {class} has {count} units, beyond the {MAX_COLORED_UNITS}-unit color mask"
+            ),
+        }
+    }
+}
+
+impl Error for CpError {}
+
+/// Search effort counters, reported alongside the verdict.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpStats {
+    /// Search-tree nodes visited (decisions tried).
+    pub nodes: u64,
+    /// Propagation passes run to fixpoint.
+    pub passes: u64,
+    /// Dead ends detected by propagation.
+    pub conflicts: u64,
+    /// No-goods recorded from refuted prefixes.
+    pub nogoods_recorded: u64,
+    /// Branches skipped because a recorded no-good subsumed them.
+    pub nogoods_hit: u64,
+}
+
+fn spend(budget: &Budget) -> Result<(), CpError> {
+    budget.tick().map_err(CpError::Exhausted)
+}
+
+fn words_for(period: u32) -> usize {
+    (period as usize).div_ceil(64)
+}
+
+fn modt(t: i64, period: u32) -> u32 {
+    (t.rem_euclid(period as i64)) as u32
+}
+
+/// One function-unit class as the propagators see it.
+#[derive(Debug)]
+struct ClassInfo {
+    class: OpClass,
+    count: u32,
+    /// Whether the ILP would emit coloring for this class (count ≥ 2,
+    /// ≥ 2 members, unclean table) — the CP model colors exactly those.
+    colored: bool,
+    /// Max ops one unit carries per period (from the automaton).
+    capacity: u32,
+    /// Reservation-stage offsets, empty stages dropped.
+    stage_offsets: Vec<Vec<u32>>,
+    /// Node indices of this class, ascending.
+    members: Vec<usize>,
+}
+
+/// The immutable model: graph, classes, automaton, options.
+struct CpModel {
+    period: u32,
+    words: usize,
+    n: usize,
+    classes: Vec<ClassInfo>,
+    /// `(src, dst, w)` with `w = d_src − T·m`, self-loops removed.
+    edges: Vec<(usize, usize, i64)>,
+    automaton: Arc<HazardAutomaton>,
+    colored: Vec<bool>,
+    opts: CpOptions,
+}
+
+/// The mutable search state: per-node bounds, offset domains (one
+/// `words`-wide bitset per node, flattened), and color masks (one word
+/// per node; meaningful only for colored nodes).
+#[derive(Clone)]
+struct CpState {
+    lo: Vec<i64>,
+    hi: Vec<i64>,
+    dom: Vec<u64>,
+    col: Vec<u64>,
+}
+
+impl CpModel {
+    fn dom<'s>(&self, s: &'s CpState, i: usize) -> &'s [u64] {
+        &s.dom[i * self.words..(i + 1) * self.words]
+    }
+
+    fn dom_mut<'s>(&self, s: &'s mut CpState, i: usize) -> &'s mut [u64] {
+        &mut s.dom[i * self.words..(i + 1) * self.words]
+    }
+
+    fn dom_test(&self, s: &CpState, i: usize, r: u32) -> bool {
+        let r = r as usize;
+        self.dom(s, i)[r / 64] >> (r % 64) & 1 != 0
+    }
+
+    fn dom_clear(&self, s: &mut CpState, i: usize, r: u32) {
+        let r = r as usize;
+        self.dom_mut(s, i)[r / 64] &= !(1u64 << (r % 64));
+    }
+
+    fn dom_count(&self, s: &CpState, i: usize) -> u32 {
+        self.dom(s, i).iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// The single allowed residue, if the domain is a singleton.
+    fn dom_fixed(&self, s: &CpState, i: usize) -> Option<u32> {
+        if self.dom_count(s, i) != 1 {
+            return None;
+        }
+        for (wi, &w) in self.dom(s, i).iter().enumerate() {
+            if w != 0 {
+                return Some((wi * 64) as u32 + w.trailing_zeros());
+            }
+        }
+        None
+    }
+
+    /// `dom_i &= !mask`; reports whether anything was removed.
+    fn dom_subtract(&self, s: &mut CpState, i: usize, mask: &[u64]) -> bool {
+        let dom = self.dom_mut(s, i);
+        let mut changed = false;
+        for (d, &m) in dom.iter_mut().zip(mask) {
+            let next = *d & !m;
+            changed |= next != *d;
+            *d = next;
+        }
+        changed
+    }
+
+    /// Intersects the domain with the residues reachable in
+    /// `[lo_i, hi_i]` (caller guarantees the span is `< T`).
+    fn restrict_window(&self, s: &mut CpState, i: usize) -> bool {
+        let span = (s.hi[i] - s.lo[i] + 1) as u32;
+        let start = modt(s.lo[i], self.period);
+        let mut window = vec![0u64; self.words];
+        for k in 0..span {
+            let r = ((start + k) % self.period) as usize;
+            window[r / 64] |= 1u64 << (r % 64);
+        }
+        let dom = self.dom_mut(s, i);
+        let mut changed = false;
+        for (d, w) in dom.iter_mut().zip(&window) {
+            let next = *d & *w;
+            changed |= next != *d;
+            *d = next;
+        }
+        changed
+    }
+
+    fn closure_bit(&self, class: OpClass, delta: u32) -> bool {
+        match self.automaton.forbidden_closure(class) {
+            Some(c) => {
+                let d = (delta % self.period) as usize;
+                c[d / 64] >> (d % 64) & 1 != 0
+            }
+            None => true, // unknown class: conservative, cannot happen post-build
+        }
+    }
+
+    /// Propagators 1–2: dependence bounds and congruence sync.
+    /// Returns `Ok(false)` on a detected conflict.
+    fn bounds_pass(&self, s: &mut CpState) -> Result<bool, bool> {
+        let mut changed = false;
+        for &(i, j, w) in &self.edges {
+            let nl = s.lo[i] + w;
+            if nl > s.lo[j] {
+                s.lo[j] = nl;
+                changed = true;
+            }
+            let nh = s.hi[j] - w;
+            if nh < s.hi[i] {
+                s.hi[i] = nh;
+                changed = true;
+            }
+        }
+        for i in 0..self.n {
+            if s.lo[i] > s.hi[i] {
+                return Err(false);
+            }
+            if s.hi[i] - s.lo[i] + 1 < self.period as i64 {
+                changed |= self.restrict_window(s, i);
+            }
+            if self.dom_count(s, i) == 0 {
+                return Err(false);
+            }
+            // Round lo up / hi down to the nearest allowed residue.
+            let mut t = s.lo[i];
+            let mut k = 0;
+            while k < self.period && !self.dom_test(s, i, modt(t, self.period)) {
+                t += 1;
+                k += 1;
+            }
+            if t != s.lo[i] {
+                if t > s.hi[i] {
+                    return Err(false);
+                }
+                s.lo[i] = t;
+                changed = true;
+            }
+            let mut t = s.hi[i];
+            let mut k = 0;
+            while k < self.period && !self.dom_test(s, i, modt(t, self.period)) {
+                t -= 1;
+                k += 1;
+            }
+            if t != s.hi[i] {
+                if t < s.lo[i] {
+                    return Err(false);
+                }
+                s.hi[i] = t;
+                changed = true;
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Propagator 3: capacity rows over fixed offsets, with forward
+    /// pruning of residues that would overflow a saturated stage-step.
+    fn capacity_pass(&self, s: &mut CpState) -> Result<bool, bool> {
+        let mut changed = false;
+        let t = self.period as usize;
+        for ci in &self.classes {
+            if ci.stage_offsets.is_empty() {
+                continue;
+            }
+            let mut demand = vec![0u32; ci.stage_offsets.len() * t];
+            for &i in &ci.members {
+                if let Some(r) = self.dom_fixed(s, i) {
+                    for (si, offs) in ci.stage_offsets.iter().enumerate() {
+                        for &l in offs {
+                            let cell = &mut demand[si * t + ((r + l) % self.period) as usize];
+                            *cell += 1;
+                            if *cell > ci.count {
+                                return Err(false);
+                            }
+                        }
+                    }
+                }
+            }
+            for &i in &ci.members {
+                if self.dom_fixed(s, i).is_some() {
+                    continue;
+                }
+                let mut pruned = false;
+                for r in 0..self.period {
+                    if !self.dom_test(s, i, r) {
+                        continue;
+                    }
+                    'residue: for (si, offs) in ci.stage_offsets.iter().enumerate() {
+                        for &l in offs {
+                            if demand[si * t + ((r + l) % self.period) as usize] >= ci.count {
+                                self.dom_clear(s, i, r);
+                                pruned = true;
+                                break 'residue;
+                            }
+                        }
+                    }
+                }
+                if pruned {
+                    changed = true;
+                    if self.dom_count(s, i) == 0 {
+                        return Err(false);
+                    }
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Propagator 4: hazard/coloring for colored classes.
+    fn coloring_pass(&self, s: &mut CpState, scratch: &mut [u64]) -> Result<bool, bool> {
+        let mut changed = false;
+        for ci in self.classes.iter().filter(|c| c.colored) {
+            if self.opts.packing_bound {
+                // A unit carries at most `capacity` members; once that
+                // many are pinned to it, it is closed to the rest.
+                for u in 0..ci.count {
+                    let bit = 1u64 << u;
+                    let mut pinned = 0u32;
+                    for &i in &ci.members {
+                        if s.col[i] == bit {
+                            pinned += 1;
+                        }
+                    }
+                    if pinned > ci.capacity {
+                        return Err(false);
+                    }
+                    if pinned == ci.capacity {
+                        for &i in &ci.members {
+                            if s.col[i] != bit && s.col[i] & bit != 0 {
+                                s.col[i] &= !bit;
+                                changed = true;
+                                if s.col[i] == 0 {
+                                    return Err(false);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for (xi, &i) in ci.members.iter().enumerate() {
+                for &j in &ci.members[xi + 1..] {
+                    let fi = self.dom_fixed(s, i);
+                    let fj = self.dom_fixed(s, j);
+                    if let (Some(ri), Some(rj)) = (fi, fj) {
+                        // Both offsets fixed: a structural collision at
+                        // their separation forces distinct colors.
+                        let delta = (ri + self.period - rj) % self.period;
+                        if self.closure_bit(ci.class, delta) {
+                            if s.col[i].count_ones() == 1 && s.col[j] & s.col[i] != 0 {
+                                s.col[j] &= !s.col[i];
+                                changed = true;
+                                if s.col[j] == 0 {
+                                    return Err(false);
+                                }
+                            }
+                            if s.col[j].count_ones() == 1 && s.col[i] & s.col[j] != 0 {
+                                s.col[i] &= !s.col[j];
+                                changed = true;
+                                if s.col[i] == 0 {
+                                    return Err(false);
+                                }
+                            }
+                        }
+                    } else if s.col[i].count_ones() == 1 && s.col[i] == s.col[j] {
+                        // Same unit forced, one offset still open: the
+                        // rotated closure mask prunes it word-parallel.
+                        let (anchor, open) = match (fi, fj) {
+                            (Some(r), None) => (r, j),
+                            (None, Some(r)) => (r, i),
+                            _ => continue,
+                        };
+                        scratch.fill(0);
+                        self.automaton.or_forbidden_from(ci.class, anchor, scratch);
+                        if self.dom_subtract(s, open, scratch) {
+                            changed = true;
+                            if self.dom_count(s, open) == 0 {
+                                return Err(false);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(changed)
+    }
+}
+
+/// Runs all propagators to a fixpoint. `Ok(true)` means consistent,
+/// `Ok(false)` means a conflict was derived.
+fn propagate(
+    m: &CpModel,
+    s: &mut CpState,
+    budget: &Budget,
+    stats: &mut CpStats,
+) -> Result<bool, CpError> {
+    let mut scratch = vec![0u64; m.words];
+    loop {
+        spend(budget)?;
+        stats.passes += 1;
+        let mut changed = false;
+        match m.bounds_pass(s) {
+            Ok(c) => changed |= c,
+            Err(_) => return Ok(false),
+        }
+        match m.capacity_pass(s) {
+            Ok(c) => changed |= c,
+            Err(_) => return Ok(false),
+        }
+        match m.coloring_pass(s, &mut scratch) {
+            Ok(c) => changed |= c,
+            Err(_) => return Ok(false),
+        }
+        if !changed {
+            return Ok(true);
+        }
+    }
+}
+
+/// A branching variable: an offset domain or a color mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Var {
+    Off(usize),
+    Col(usize),
+}
+
+const COL_TAG: u32 = 1 << 31;
+
+fn encode(v: Var) -> u32 {
+    match v {
+        Var::Off(i) => i as u32,
+        Var::Col(i) => i as u32 | COL_TAG,
+    }
+}
+
+/// Smallest-domain-first over offsets, then colors; ties break on the
+/// lowest node index so the search is deterministic.
+fn pick_var(m: &CpModel, s: &CpState) -> Option<Var> {
+    let mut best: Option<(u32, usize)> = None;
+    for i in 0..m.n {
+        let c = m.dom_count(s, i);
+        if c >= 2 && best.is_none_or(|(bc, _)| c < bc) {
+            best = Some((c, i));
+        }
+    }
+    if let Some((_, i)) = best {
+        return Some(Var::Off(i));
+    }
+    let mut best: Option<(u32, usize)> = None;
+    for i in 0..m.n {
+        if !m.colored[i] {
+            continue;
+        }
+        let c = s.col[i].count_ones();
+        if c >= 2 && best.is_none_or(|(bc, _)| c < bc) {
+            best = Some((c, i));
+        }
+    }
+    best.map(|(_, i)| Var::Col(i))
+}
+
+fn candidate_values(m: &CpModel, s: &CpState, v: Var) -> Vec<u32> {
+    match v {
+        Var::Off(i) => (0..m.period).filter(|&r| m.dom_test(s, i, r)).collect(),
+        Var::Col(i) => (0..64).filter(|&u| s.col[i] >> u & 1 != 0).collect(),
+    }
+}
+
+fn assign(m: &CpModel, s: &mut CpState, v: Var, val: u32) {
+    match v {
+        Var::Off(i) => {
+            let dom = m.dom_mut(s, i);
+            dom.fill(0);
+            dom[(val / 64) as usize] = 1u64 << (val % 64);
+        }
+        Var::Col(i) => s.col[i] = 1u64 << val,
+    }
+}
+
+/// Refuted decision prefixes, indexed by literal for cheap lookup.
+#[derive(Default)]
+struct NoGoods {
+    clauses: Vec<Vec<(u32, u32)>>,
+    by_lit: HashMap<(u32, u32), Vec<usize>>,
+    seen: HashSet<Vec<(u32, u32)>>,
+}
+
+impl NoGoods {
+    /// Would taking `lit` on top of `set` complete a recorded no-good?
+    fn blocks(&self, lit: (u32, u32), set: &HashSet<(u32, u32)>) -> bool {
+        if let Some(idxs) = self.by_lit.get(&lit) {
+            'clause: for &ci in idxs {
+                for l in &self.clauses[ci] {
+                    if *l != lit && !set.contains(l) {
+                        continue 'clause;
+                    }
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn record(&mut self, decisions: &[(u32, u32)], stats: &mut CpStats) {
+        if decisions.is_empty()
+            || decisions.len() > MAX_NOGOOD_LEN
+            || self.clauses.len() >= MAX_NOGOODS
+        {
+            return;
+        }
+        let mut clause = decisions.to_vec();
+        clause.sort_unstable();
+        if !self.seen.insert(clause.clone()) {
+            return;
+        }
+        let idx = self.clauses.len();
+        for &l in &clause {
+            self.by_lit.entry(l).or_default().push(idx);
+        }
+        self.clauses.push(clause);
+        stats.nogoods_recorded += 1;
+    }
+}
+
+fn extract(m: &CpModel, s: &CpState) -> (Vec<u32>, Vec<Option<u32>>) {
+    let starts = s.lo.iter().map(|&t| t as u32).collect();
+    let units = (0..m.n)
+        .map(|i| m.colored[i].then(|| s.col[i].trailing_zeros()))
+        .collect();
+    (starts, units)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    m: &CpModel,
+    s: &CpState,
+    budget: &Budget,
+    stats: &mut CpStats,
+    nogoods: &mut NoGoods,
+    decisions: &mut Vec<(u32, u32)>,
+    decision_set: &mut HashSet<(u32, u32)>,
+) -> Result<Option<(Vec<u32>, Vec<Option<u32>>)>, CpError> {
+    spend(budget)?;
+    stats.nodes += 1;
+    let Some(var) = pick_var(m, s) else {
+        return Ok(Some(extract(m, s)));
+    };
+    for val in candidate_values(m, s, var) {
+        let lit = (encode(var), val);
+        if nogoods.blocks(lit, decision_set) {
+            stats.nogoods_hit += 1;
+            continue;
+        }
+        let mut child = s.clone();
+        assign(m, &mut child, var, val);
+        decisions.push(lit);
+        decision_set.insert(lit);
+        let outcome = match propagate(m, &mut child, budget, stats) {
+            Ok(true) => search(m, &child, budget, stats, nogoods, decisions, decision_set),
+            Ok(false) => {
+                stats.conflicts += 1;
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        };
+        decisions.pop();
+        decision_set.remove(&lit);
+        match outcome {
+            Ok(Some(sol)) => return Ok(Some(sol)),
+            Ok(None) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    // Every value of this variable is refuted under the current prefix,
+    // so the prefix itself is a no-good (sound for this solve: the root
+    // state is fixed and all propagators are sound).
+    nogoods.record(decisions, stats);
+    Ok(None)
+}
+
+/// Decides schedulability of `ddg` on `machine` at period `period`,
+/// under the unified-coloring mapping mode (the only mode the CP model
+/// implements; the driver falls back to the ILP for others).
+///
+/// Returns the verdict and search statistics, or a [`CpError`] if the
+/// budget ran out or the instance is outside the model's shape.
+///
+/// # Errors
+///
+/// [`CpError::UnknownClass`] if the DDG uses a class the machine does
+/// not define; [`CpError::Exhausted`] on deadline/tick/cancellation;
+/// [`CpError::TooManyUnits`] for colored classes wider than
+/// [`MAX_COLORED_UNITS`].
+///
+/// # Panics
+///
+/// Panics if `period == 0`.
+pub fn solve_at(
+    ddg: &Ddg,
+    machine: &Machine,
+    period: u32,
+    options: CpOptions,
+    budget: &Budget,
+) -> Result<(CpOutcome, CpStats), CpError> {
+    assert!(period > 0, "period must be positive");
+    let mut stats = CpStats::default();
+    let n = ddg.num_nodes();
+    if n == 0 {
+        return Ok((
+            CpOutcome::Feasible {
+                starts: Vec::new(),
+                units: Vec::new(),
+            },
+            stats,
+        ));
+    }
+
+    // Root rejections, in the ILP's order so mixed failure modes (e.g.
+    // unknown class + infeasible self-loop) classify identically.
+    let Some(earliest) = ddg.earliest_starts(period) else {
+        return Ok((CpOutcome::Infeasible, stats));
+    };
+    let mut edges = Vec::with_capacity(ddg.num_edges());
+    for e in ddg.edges() {
+        let w = ddg.node(e.src).latency as i64 - period as i64 * e.distance as i64;
+        if e.src == e.dst {
+            if w > 0 {
+                return Ok((CpOutcome::Infeasible, stats));
+            }
+            continue;
+        }
+        edges.push((e.src.index(), e.dst.index(), w));
+    }
+
+    let automaton = HazardAutomaton::for_machine(machine, period);
+    let mut classes = Vec::new();
+    let mut colored = vec![false; n];
+    for class in ddg.classes() {
+        let fu = machine
+            .fu_type(class)
+            .map_err(|_| CpError::UnknownClass(class))?;
+        let members: Vec<usize> = ddg
+            .nodes_of_class(class)
+            .into_iter()
+            .map(|id| id.index())
+            .collect();
+        let rt = &fu.reservation;
+        if !rt.modulo_feasible(period) {
+            return Ok((CpOutcome::Infeasible, stats));
+        }
+        if options.packing_bound && members.len() as u32 > fu.count * rt.max_ops_per_period(period)
+        {
+            return Ok((CpOutcome::Infeasible, stats));
+        }
+        let is_colored = fu.count >= 2 && members.len() >= 2 && !rt.is_clean();
+        if is_colored && fu.count > MAX_COLORED_UNITS {
+            return Err(CpError::TooManyUnits {
+                class,
+                count: fu.count,
+            });
+        }
+        if is_colored {
+            for &i in &members {
+                colored[i] = true;
+            }
+        }
+        let stage_offsets: Vec<Vec<u32>> = (0..rt.stages())
+            .map(|s| rt.stage_offsets(s).into_iter().map(|l| l as u32).collect())
+            .filter(|offs: &Vec<u32>| !offs.is_empty())
+            .collect();
+        classes.push(ClassInfo {
+            class,
+            count: fu.count,
+            colored: is_colored,
+            capacity: automaton.max_ops_per_unit(class).unwrap_or(1),
+            stage_offsets,
+            members,
+        });
+    }
+
+    let words = words_for(period);
+    let horizon = (ddg.total_latency() + 2 * period) as i64;
+    let model = CpModel {
+        period,
+        words,
+        n,
+        classes,
+        edges,
+        automaton,
+        colored: colored.clone(),
+        opts: options,
+    };
+
+    // Full offset domains: all residues `0..T`.
+    let mut full = vec![u64::MAX; words];
+    if period as usize % 64 != 0 {
+        full[words - 1] = (1u64 << (period % 64)) - 1;
+    }
+    let mut state = CpState {
+        lo: earliest.iter().map(|&e| e.max(0)).collect(),
+        hi: vec![horizon; n],
+        dom: (0..n).flat_map(|_| full.iter().copied()).collect(),
+        col: (0..n)
+            .map(|i| {
+                if colored[i] {
+                    let count = model.classes[..]
+                        .iter()
+                        .find(|c| c.members.contains(&i))
+                        .map_or(1, |c| c.count);
+                    if count >= 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << count) - 1
+                    }
+                } else {
+                    0
+                }
+            })
+            .collect(),
+    };
+
+    if options.symmetry_breaking {
+        // Rotation symmetry: pin node 0 to pattern step 0.
+        let dom = model.dom_mut(&mut state, 0);
+        dom.fill(0);
+        dom[0] = 1;
+        // Color symmetry: first member of each colored class to color 0.
+        for ci in model.classes.iter().filter(|c| c.colored) {
+            if let Some(&first) = ci.members.first() {
+                state.col[first] = 1;
+            }
+        }
+    }
+
+    if !propagate(&model, &mut state, budget, &mut stats)? {
+        return Ok((CpOutcome::Infeasible, stats));
+    }
+    let mut nogoods = NoGoods::default();
+    let mut decisions = Vec::new();
+    let mut decision_set = HashSet::new();
+    match search(
+        &model,
+        &state,
+        budget,
+        &mut stats,
+        &mut nogoods,
+        &mut decisions,
+        &mut decision_set,
+    )? {
+        Some((starts, units)) => Ok((CpOutcome::Feasible { starts, units }, stats)),
+        None => Ok((CpOutcome::Infeasible, stats)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swp_ddg::Ddg;
+    use swp_machine::checker::{check_fixed_assignment, PlacedOp};
+    use swp_machine::{FuType, ReservationTable};
+
+    fn solve(ddg: &Ddg, machine: &Machine, period: u32) -> Result<(CpOutcome, CpStats), CpError> {
+        solve_at(
+            ddg,
+            machine,
+            period,
+            CpOptions::default(),
+            &Budget::unlimited(),
+        )
+    }
+
+    /// First-fits units for unmapped ops (sound for clean or count-1
+    /// classes, which is all the CP leaves unmapped), then runs the
+    /// exact cycle-accurate checker.
+    fn assert_schedule_valid(
+        machine: &Machine,
+        period: u32,
+        ddg: &Ddg,
+        starts: &[u32],
+        units: &[Option<u32>],
+    ) {
+        let mut ops: Vec<PlacedOp> = ddg
+            .nodes()
+            .map(|(id, node)| PlacedOp {
+                class: node.class,
+                offset: starts[id.index()] % period,
+                fu: units[id.index()],
+            })
+            .collect();
+        let mut usage: HashSet<(usize, u32, usize, u32)> = HashSet::new();
+        for op in ops.iter().filter(|o| o.fu.is_some()) {
+            let rt = &machine.fu_type(op.class).expect("class").reservation;
+            for s in 0..rt.stages() {
+                for l in rt.stage_offsets(s) {
+                    usage.insert((
+                        op.class.index(),
+                        op.fu.expect("mapped"),
+                        s,
+                        (op.offset + l as u32) % period,
+                    ));
+                }
+            }
+        }
+        for op in ops.iter_mut().filter(|o| o.fu.is_none()) {
+            let fu_type = machine.fu_type(op.class).expect("class");
+            let rt = &fu_type.reservation;
+            let unit = (0..fu_type.count)
+                .find(|&fu| {
+                    (0..rt.stages()).all(|s| {
+                        rt.stage_offsets(s).iter().all(|&l| {
+                            !usage.contains(&(
+                                op.class.index(),
+                                fu,
+                                s,
+                                (op.offset + l as u32) % period,
+                            ))
+                        })
+                    })
+                })
+                .expect("first-fit completion must succeed for uncolored classes");
+            op.fu = Some(unit);
+            for s in 0..rt.stages() {
+                for l in rt.stage_offsets(s) {
+                    usage.insert((op.class.index(), unit, s, (op.offset + l as u32) % period));
+                }
+            }
+        }
+        check_fixed_assignment(machine, period, &ops).expect("schedule must pass exact checker");
+        // Dependences.
+        for e in ddg.edges() {
+            let d = ddg.node(e.src).latency as i64;
+            let lhs = starts[e.dst.index()] as i64 - starts[e.src.index()] as i64;
+            assert!(
+                e.src == e.dst || lhs >= d - (period as i64) * e.distance as i64,
+                "dependence violated"
+            );
+        }
+    }
+
+    fn paper_ddg() -> Ddg {
+        // A small FP/Int/LdSt mix with a recurrence, exercising the
+        // unclean FP pipeline of `example_pldi95`.
+        let mut ddg = Ddg::new();
+        let ld = ddg.add_node("ld", OpClass::new(2), 3);
+        let f1 = ddg.add_node("f1", OpClass::new(1), 2);
+        let f2 = ddg.add_node("f2", OpClass::new(1), 2);
+        let add = ddg.add_node("add", OpClass::new(0), 1);
+        ddg.add_edge(ld, f1, 0).expect("edge");
+        ddg.add_edge(f1, f2, 0).expect("edge");
+        ddg.add_edge(f2, add, 0).expect("edge");
+        ddg.add_edge(f2, f1, 1).expect("edge");
+        ddg
+    }
+
+    #[test]
+    fn feasible_schedule_passes_exact_checker() {
+        let machine = Machine::example_pldi95();
+        let ddg = paper_ddg();
+        let mut found = None;
+        for t in 1..=12 {
+            match solve(&ddg, &machine, t).expect("unlimited budget") {
+                (CpOutcome::Feasible { starts, units }, _) => {
+                    found = Some((t, starts, units));
+                    break;
+                }
+                (CpOutcome::Infeasible, _) => {}
+            }
+        }
+        let (t, starts, units) = found.expect("some period in 1..=12 must be feasible");
+        assert_schedule_valid(&machine, t, &ddg, &starts, &units);
+    }
+
+    #[test]
+    fn refutes_below_resource_bound() {
+        // Two non-pipelined d=2 ops on a single unit need T >= 4.
+        let machine = Machine::new(vec![FuType {
+            name: "NP".into(),
+            count: 1,
+            latency: 2,
+            reservation: ReservationTable::non_pipelined(2),
+        }])
+        .expect("machine");
+        let mut ddg = Ddg::new();
+        ddg.add_node("a", OpClass::new(0), 2);
+        ddg.add_node("b", OpClass::new(0), 2);
+        for t in 1..4 {
+            let (outcome, _) = solve(&ddg, &machine, t).expect("unlimited budget");
+            assert_eq!(outcome, CpOutcome::Infeasible, "T={t} must refute");
+        }
+        let (outcome, _) = solve(&ddg, &machine, 4).expect("unlimited budget");
+        let CpOutcome::Feasible { starts, units } = outcome else {
+            panic!("T=4 must be feasible");
+        };
+        assert_schedule_valid(&machine, 4, &ddg, &starts, &units);
+    }
+
+    #[test]
+    fn self_loop_bounds_period() {
+        let machine = Machine::example_clean();
+        let mut ddg = Ddg::new();
+        let n = ddg.add_node("x", OpClass::new(2), 3);
+        ddg.add_edge(n, n, 1).expect("edge");
+        // Self-loop: 0 >= 3 - T, so T >= 3.
+        let (outcome, _) = solve(&ddg, &machine, 2).expect("unlimited budget");
+        assert_eq!(outcome, CpOutcome::Infeasible);
+        let (outcome, _) = solve(&ddg, &machine, 3).expect("unlimited budget");
+        assert!(matches!(outcome, CpOutcome::Feasible { .. }));
+    }
+
+    #[test]
+    fn colored_members_get_distinct_units_when_colliding() {
+        // Two FP ops (count=2, unclean) forced to the same residue: the
+        // FP table self-collides at delta 0, so they must split units.
+        let machine = Machine::example_pldi95();
+        let mut ddg = Ddg::new();
+        let a = ddg.add_node("a", OpClass::new(1), 2);
+        let b = ddg.add_node("b", OpClass::new(1), 2);
+        // t_b - t_a >= 4 - 1*4 = 0 and t_a - t_b >= 4 - 1*4 = 0 at T=4
+        // leaves offsets free; pick a case where both land at residue 0
+        // via symmetry + propagation is not forced, so just check the
+        // returned mapping is checker-valid at the first feasible T.
+        ddg.add_edge(a, b, 0).expect("edge");
+        for t in 1..=8 {
+            if let (CpOutcome::Feasible { starts, units }, _) =
+                solve(&ddg, &machine, t).expect("unlimited budget")
+            {
+                assert!(units[a.index()].is_some() && units[b.index()].is_some());
+                assert_schedule_valid(&machine, t, &ddg, &starts, &units);
+                return;
+            }
+        }
+        panic!("no feasible period found");
+    }
+
+    #[test]
+    fn budget_ticks_and_cancellation_stop_the_search() {
+        let machine = Machine::example_pldi95();
+        let ddg = paper_ddg();
+        let tiny = Budget::unlimited().limit_ticks(3);
+        let err = solve_at(&ddg, &machine, 6, CpOptions::default(), &tiny)
+            .expect_err("3 ticks cannot finish");
+        assert_eq!(err, CpError::Exhausted(Exhaustion::Ticks));
+
+        let budget = Budget::unlimited();
+        let token = budget.cancel_token();
+        token.cancel();
+        let err = solve_at(&ddg, &machine, 6, CpOptions::default(), &budget)
+            .expect_err("cancelled before start");
+        assert_eq!(err, CpError::Exhausted(Exhaustion::Cancelled));
+    }
+
+    #[test]
+    fn symmetry_pins_node_zero_to_step_zero() {
+        let machine = Machine::example_pldi95();
+        let ddg = paper_ddg();
+        for t in 1..=12 {
+            if let (CpOutcome::Feasible { starts, .. }, _) =
+                solve(&ddg, &machine, t).expect("unlimited budget")
+            {
+                assert_eq!(starts[0] % t, 0, "node 0 must sit at pattern step 0");
+                return;
+            }
+        }
+        panic!("no feasible period found");
+    }
+
+    #[test]
+    fn verdicts_and_stats_are_deterministic() {
+        let machine = Machine::example_pldi95();
+        let ddg = paper_ddg();
+        for t in 2..=8 {
+            let a = solve(&ddg, &machine, t).expect("unlimited budget");
+            let b = solve(&ddg, &machine, t).expect("unlimited budget");
+            assert_eq!(a, b, "T={t} must be deterministic");
+        }
+    }
+
+    #[test]
+    fn symmetry_off_agrees_on_feasibility() {
+        let machine = Machine::example_pldi95();
+        let ddg = paper_ddg();
+        let plain = CpOptions {
+            symmetry_breaking: false,
+            packing_bound: false,
+        };
+        for t in 2..=8 {
+            let with = solve(&ddg, &machine, t).expect("unlimited budget").0;
+            let without = solve_at(&ddg, &machine, t, plain, &Budget::unlimited())
+                .expect("unlimited budget")
+                .0;
+            assert_eq!(
+                matches!(with, CpOutcome::Feasible { .. }),
+                matches!(without, CpOutcome::Feasible { .. }),
+                "symmetry/packing must be feasibility-preserving at T={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_class_is_an_error() {
+        let machine = Machine::example_pldi95();
+        let mut ddg = Ddg::new();
+        ddg.add_node("z", OpClass::new(9), 1);
+        let err = solve(&ddg, &machine, 4).expect_err("class 9 undefined");
+        assert_eq!(err, CpError::UnknownClass(OpClass::new(9)));
+    }
+
+    #[test]
+    fn empty_ddg_is_trivially_feasible() {
+        let machine = Machine::example_pldi95();
+        let ddg = Ddg::new();
+        let (outcome, _) = solve(&ddg, &machine, 1).expect("unlimited budget");
+        assert_eq!(
+            outcome,
+            CpOutcome::Feasible {
+                starts: Vec::new(),
+                units: Vec::new()
+            }
+        );
+    }
+}

@@ -5,6 +5,7 @@
 //!     --seed 5 --cases 500 --workers 4 [--budget-ms 60000] [--shrink] \
 //!     [--artifact fuzz.jsonl] [--out DIR] [--adversarial 0.6] \
 //!     [--max-nodes 8] [--ticks 2000000] [--no-metamorphic] \
+//!     [--engine ilp|cp|portfolio] \
 //!     [--inject-fault reject-schedules|fail-ilp|fail-heuristic]
 //! ```
 //!
@@ -16,13 +17,16 @@
 //! deterministic. `--inject-fault` deliberately breaks the baseline
 //! configuration via the scheduler's test-only fault plan, to
 //! demonstrate end to end that the oracle catches a broken engine and
-//! the shrinker minimizes the counterexample.
+//! the shrinker minimizes the counterexample. `--engine` narrows the
+//! driver matrix to one exact engine (plus the baseline it is
+//! cross-checked against) — CI uses `--engine portfolio` for a cheap
+//! race-focused smoke.
 
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
-use swp_core::FaultPlan;
+use swp_core::{Engine, FaultPlan};
 use swp_fuzz::{
     gen_case, run_case, shrink, to_json_line, write_regression, CaseReport, DiffOptions, FuzzCase,
     GenConfig,
@@ -93,6 +97,18 @@ fn run() -> Result<ExitCode, String> {
         metamorphic: !flags.has("no-metamorphic"),
         ..DiffOptions::default()
     };
+    if let Some(engine) = flags.get("engine") {
+        opts.engine_filter = Some(match engine {
+            "ilp" => Engine::Ilp,
+            "cp" => Engine::Cp,
+            "portfolio" => Engine::Portfolio,
+            other => {
+                return Err(format!(
+                    "unknown engine `{other}` (use ilp, cp, or portfolio)"
+                ))
+            }
+        });
+    }
     if let Some(fault) = flags.get("inject-fault") {
         opts.faults = parse_fault(fault)?;
         opts.metamorphic = false;

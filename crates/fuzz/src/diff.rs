@@ -6,6 +6,8 @@
 //!
 //! * the full driver (ILP + IMS incumbent) under `Scan` and `Automaton`;
 //! * the pure-ILP driver (Table 5 mode) under both oracles;
+//! * the CP backend (Table 5 mode) under both oracles;
+//! * the ILP-vs-CP portfolio racer under both oracles;
 //! * iterative modulo scheduling alone, under both oracles.
 //!
 //! and the results are cross-checked:
@@ -47,8 +49,8 @@
 
 use crate::gen::FuzzCase;
 use swp_core::{
-    FaultPlan, Optimality, PeriodAttempt, PeriodOutcome, RateOptimalScheduler, ScheduleError,
-    ScheduleResult, SchedulerConfig, SolvedBy,
+    Engine, FaultPlan, Optimality, PeriodAttempt, PeriodOutcome, RateOptimalScheduler,
+    ScheduleError, ScheduleResult, SchedulerConfig, SolvedBy,
 };
 use swp_ddg::{Ddg, OpClass};
 use swp_harness::ConflictOracleMode;
@@ -167,6 +169,10 @@ pub struct DiffOptions {
     pub faults: FaultPlan,
     /// Iterations fed to the cycle-accurate simulator.
     pub sim_iterations: u32,
+    /// When set, restricts the driver matrix to configurations using
+    /// this exact engine, plus the baseline (which every cross-check and
+    /// metamorphic relation compares against). `None` runs everything.
+    pub engine_filter: Option<Engine>,
 }
 
 impl Default for DiffOptions {
@@ -176,6 +182,7 @@ impl Default for DiffOptions {
             metamorphic: true,
             faults: FaultPlan::default(),
             sim_iterations: 4,
+            engine_filter: None,
         }
     }
 }
@@ -229,16 +236,46 @@ impl CaseReport {
     }
 }
 
-const SCHEDULER_CONFIGS: [(&str, bool, ConflictOracleMode); 4] = [
-    ("ilp+ims/scan", true, ConflictOracleMode::Scan),
-    ("ilp+ims/auto", true, ConflictOracleMode::Automaton),
-    ("ilp/scan", false, ConflictOracleMode::Scan),
-    ("ilp/auto", false, ConflictOracleMode::Automaton),
+/// The driver matrix: `(name, heuristic_incumbent, oracle, engine)`.
+/// Index 0 is the *baseline* every cross-check and metamorphic relation
+/// compares against (and the only slot faults are injected into). The
+/// CP and portfolio rows run without the IMS incumbent so the exact
+/// engines — not a heuristic certificate — settle every period.
+const SCHEDULER_CONFIGS: [(&str, bool, ConflictOracleMode, Engine); 8] = [
+    ("ilp+ims/scan", true, ConflictOracleMode::Scan, Engine::Ilp),
+    (
+        "ilp+ims/auto",
+        true,
+        ConflictOracleMode::Automaton,
+        Engine::Ilp,
+    ),
+    ("ilp/scan", false, ConflictOracleMode::Scan, Engine::Ilp),
+    (
+        "ilp/auto",
+        false,
+        ConflictOracleMode::Automaton,
+        Engine::Ilp,
+    ),
+    ("cp/scan", false, ConflictOracleMode::Scan, Engine::Cp),
+    ("cp/auto", false, ConflictOracleMode::Automaton, Engine::Cp),
+    (
+        "race/scan",
+        false,
+        ConflictOracleMode::Scan,
+        Engine::Portfolio,
+    ),
+    (
+        "race/auto",
+        false,
+        ConflictOracleMode::Automaton,
+        Engine::Portfolio,
+    ),
 ];
 
 fn scheduler_config(
     heuristic_incumbent: bool,
     oracle: ConflictOracleMode,
+    engine: Engine,
     faults: FaultPlan,
 ) -> SchedulerConfig {
     SchedulerConfig {
@@ -248,6 +285,7 @@ fn scheduler_config(
         time_limit_total: None,
         heuristic_incumbent,
         conflict_oracle: oracle,
+        engine,
         faults,
         ..SchedulerConfig::default()
     }
@@ -291,13 +329,21 @@ fn refuted_periods(attempts: &[PeriodAttempt]) -> Vec<u32> {
         .collect()
 }
 
-fn summarize(outcome: &DriverOutcome) -> String {
+/// Renders one outcome as a deterministic summary string.
+///
+/// `winner_agnostic` is set for portfolio configurations: which exact
+/// engine wins a race depends on thread timing, so the summary folds
+/// both into `"exact"` — the *decision* (period, provenness) is the
+/// deterministic part, and it is all the summary may mention.
+fn summarize(outcome: &DriverOutcome, winner_agnostic: bool) -> String {
     match outcome {
         DriverOutcome::Ok(r) => {
             let t = r.schedule.initiation_interval();
-            let by = match r.solved_by() {
-                SolvedBy::Ilp => "ilp",
-                SolvedBy::Heuristic => "ims",
+            let by = match (r.solved_by(), winner_agnostic) {
+                (SolvedBy::Heuristic, _) => "ims",
+                (SolvedBy::Ilp | SolvedBy::Cp, true) => "exact",
+                (SolvedBy::Ilp, false) => "ilp",
+                (SolvedBy::Cp, false) => "cp",
             };
             match r.optimality {
                 Optimality::Proven => format!("T={t} proven {by}"),
@@ -369,10 +415,15 @@ pub fn run_case(case: &FuzzCase, opts: &DiffOptions) -> CaseReport {
     let t_dep = case.ddg.t_dep().unwrap_or(0);
     let t_lb = t_dep.max(t_res);
 
-    // Stage 1: the four driver configurations.
+    // Stage 1: the driver configurations (engine × oracle matrix).
     let mut driver_outcomes: Vec<(usize, DriverOutcome)> = Vec::new();
     let mut outcomes: Vec<ConfigOutcome> = Vec::new();
-    for (i, (name, incumbent, oracle)) in SCHEDULER_CONFIGS.iter().enumerate() {
+    for (i, (name, incumbent, oracle, engine)) in SCHEDULER_CONFIGS.iter().enumerate() {
+        // The baseline (index 0) always runs: every cross-check and
+        // metamorphic relation is anchored to it.
+        if i != 0 && opts.engine_filter.is_some_and(|f| f != *engine) {
+            continue;
+        }
         let faults = if i == 0 {
             opts.faults
         } else {
@@ -380,7 +431,7 @@ pub fn run_case(case: &FuzzCase, opts: &DiffOptions) -> CaseReport {
         };
         let outcome = run_driver(
             case,
-            scheduler_config(*incumbent, *oracle, faults),
+            scheduler_config(*incumbent, *oracle, *engine, faults),
             opts.ticks_per_config,
         );
         let (period, proven, timed_out) = match &outcome {
@@ -399,7 +450,7 @@ pub fn run_case(case: &FuzzCase, opts: &DiffOptions) -> CaseReport {
             period,
             proven,
             timed_out,
-            summary: summarize(&outcome),
+            summary: summarize(&outcome, matches!(engine, Engine::Portfolio)),
         });
         driver_outcomes.push((i, outcome));
     }
@@ -671,7 +722,12 @@ fn conclusive_signature(outcome: &DriverOutcome) -> Option<(Option<u32>, bool)> 
 fn rerun_baseline(case: &FuzzCase, opts: &DiffOptions) -> DriverOutcome {
     run_driver(
         case,
-        scheduler_config(true, ConflictOracleMode::Scan, FaultPlan::default()),
+        scheduler_config(
+            true,
+            ConflictOracleMode::Scan,
+            Engine::Ilp,
+            FaultPlan::default(),
+        ),
         opts.ticks_per_config,
     )
 }
@@ -711,8 +767,8 @@ fn metamorphic_relabel(
             config: "ilp+ims/scan".to_string(),
             details: format!(
                 "relabeled outcome {} != original {}",
-                summarize(&outcome),
-                summarize(baseline)
+                summarize(&outcome, false),
+                summarize(baseline, false)
             ),
         });
     }
@@ -774,8 +830,8 @@ fn metamorphic_permute_classes(
             config: "ilp+ims/scan".to_string(),
             details: format!(
                 "class-permuted outcome {} != original {}",
-                summarize(&outcome),
-                summarize(baseline)
+                summarize(&outcome, false),
+                summarize(baseline, false)
             ),
         });
     }
@@ -908,6 +964,35 @@ mod tests {
         let opts = DiffOptions::default();
         for case in gen_cases(&cfg, 40) {
             let report = run_case(&case, &opts);
+            assert!(report.passed(), "{}: {:?}", case.name, report.violations);
+        }
+    }
+
+    #[test]
+    fn engine_filter_keeps_baseline_and_matching_rows() {
+        let cfg = GenConfig {
+            seed: 7,
+            max_nodes: 5,
+            ..GenConfig::default()
+        };
+        let opts = DiffOptions {
+            engine_filter: Some(Engine::Portfolio),
+            ..DiffOptions::default()
+        };
+        for case in gen_cases(&cfg, 5) {
+            let report = run_case(&case, &opts);
+            let names: Vec<&str> = report.outcomes.iter().map(|o| o.config).collect();
+            assert_eq!(
+                names,
+                [
+                    "ilp+ims/scan",
+                    "race/scan",
+                    "race/auto",
+                    "ims/scan",
+                    "ims/auto"
+                ],
+                "filtered matrix should be baseline + portfolio rows + IMS stages"
+            );
             assert!(report.passed(), "{}: {:?}", case.name, report.violations);
         }
     }

@@ -19,11 +19,12 @@
 
 use crate::json::{parse_object, ObjectWriter};
 use std::time::Duration;
-use swp_core::{ConflictOracleMode, SolvedBy};
+use swp_core::{ConflictOracleMode, Engine, SolvedBy};
 use swp_loops::fingerprint::{from_hex, to_hex, Fnv64};
 
-/// Schema version stamped into every artifact line.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Schema version stamped into every artifact line. v2 added the
+/// portfolio-race counters (`races`, `race_cp`, `race_ilp`).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Configuration for a corpus run (the solve-side knobs; sharding and
 /// artifact knobs live in [`HarnessConfig`]).
@@ -50,6 +51,11 @@ pub struct SuiteRunConfig {
     /// are decision-equivalent, so records fingerprint differently only
     /// to keep A/B comparisons honest about which engine produced them.
     pub conflict_oracle: ConflictOracleMode,
+    /// Exact engine per candidate period: the unified ILP, the CP
+    /// backend, or a portfolio race of both ([`Engine`]). All three are
+    /// decision-equivalent on proven outcomes; like the oracle, the
+    /// fingerprint still distinguishes them so A/B records never mix.
+    pub engine: Engine,
 }
 
 impl Default for SuiteRunConfig {
@@ -61,6 +67,7 @@ impl Default for SuiteRunConfig {
             max_t_above_lb: 8,
             heuristic_incumbent: true,
             conflict_oracle: ConflictOracleMode::default(),
+            engine: Engine::default(),
         }
     }
 }
@@ -82,6 +89,11 @@ impl SuiteRunConfig {
         h.write_u64(match self.conflict_oracle {
             ConflictOracleMode::Scan => 0,
             ConflictOracleMode::Automaton => 1,
+        });
+        h.write_u64(match self.engine {
+            Engine::Ilp => 0,
+            Engine::Cp => 1,
+            Engine::Portfolio => 2,
         });
         h.finish()
     }
@@ -146,6 +158,12 @@ pub struct LoopRecord {
     pub ticks: u64,
     /// Candidate periods attempted.
     pub periods_attempted: u32,
+    /// Portfolio races run (0 outside portfolio mode).
+    pub races: u32,
+    /// Races the CP backend settled first.
+    pub race_cp_wins: u32,
+    /// Races the ILP settled first.
+    pub race_ilp_wins: u32,
     /// Whether any attempted period timed out undecided.
     pub any_timeout: bool,
     /// Per-loop on-thread solve time (see the module docs; zeroed when
@@ -163,11 +181,12 @@ impl LoopRecord {
     /// Schema (`v` = [`SCHEMA_VERSION`]):
     ///
     /// ```json
-    /// {"v":1,"idx":7,"name":"loop0007","nodes":9,
+    /// {"v":2,"idx":7,"name":"loop0007","nodes":9,
     ///  "ddg_fp":"9f…16 hex…","mach_fp":"…","cfg_fp":"…",
     ///  "t_lb":4,"t_lb_counting":4,"status":"scheduled",
     ///  "period":4,"slack":0,"solved_by":"heuristic","proven":true,
     ///  "bb_nodes":0,"lp_iters":0,"ticks":151,"periods":1,
+    ///  "races":0,"race_cp":0,"race_ilp":0,
     ///  "timeout":false,"solve_us":423}
     /// ```
     ///
@@ -193,6 +212,7 @@ impl LoopRecord {
                         "solved_by",
                         match solved_by {
                             SolvedBy::Ilp => "ilp",
+                            SolvedBy::Cp => "cp",
                             SolvedBy::Heuristic => "heuristic",
                         },
                     );
@@ -209,6 +229,9 @@ impl LoopRecord {
             .u64("lp_iters", self.lp_iterations)
             .u64("ticks", self.ticks)
             .u64("periods", u64::from(self.periods_attempted))
+            .u64("races", u64::from(self.races))
+            .u64("race_cp", u64::from(self.race_cp_wins))
+            .u64("race_ilp", u64::from(self.race_ilp_wins))
             .bool("timeout", self.any_timeout)
             .u64("solve_us", self.solve_time.as_micros() as u64);
         w.finish()
@@ -253,6 +276,7 @@ impl LoopRecord {
                 let slack = num("slack")? as u32;
                 let solved_by = match text("solved_by")? {
                     "ilp" => SolvedBy::Ilp,
+                    "cp" => SolvedBy::Cp,
                     "heuristic" => SolvedBy::Heuristic,
                     other => return Err(format!("unknown engine `{other}`")),
                 };
@@ -280,6 +304,9 @@ impl LoopRecord {
             lp_iterations: num("lp_iters")?,
             ticks: num("ticks")?,
             periods_attempted: num("periods")? as u32,
+            races: num("races")? as u32,
+            race_cp_wins: num("race_cp")? as u32,
+            race_ilp_wins: num("race_ilp")? as u32,
             any_timeout: flag("timeout")?,
             solve_time: Duration::from_micros(num("solve_us")?),
             cached: false,
@@ -317,6 +344,9 @@ mod tests {
             lp_iterations: 340,
             ticks: 151,
             periods_attempted: 1,
+            races: 0,
+            race_cp_wins: 0,
+            race_ilp_wins: 0,
             any_timeout: !scheduled,
             solve_time: Duration::from_micros(423),
             cached: false,
@@ -345,7 +375,7 @@ mod tests {
 
     #[test]
     fn schema_version_mismatch_is_rejected() {
-        let line = sample(true).to_json_line().replace("\"v\":1", "\"v\":99");
+        let line = sample(true).to_json_line().replace("\"v\":2", "\"v\":99");
         assert!(LoopRecord::from_json_line(&line)
             .unwrap_err()
             .contains("schema version"));
@@ -394,6 +424,14 @@ mod tests {
             },
             SuiteRunConfig {
                 conflict_oracle: ConflictOracleMode::Automaton,
+                ..base.clone()
+            },
+            SuiteRunConfig {
+                engine: Engine::Cp,
+                ..base.clone()
+            },
+            SuiteRunConfig {
+                engine: Engine::Portfolio,
                 ..base.clone()
             },
         ];

@@ -229,6 +229,7 @@ impl Harness {
                 max_t_above_lb: self.solve.max_t_above_lb,
                 heuristic_incumbent: self.solve.heuristic_incumbent,
                 conflict_oracle: self.solve.conflict_oracle,
+                engine: self.solve.engine,
                 ..Default::default()
             },
         );
@@ -351,6 +352,9 @@ impl Harness {
                     lp_iterations: stats.lp_iterations,
                     ticks,
                     periods_attempted: stats.periods_attempted,
+                    races: stats.races,
+                    race_cp_wins: stats.race_cp_wins,
+                    race_ilp_wins: stats.race_ilp_wins,
                     any_timeout: stats.any_timeout(),
                     solve_time,
                     cached: false,
@@ -378,6 +382,9 @@ impl Harness {
                     lp_iterations: stats.lp_iterations,
                     ticks,
                     periods_attempted: stats.periods_attempted,
+                    races: stats.races,
+                    race_cp_wins: stats.race_cp_wins,
+                    race_ilp_wins: stats.race_ilp_wins,
                     any_timeout: stats.any_timeout(),
                     solve_time,
                     cached: false,
@@ -418,6 +425,7 @@ mod tests {
             max_t_above_lb: 8,
             heuristic_incumbent: true,
             conflict_oracle: Default::default(),
+            engine: Default::default(),
         }
     }
 
@@ -451,6 +459,35 @@ mod tests {
             .count();
         assert!(scheduled >= 6, "only {scheduled}/8 scheduled");
         assert_eq!(report.summary.total, 8);
+    }
+
+    #[test]
+    fn portfolio_engine_records_races() {
+        // With the incumbent probe off, every period is settled by a
+        // portfolio race; the records must carry the race telemetry and
+        // the summary must aggregate it.
+        let loops = small_corpus(4);
+        let h = Harness::new(
+            Machine::example_pldi95(),
+            SuiteRunConfig {
+                heuristic_incumbent: false,
+                engine: swp_core::Engine::Portfolio,
+                ..fast_solve()
+            },
+            HarnessConfig::default(),
+        );
+        let report = h.run(&loops, &mut NullSink).expect("run");
+        assert_eq!(report.records.len(), 4);
+        let total_races: u64 = report.records.iter().map(|r| u64::from(r.races)).sum();
+        assert!(total_races > 0, "no races recorded");
+        assert_eq!(report.summary.races, total_races);
+        assert_eq!(
+            report.summary.by_ilp + report.summary.by_cp + report.summary.by_heuristic,
+            report.summary.scheduled
+        );
+        for r in &report.records {
+            assert!(u64::from(r.race_cp_wins + r.race_ilp_wins) <= u64::from(r.races));
+        }
     }
 
     #[test]

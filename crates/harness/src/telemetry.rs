@@ -43,8 +43,16 @@ pub struct RunSummary {
     pub proven_optimal: usize,
     /// Loops whose final schedule came from the unified ILP.
     pub by_ilp: usize,
+    /// Loops whose final schedule came from the CP backend.
+    pub by_cp: usize,
     /// Loops whose final schedule came from the IMS certificate.
     pub by_heuristic: usize,
+    /// Portfolio races across all loops (0 outside portfolio mode).
+    pub races: u64,
+    /// Races the CP backend settled first.
+    pub race_cp_wins: u64,
+    /// Races the ILP settled first.
+    pub race_ilp_wins: u64,
     /// Loops with at least one undecided (timed-out) period.
     pub with_timeout: usize,
     /// Total branch-and-bound nodes.
@@ -87,6 +95,7 @@ impl RunSummary {
                     s.scheduled += 1;
                     match solved_by {
                         SolvedBy::Ilp => s.by_ilp += 1,
+                        SolvedBy::Cp => s.by_cp += 1,
                         SolvedBy::Heuristic => s.by_heuristic += 1,
                     }
                     if r.period.is_some_and(|p| p <= r.t_lb_counting) {
@@ -106,6 +115,9 @@ impl RunSummary {
             if r.any_timeout {
                 s.with_timeout += 1;
             }
+            s.races += u64::from(r.races);
+            s.race_cp_wins += u64::from(r.race_cp_wins);
+            s.race_ilp_wins += u64::from(r.race_ilp_wins);
             s.bb_nodes += r.bb_nodes;
             s.lp_iterations += r.lp_iterations;
             s.ticks += r.ticks;
@@ -151,13 +163,24 @@ impl RunSummary {
         );
         let _ = writeln!(
             out,
-            "engines: {} ILP, {} heuristic | {} at counting T_lb, {} proven optimal, {} with timeouts",
+            "engines: {} ILP, {} CP, {} heuristic | {} at counting T_lb, {} proven optimal, {} with timeouts",
             self.by_ilp,
+            self.by_cp,
             self.by_heuristic,
             self.at_counting_lb,
             self.proven_optimal,
             self.with_timeout
         );
+        if self.races > 0 {
+            let _ = writeln!(
+                out,
+                "portfolio: {} races ({} CP wins, {} ILP wins, {} undecided)",
+                self.races,
+                self.race_cp_wins,
+                self.race_ilp_wins,
+                self.races - self.race_cp_wins - self.race_ilp_wins
+            );
+        }
         let _ = writeln!(
             out,
             "effort: {} B&B nodes, {} simplex iterations, {} budget ticks",
@@ -233,6 +256,9 @@ mod tests {
             lp_iterations: 100,
             ticks: 111,
             periods_attempted: 1,
+            races: 0,
+            race_cp_wins: 0,
+            race_ilp_wins: 0,
             any_timeout: false,
             solve_time: Duration::from_micros(solve_us),
             cached,

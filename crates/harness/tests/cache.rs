@@ -25,6 +25,7 @@ fn solve_cfg() -> SuiteRunConfig {
         max_t_above_lb: 8,
         heuristic_incumbent: true,
         conflict_oracle: Default::default(),
+        engine: Default::default(),
     }
 }
 

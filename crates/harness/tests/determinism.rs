@@ -32,6 +32,7 @@ fn deterministic_solve() -> SuiteRunConfig {
         max_t_above_lb: 8,
         heuristic_incumbent: true,
         conflict_oracle: ConflictOracleMode::Scan,
+        engine: Default::default(),
     }
 }
 

@@ -19,20 +19,22 @@
 //! to give each candidate period a slice of the global budget.
 //!
 //! The hot-path check is [`Budget::tick`]: it increments the shared
-//! counter, compares it against the cap, and consults the clock and the
-//! cancel flag only every [`CHECK_INTERVAL`] ticks, so budgeted inner
-//! loops stay branch-cheap. [`Budget::check`] performs the full check
-//! immediately without consuming a tick; loop boundaries (new B&B node,
-//! new candidate period) use it so cancellation is honoured within one
-//! check interval.
+//! counter, compares it against the cap, consults the cancel flag (one
+//! relaxed atomic load — the portfolio racer needs losers to die within
+//! a pivot, not a [`CHECK_INTERVAL`]), and reads the clock only every
+//! [`CHECK_INTERVAL`] ticks, so budgeted inner loops stay branch-cheap.
+//! [`Budget::check`] performs the full check immediately without
+//! consuming a tick; loop boundaries (new B&B node, new candidate
+//! period) use it so deadline death is honoured within one check
+//! interval.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// How often (in ticks) [`Budget::tick`] consults the clock and the
-/// cancel flag. Exhaustion of the tick cap itself is always exact.
+/// How often (in ticks) [`Budget::tick`] consults the clock. The tick
+/// cap and the cancel flag are enforced exactly, on every tick.
 pub const CHECK_INTERVAL: u64 = 64;
 
 /// Why a budget stopped a solve.
@@ -247,6 +249,29 @@ impl Budget {
         }
     }
 
+    /// Derives one arm of an engine race: an isolated child like
+    /// [`fork_isolated`](Budget::fork_isolated) — fresh tick counter,
+    /// the parent's deadline — but capped at the parent's *remaining*
+    /// ticks (each contestant gets the full remaining allowance on its
+    /// own counter, so per-engine tick accounting is deterministic) and
+    /// bound to a **fresh** cancel flag, returned as a token.
+    ///
+    /// The fresh flag is what lets a portfolio driver cancel one losing
+    /// contestant without cancelling its sibling or the parent. The
+    /// parent's own cancellation does *not* reach the child through the
+    /// flag any more — the racing driver is responsible for forwarding
+    /// it (it supervises both arms anyway, waiting for the first proven
+    /// answer).
+    pub fn fork_racer(&self) -> (Budget, CancelToken) {
+        let mut child = self.fork_isolated();
+        child.cancelled = Arc::new(AtomicBool::new(false));
+        if let Some(rem) = self.remaining_ticks() {
+            child = child.limit_ticks(rem);
+        }
+        let token = child.cancel_token();
+        (child, token)
+    }
+
     /// A handle that cancels every budget sharing this one's flag.
     pub fn cancel_token(&self) -> CancelToken {
         CancelToken {
@@ -275,9 +300,11 @@ impl Budget {
 
     /// Spends one tick.
     ///
-    /// The tick cap is enforced exactly; the clock and the cancel flag
-    /// are consulted every [`CHECK_INTERVAL`] ticks (call [`check`] at
-    /// loop boundaries for an immediate full check).
+    /// The tick cap and the cancel flag are enforced exactly on every
+    /// tick (the flag is a relaxed load, and prompt race cancellation
+    /// depends on it); the clock is consulted every [`CHECK_INTERVAL`]
+    /// ticks (call [`check`] at loop boundaries for an immediate full
+    /// check).
     ///
     /// [`check`]: Budget::check
     ///
@@ -289,6 +316,9 @@ impl Budget {
         let t = self.ticks.fetch_add(1, Ordering::Relaxed);
         if t >= self.tick_limit {
             return Err(Exhaustion::Ticks);
+        }
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Err(Exhaustion::Cancelled);
         }
         if t % CHECK_INTERVAL == 0 {
             return self.check();
@@ -482,6 +512,34 @@ mod tests {
         // Cancellation still reaches the isolated child.
         parent.cancel_token().cancel();
         assert_eq!(child.check(), Err(Exhaustion::Cancelled));
+    }
+
+    #[test]
+    fn fork_racer_isolates_ticks_and_cancellation() {
+        let parent = Budget::with_tick_limit(10);
+        parent.tick().unwrap(); // 9 remaining
+        let (a, a_token) = parent.fork_racer();
+        let (b, _b_token) = parent.fork_racer();
+        // Each racer gets the full remaining allowance on its own
+        // counter; the parent pool is untouched by racer work.
+        assert_eq!(a.remaining_ticks(), Some(9));
+        assert_eq!(b.remaining_ticks(), Some(9));
+        for _ in 0..9 {
+            assert_eq!(a.tick(), Ok(()));
+        }
+        assert_eq!(a.tick(), Err(Exhaustion::Ticks));
+        assert_eq!(parent.remaining_ticks(), Some(9));
+        // Cancelling one racer reaches neither its sibling nor the
+        // parent; cancelling the parent does NOT auto-reach racers
+        // (the race driver forwards it).
+        a_token.cancel();
+        assert_eq!(b.check(), Ok(()));
+        assert_eq!(parent.check(), Ok(()));
+        parent.cancel_token().cancel();
+        assert_eq!(b.check(), Ok(()));
+        // An uncapped parent yields uncapped racers.
+        let (c, _) = Budget::unlimited().fork_racer();
+        assert_eq!(c.remaining_ticks(), None);
     }
 
     #[test]

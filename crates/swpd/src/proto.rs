@@ -17,7 +17,7 @@
 
 use crate::stats::StatsSnapshot;
 use std::collections::BTreeMap;
-use swp_core::ConflictOracleMode;
+use swp_core::{ConflictOracleMode, Engine};
 use swp_harness::json::{parse_object, JsonValue, ObjectWriter};
 
 /// Protocol schema version stamped into every message.
@@ -126,6 +126,8 @@ pub struct SolveRequest {
     pub heuristic: Option<bool>,
     /// Conflict-query engine (`"scan"` or `"automaton"`).
     pub oracle: Option<ConflictOracleMode>,
+    /// Exact engine (`"ilp"`, `"cp"`, or `"portfolio"`); default ILP.
+    pub engine: Option<Engine>,
     /// Test-only: make the solve panic (requires the daemon to run with
     /// fault injection enabled; otherwise `bad_request`).
     pub inject_panic: bool,
@@ -142,6 +144,7 @@ impl SolveRequest {
             max_t: None,
             heuristic: None,
             oracle: None,
+            engine: None,
             inject_panic: false,
         }
     }
@@ -209,6 +212,9 @@ impl Request {
                 if let Some(o) = r.oracle {
                     w.str("oracle", oracle_str(o));
                 }
+                if let Some(e) = r.engine {
+                    w.str("engine", engine_str(e));
+                }
                 if r.inject_panic {
                     w.bool("panic", true);
                 }
@@ -240,6 +246,13 @@ impl Request {
                     Some("automaton") => Some(ConflictOracleMode::Automaton),
                     Some(other) => return Err(format!("unknown oracle `{other}`")),
                 };
+                let engine = match m.get("engine").and_then(JsonValue::as_str) {
+                    None => None,
+                    Some("ilp") => Some(Engine::Ilp),
+                    Some("cp") => Some(Engine::Cp),
+                    Some("portfolio") => Some(Engine::Portfolio),
+                    Some(other) => return Err(format!("unknown engine `{other}`")),
+                };
                 Ok(Request::Solve(SolveRequest {
                     id,
                     case,
@@ -248,6 +261,7 @@ impl Request {
                     max_t: opt_u64(&m, "max_t").map(|v| v as u32),
                     heuristic: m.get("heuristic").and_then(JsonValue::as_bool),
                     oracle,
+                    engine,
                     inject_panic: m.get("panic").and_then(JsonValue::as_bool).unwrap_or(false),
                 }))
             }
@@ -260,6 +274,14 @@ fn oracle_str(o: ConflictOracleMode) -> &'static str {
     match o {
         ConflictOracleMode::Scan => "scan",
         ConflictOracleMode::Automaton => "automaton",
+    }
+}
+
+fn engine_str(e: Engine) -> &'static str {
+    match e {
+        Engine::Ilp => "ilp",
+        Engine::Cp => "cp",
+        Engine::Portfolio => "portfolio",
     }
 }
 
@@ -409,6 +431,7 @@ mod tests {
             max_t: Some(4),
             heuristic: Some(false),
             oracle: Some(ConflictOracleMode::Automaton),
+            engine: Some(Engine::Portfolio),
             inject_panic: true,
         });
         let line = req.to_json_line();
@@ -456,6 +479,11 @@ mod tests {
         )
         .unwrap_err()
         .contains("psychic"));
+        assert!(Request::from_json_line(
+            r#"{"op":"solve","id":"x","case":"c","engine":"quantum"}"#
+        )
+        .unwrap_err()
+        .contains("quantum"));
     }
 
     #[test]

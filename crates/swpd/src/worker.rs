@@ -72,6 +72,7 @@ fn process(shared: &Shared, job: &Job) -> Reply {
     let max_t = req.max_t.unwrap_or(8);
     let heuristic = req.heuristic.unwrap_or(true);
     let oracle = req.oracle.unwrap_or_default();
+    let engine = req.engine.unwrap_or_default();
     let cache_cfg = SuiteRunConfig {
         num_loops: 1,
         time_limit_per_t: None,
@@ -79,6 +80,7 @@ fn process(shared: &Shared, job: &Job) -> Reply {
         max_t_above_lb: max_t,
         heuristic_incumbent: heuristic,
         conflict_oracle: oracle,
+        engine,
     };
     let key = CacheKey {
         ddg: ddg_fingerprint(&ddg),
@@ -138,6 +140,7 @@ fn process(shared: &Shared, job: &Job) -> Reply {
             max_t_above_lb: max_t,
             heuristic_incumbent: heuristic,
             conflict_oracle: oracle,
+            engine,
             faults,
             ..SchedulerConfig::default()
         },
@@ -178,6 +181,9 @@ fn process(shared: &Shared, job: &Job) -> Reply {
         lp_iterations: stats.lp_iterations,
         ticks,
         periods_attempted: stats.periods_attempted,
+        races: stats.races,
+        race_cp_wins: stats.race_cp_wins,
+        race_ilp_wins: stats.race_ilp_wins,
         any_timeout: stats.any_timeout(),
         solve_time,
         cached: false,
@@ -209,10 +215,12 @@ fn process(shared: &Shared, job: &Job) -> Reply {
             r.solved_by = Some(
                 match solved_by {
                     SolvedBy::Ilp => "ilp",
+                    SolvedBy::Cp => "cp",
                     SolvedBy::Heuristic => "heuristic",
                 }
                 .to_string(),
             );
+            shared.stats.record_races(&stats);
             if result.is_proven_optimal() {
                 commit(
                     shared,
@@ -307,6 +315,7 @@ fn reply_from_record(id: &str, rec: &LoopRecord) -> Reply {
         r.solved_by = Some(
             match solved_by {
                 SolvedBy::Ilp => "ilp",
+                SolvedBy::Cp => "cp",
                 SolvedBy::Heuristic => "heuristic",
             }
             .to_string(),

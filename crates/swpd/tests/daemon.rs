@@ -104,6 +104,66 @@ fn solve_then_cached_repeat() {
 }
 
 #[test]
+fn portfolio_engine_solves_and_reports_races() {
+    let (handle, addr) = start(default_config());
+    let mut client = SwpdClient::new(addr, 7);
+
+    // Heuristic off so the exact engines settle every period — that is
+    // what makes the portfolio actually race.
+    let mut req = SolveRequest::new("race-0", guaranteed_case(0xCAFE, 0));
+    req.heuristic = Some(false);
+    req.engine = Some(swp_core::Engine::Portfolio);
+    let reply = client.solve(&req).expect("portfolio solve");
+    assert_eq!(reply.status, ReplyStatus::Solved, "reply: {reply:?}");
+    assert_eq!(reply.proven, Some(true));
+    let by = reply.solved_by.as_deref().expect("solved_by");
+    assert!(by == "ilp" || by == "cp", "race winner was {by}");
+
+    let stats = handle.stats();
+    assert!(stats.races > 0, "portfolio solve ran no races");
+    assert!(stats.race_cp_wins + stats.race_ilp_wins <= stats.races);
+
+    // The engine is part of the cache fingerprint: the same case under
+    // the default (ILP) engine is a fresh solve, not a cache hit.
+    let mut ilp = SolveRequest::new("race-0-ilp", guaranteed_case(0xCAFE, 0));
+    ilp.heuristic = Some(false);
+    let reply = client.solve(&ilp).expect("ilp solve");
+    assert_eq!(reply.status, ReplyStatus::Solved, "reply: {reply:?}");
+
+    // A repeat of the portfolio request *is* a hit.
+    let reply = client.solve(&req).expect("portfolio repeat");
+    assert_eq!(reply.status, ReplyStatus::Cached, "reply: {reply:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_engine_is_a_bad_request() {
+    let (handle, addr) = start(default_config());
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(
+            b"{\"op\": \"solve\", \"id\": \"x\", \"case\": \"c\", \"engine\": \"quantum\"}\n",
+        )
+        .expect("write");
+    writer.flush().expect("flush");
+    let mut out = String::new();
+    reader.read_line(&mut out).expect("read");
+    let reply = Reply::from_json_line(out.trim()).expect("parse reply");
+    assert_eq!(reply.status, ReplyStatus::BadRequest, "reply: {reply:?}");
+    assert!(
+        reply.error.as_deref().unwrap_or("").contains("quantum"),
+        "error should name the bad engine: {reply:?}"
+    );
+    assert_eq!(handle.stats().bad_requests, 1);
+    handle.shutdown();
+}
+
+#[test]
 fn bad_requests_are_refused_not_fatal() {
     let (handle, addr) = start(default_config());
 
