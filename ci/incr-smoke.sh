@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Incremental-solving smoke: the fixed-seed incremental-vs-cold
+# differential campaign (every warm-started solve cross-checked against
+# a cold solver and re-verified by the cycle-accurate checker), then a
+# daemon session round-trip over the HTTP front door — open a session,
+# solve, edit, re-solve, revert, re-solve (the revert must replay), and
+# close, with the reuse counters visible in /stats.
+#
+# Usage: ci/incr-smoke.sh [seed] [cases]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${1:-11}"
+CASES="${2:-150}"
+LOG="${TMPDIR:-/tmp}/incr-smoke-$$.log"
+trap 'rm -f "$LOG"; kill "$SWPD" 2>/dev/null || true' EXIT
+
+cargo build --release -p swp-fuzz -p swp-swpd
+
+echo "== incremental-vs-cold differential campaign (seed $SEED, $CASES cases) =="
+./target/release/fuzz --incremental --seed "$SEED" --cases "$CASES" \
+  --workers 4 --ticks 500000
+
+echo "== daemon session round-trip (HTTP) =="
+./target/release/swpd --addr 127.0.0.1:0 --workers 2 >"$LOG" 2>&1 &
+SWPD=$!
+ADDR=""
+for _ in $(seq 1 150); do
+  ADDR="$(sed -n 's/^swpd listening on //p' "$LOG" 2>/dev/null | head -1)"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "swpd never printed its readiness line" >&2; cat "$LOG" >&2; exit 1; }
+
+CASE='# swp-fuzz regression\nmachine m {\n    unit C0 count=1 latency=2 table[X./.X]\n}\nddg {\n    node n0 class=0 latency=2\n    node n1 class=0 latency=2\n    edge 0 -> 1 distance=0\n    edge 1 -> 0 distance=1\n}\n'
+
+status_of() { # reply-json -> status field
+  sed -n 's/.*"status":"\([a-z_]*\)".*/\1/p' <<<"$1"
+}
+expect() { # label reply expected-status
+  local got; got="$(status_of "$2")"
+  if [ "$got" != "$3" ]; then
+    echo "$1: expected status $3, got: $2" >&2
+    exit 1
+  fi
+  echo "$1: $got"
+}
+
+OPEN="$(curl -sS -X POST "http://$ADDR/session" \
+  -d "{\"id\":\"ci-open\",\"case\":\"$CASE\"}")"
+expect "open" "$OPEN" ok
+SID="$(sed -n 's/.*"session":\([0-9]*\).*/\1/p' <<<"$OPEN")"
+[ -n "$SID" ] || { echo "open reply had no session handle: $OPEN" >&2; exit 1; }
+
+S1="$(curl -sS -X POST "http://$ADDR/session/$SID/solve" -d '{}')"
+expect "solve 1 (cold)" "$S1" solved
+P1="$(sed -n 's/.*"period":\([0-9]*\).*/\1/p' <<<"$S1")"
+
+E1="$(curl -sS -X POST "http://$ADDR/session/$SID/edit" \
+  -d '{"id":"ci-edit1","edit":"add_edge","src":0,"dst":1,"distance":1}')"
+expect "edit (+edge)" "$E1" ok
+
+S2="$(curl -sS -X POST "http://$ADDR/session/$SID/solve" -d '{}')"
+expect "solve 2 (warm, edited)" "$S2" solved
+
+E2="$(curl -sS -X POST "http://$ADDR/session/$SID/edit" \
+  -d '{"id":"ci-edit2","edit":"remove_edge","src":0,"dst":1,"distance":1}')"
+expect "edit (revert)" "$E2" ok
+
+S3="$(curl -sS -X POST "http://$ADDR/session/$SID/solve" -d '{}')"
+expect "solve 3 (replay)" "$S3" solved
+P3="$(sed -n 's/.*"period":\([0-9]*\).*/\1/p' <<<"$S3")"
+[ "$P1" = "$P3" ] || { echo "revert did not restore the period: $P1 vs $P3" >&2; exit 1; }
+
+STATS="$(curl -sS "http://$ADDR/stats")"
+REPLAYS="$(sed -n 's/.*"reuse_replays":\([0-9]*\).*/\1/p' <<<"$STATS")"
+SOLVES="$(sed -n 's/.*"session_solves":\([0-9]*\).*/\1/p' <<<"$STATS")"
+[ "${SOLVES:-0}" -ge 3 ] || { echo "stats counted $SOLVES session solves, expected >= 3" >&2; exit 1; }
+[ "${REPLAYS:-0}" -ge 1 ] || { echo "the revert solve did not replay (reuse_replays=$REPLAYS)" >&2; exit 1; }
+echo "stats: session_solves=$SOLVES reuse_replays=$REPLAYS"
+
+CLOSE="$(curl -sS -X POST "http://$ADDR/session/$SID/close" -d '{}')"
+expect "close" "$CLOSE" ok
+
+# The shutdown reply is best-effort: the daemon may win the race and
+# exit before the response flushes. The `wait` below is the real check.
+curl -sS -X POST "http://$ADDR/shutdown" -d '{}' >/dev/null 2>&1 || true
+wait "$SWPD"
+echo "incr smoke OK"

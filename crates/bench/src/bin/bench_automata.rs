@@ -122,6 +122,7 @@ fn run_ab(machine: &Machine, num_loops: usize, oracle: ConflictOracleMode) -> Ab
             heuristic_incumbent: true,
             conflict_oracle: oracle,
             engine: Default::default(),
+            warm: true,
         },
         HarnessConfig {
             workers: 1,

@@ -51,6 +51,7 @@ fn run_engine(machine: &Machine, loops: &[GeneratedLoop], engine: Engine, ticks:
             heuristic_incumbent: false,
             conflict_oracle: Default::default(),
             engine,
+            warm: true,
         },
         HarnessConfig {
             workers: 1,

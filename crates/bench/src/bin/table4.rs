@@ -13,7 +13,10 @@
 //! * `--conflict-oracle scan|automaton` — conflict-query engine
 //!   (decision-equivalent; `automaton` uses the precomputed hazard FSA);
 //! * `--engine ilp|cp|portfolio` — the exact engine settling each
-//!   period (decision-equivalent; `portfolio` races CP against the ILP).
+//!   period (decision-equivalent; `portfolio` races CP against the ILP);
+//! * `--cold` — disable the (default) warm-started `T`-sweep: no basis,
+//!   hint, or no-good carry-over from period `T` into `T+1`
+//!   (decision-equivalent; the A/B reference for `bench_incr`).
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -23,7 +26,7 @@ use swp_loops::suite::{generate, SuiteConfig};
 use swp_machine::Machine;
 
 fn main() -> ExitCode {
-    let flags = match Flags::parse(std::env::args().skip(1), &["resume"]) {
+    let flags = match Flags::parse(std::env::args().skip(1), &["resume", "cold"]) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("table4: {e}");
@@ -62,6 +65,7 @@ fn main() -> ExitCode {
         time_limit_per_t: Some(Duration::from_secs(secs)),
         conflict_oracle,
         engine,
+        warm: !flags.has("cold"),
         ..Default::default()
     };
     let config = HarnessConfig {

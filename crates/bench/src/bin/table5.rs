@@ -10,8 +10,8 @@
 //!
 //! Run: `cargo run -p swp-bench --release --bin table5 -- [num_loops] [per-T seconds]`
 //! Harness flags: `--workers N`, `--artifact PATH`, `--resume`,
-//! `--conflict-oracle scan|automaton`, `--engine ilp|cp|portfolio`
-//! (as in `table4`).
+//! `--conflict-oracle scan|automaton`, `--engine ilp|cp|portfolio`,
+//! `--cold` (as in `table4`).
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -22,7 +22,7 @@ use swp_loops::suite::{generate, SuiteConfig};
 use swp_machine::Machine;
 
 fn main() -> ExitCode {
-    let flags = match Flags::parse(std::env::args().skip(1), &["resume"]) {
+    let flags = match Flags::parse(std::env::args().skip(1), &["resume", "cold"]) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("table5: {e}");
@@ -59,6 +59,7 @@ fn main() -> ExitCode {
         heuristic_incumbent: false,
         conflict_oracle,
         engine,
+        warm: !flags.has("cold"),
         ..Default::default()
     };
     let config = HarnessConfig {

@@ -57,7 +57,8 @@ mod scheduler;
 pub use formulation::{Formulation, FormulationOptions, MappingMode, Objective};
 pub use scheduler::{
     ConflictOracleMode, Engine, FaultPlan, Optimality, PeriodAttempt, PeriodOutcome, RaceEngine,
-    RaceReport, RateOptimalScheduler, ScheduleResult, SchedulerConfig, SolvedBy, SolverStats,
+    RaceReport, RateOptimalScheduler, ReuseStats, ScheduleResult, SchedulerConfig, SolvedBy,
+    SolverStats, WarmState,
 };
 pub use swp_machine::{Matrices, PipelinedSchedule, ValidationError};
 pub use swp_milp::{Budget, CancelToken};

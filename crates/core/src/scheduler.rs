@@ -29,7 +29,7 @@
 
 use crate::formulation::{self, FormulationOptions, MappingMode, Objective};
 use crate::ScheduleError;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 use swp_automata::HazardAutomaton;
 use swp_cpsat::{CpError, CpOptions, CpOutcome};
@@ -151,6 +151,12 @@ pub struct SchedulerConfig {
     /// Which exact engine settles each candidate period (default: the
     /// ILP). See [`Engine`].
     pub engine: Engine,
+    /// Carry warm hints (simplex basis, CP no-goods, schedule hints)
+    /// across the `T`-sweep and across solves sharing a [`WarmState`]
+    /// (default on). Hints are re-validated before use and can never
+    /// change a verdict; turn off for a strictly cold, hint-free solve —
+    /// the pre-warm-start behaviour, byte for byte.
+    pub warm_sweep: bool,
     /// Test-only fault injection; leave at `Default::default()`.
     #[doc(hidden)]
     pub faults: FaultPlan,
@@ -169,6 +175,7 @@ impl Default for SchedulerConfig {
             heuristic_incumbent: true,
             conflict_oracle: ConflictOracleMode::default(),
             engine: Engine::default(),
+            warm_sweep: true,
             faults: FaultPlan::default(),
         }
     }
@@ -352,6 +359,87 @@ impl Optimality {
     }
 }
 
+/// Telemetry for warm-started solving: what a [`WarmState`] actually
+/// bought across a sweep (and, at the session layer, across edits).
+///
+/// Counters are cumulative over the life of the `WarmState`; callers
+/// snapshot-and-diff per solve. All reuse is *hint-shaped* — it can
+/// change effort counters, never verdicts — except `periods_skipped`,
+/// which relies on the caller's proof obligations (see
+/// [`WarmState::start_at`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseStats {
+    /// Root LPs that were crash-started from a carried simplex basis.
+    pub basis_hits: u64,
+    /// Root bases exported for the next solve.
+    pub basis_exports: u64,
+    /// CP no-good clauses replayed from the carried store.
+    pub nogood_replays: u64,
+    /// IMS probes settled by validating the carried schedule hint.
+    pub ims_hint_hits: u64,
+    /// Sweep periods skipped because the caller carried their proven
+    /// refutations across ([`WarmState::start_at`]).
+    pub periods_skipped: u64,
+    /// Whole solves answered by replaying a fingerprint-identical cached
+    /// result (filled by the session layer, not this driver).
+    pub replays: u64,
+    /// Total size of dependency cones invalidated by edits (filled by
+    /// the session layer, not this driver).
+    pub cone_nodes: u64,
+}
+
+impl ReuseStats {
+    /// Merges `other` into `self` (all counters are additive).
+    pub fn absorb(&mut self, other: &ReuseStats) {
+        self.basis_hits += other.basis_hits;
+        self.basis_exports += other.basis_exports;
+        self.nogood_replays += other.nogood_replays;
+        self.ims_hint_hits += other.ims_hint_hits;
+        self.periods_skipped += other.periods_skipped;
+        self.replays += other.replays;
+        self.cone_nodes += other.cone_nodes;
+    }
+}
+
+/// Cross-solve state for warm-started sweeps, owned by the caller (an
+/// incremental session, or the harness's per-loop sweep) and threaded
+/// through [`RateOptimalScheduler::schedule_with_warm`].
+///
+/// Everything here is a **hint** except `start_at`: bases and schedule
+/// hints are re-validated (crash ratio test, cycle-accurate checker)
+/// before use, and CP no-goods are replayed only under the period match
+/// the store enforces itself, so a stale `WarmState` can cost extra work
+/// but never change a verdict. `start_at` is the one trusted field — it
+/// skips sweep periods outright, and the caller must only set it from
+/// refutations it has proven (or carried monotonically) for the *exact*
+/// instance being solved.
+#[derive(Default)]
+pub struct WarmState {
+    /// Simplex basis from the previous root relaxation, keyed by
+    /// variable name so it survives the `T → T+1` model re-build.
+    pub basis_names: Option<Vec<String>>,
+    /// Last known-good schedule, used to seed the IMS incumbent probe
+    /// and re-validated by the checker before it counts.
+    pub ims_hint: Option<PipelinedSchedule>,
+    /// CP no-good store; self-flushes when the period changes. The
+    /// caller must [`clear`](swp_cpsat::NoGoodStore::clear) it on any
+    /// non-tightening edit.
+    pub nogoods: swp_cpsat::NoGoodStore,
+    /// First period the sweep should attempt; every period in
+    /// `t_lb..start_at` is treated as already refuted. Trusted — see the
+    /// type docs.
+    pub start_at: Option<u32>,
+    /// Cumulative reuse telemetry.
+    pub reuse: ReuseStats,
+}
+
+impl WarmState {
+    /// A fresh, empty warm state (identical behaviour to a cold solve).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A schedule together with how it was found.
 #[derive(Debug, Clone)]
 pub struct ScheduleResult {
@@ -504,6 +592,11 @@ impl RateOptimalScheduler {
         &self.machine
     }
 
+    /// The configuration this scheduler runs under.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
     fn use_automaton(&self) -> bool {
         self.config.conflict_oracle == ConflictOracleMode::Automaton
     }
@@ -552,6 +645,35 @@ impl RateOptimalScheduler {
         ddg: &Ddg,
         budget: &Budget,
     ) -> Result<ScheduleResult, ScheduleError> {
+        // A scratch warm state makes this exactly the cold path: no
+        // hints, no skips, byte-identical behaviour to before warm
+        // starting existed.
+        self.schedule_with_warm(ddg, budget, &mut WarmState::new())
+    }
+
+    /// [`Self::schedule_with`] threaded through a caller-owned
+    /// [`WarmState`]: the sweep crash-starts each root LP from the basis
+    /// the previous period exported, seeds the IMS incumbent probe with
+    /// the carried schedule hint, replays CP no-goods where the store
+    /// permits, and (when the caller proved it) skips already-refuted
+    /// periods. On success the schedule is written back into
+    /// [`WarmState::ims_hint`] for the caller's next solve.
+    ///
+    /// Warm hooks apply to the [`Engine::Ilp`] and [`Engine::Cp`] paths;
+    /// a [`Engine::Portfolio`] race runs its arms cold (the race's
+    /// wall-clock nondeterminism would otherwise leak into which hints
+    /// get consumed), still benefiting from the hint-fed incumbent probe
+    /// and the hoisted conflict oracle.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::schedule_with`].
+    pub fn schedule_with_warm(
+        &self,
+        ddg: &Ddg,
+        budget: &Budget,
+        warm: &mut WarmState,
+    ) -> Result<ScheduleResult, ScheduleError> {
         if self.config.faults.panic_in_solver {
             panic!("injected fault: panic_in_solver");
         }
@@ -585,12 +707,21 @@ impl RateOptimalScheduler {
         let t_lb = t_dep.max(t_res);
         let t_max = t_lb + self.config.max_t_above_lb;
         let mut attempts = Vec::new();
+        // Carried refutations: the caller vouches for `t_lb..start`, so
+        // the sweep begins there and those periods count as refuted.
+        let start = if self.config.warm_sweep {
+            warm.start_at
+                .map_or(t_lb, |s| s.clamp(t_lb, t_max.saturating_add(1)))
+        } else {
+            t_lb
+        };
+        warm.reuse.periods_skipped += u64::from(start - t_lb);
         // Periods in `t_lb..first_unrefuted` are proven infeasible.
-        let mut first_unrefuted = t_lb;
+        let mut first_unrefuted = start;
         let mut budget_hit = self.config.faults.expire_before_search;
 
         if !budget_hit {
-            for period in t_lb..=t_max {
+            for period in start..=t_max {
                 match budget.check() {
                     Ok(()) => {}
                     Err(Exhaustion::Cancelled) => return Err(ScheduleError::Cancelled),
@@ -599,7 +730,7 @@ impl RateOptimalScheduler {
                         break;
                     }
                 }
-                match self.try_period(ddg, period, budget, &mut attempts)? {
+                match self.try_period(ddg, period, budget, &mut attempts, warm)? {
                     PeriodResult::Schedule(schedule) => {
                         let optimality = if first_unrefuted == period {
                             Optimality::Proven
@@ -608,6 +739,7 @@ impl RateOptimalScheduler {
                                 smallest_refuted: first_unrefuted,
                             }
                         };
+                        warm.ims_hint = Some(schedule.clone());
                         return Ok(ScheduleResult {
                             schedule,
                             t_dep,
@@ -703,11 +835,29 @@ impl RateOptimalScheduler {
     }
 
     /// Independent re-check of a candidate schedule (with fault hooks).
+    /// Fetches the conflict oracle itself; period-loop callers go
+    /// through [`Self::verify_with`] with the hoisted oracle instead.
     fn verify(
         &self,
         schedule: &PipelinedSchedule,
         ddg: &Ddg,
         engine: SolvedBy,
+    ) -> Result<(), ValidationError> {
+        let oracle = self
+            .use_automaton()
+            .then(|| HazardAutomaton::for_machine(&self.machine, schedule.initiation_interval()));
+        self.verify_with(schedule, ddg, engine, oracle.as_deref())
+    }
+
+    /// Independent re-check against a caller-provided conflict oracle
+    /// (hoisted once per `(machine, T)` by the sweep loop; `None` means
+    /// exact-scan checking).
+    fn verify_with(
+        &self,
+        schedule: &PipelinedSchedule,
+        ddg: &Ddg,
+        engine: SolvedBy,
+        oracle: Option<&HazardAutomaton>,
     ) -> Result<(), ValidationError> {
         let injected = match engine {
             SolvedBy::Ilp => self.config.faults.reject_ilp_schedule,
@@ -721,14 +871,11 @@ impl RateOptimalScheduler {
                 ddg: ddg.num_nodes(),
             });
         }
-        if self.use_automaton() {
+        match oracle {
             // Checker fast path: automaton verdicts with exact-scan
             // fallback on any query it cannot answer.
-            let oracle =
-                HazardAutomaton::for_machine(&self.machine, schedule.initiation_interval());
-            schedule.validate_with(ddg, &self.machine, Some(&*oracle))
-        } else {
-            schedule.validate(ddg, &self.machine)
+            Some(oracle) => schedule.validate_with(ddg, &self.machine, Some(oracle)),
+            None => schedule.validate(ddg, &self.machine),
         }
     }
 
@@ -739,10 +886,17 @@ impl RateOptimalScheduler {
         period: u32,
         budget: &Budget,
         attempts: &mut Vec<PeriodAttempt>,
+        warm: &mut WarmState,
     ) -> Result<PeriodResult, ScheduleError> {
         let started = std::time::Instant::now();
         let period_budget = budget.restrict(self.config.time_limit_per_t, None);
         let ims = self.ims();
+        // Hoisted conflict oracle: one registry fetch per (machine, T)
+        // for this whole period — incumbent probe verification, node
+        // pruner, and schedule verification all share it.
+        let oracle = self
+            .use_automaton()
+            .then(|| HazardAutomaton::for_machine(&self.machine, period));
 
         // The heuristic produces *mapped* schedules; under CapacityOnly
         // the point is to study the capacity-only ILP, so skip it there.
@@ -750,9 +904,20 @@ impl RateOptimalScheduler {
             && self.config.mapping == MappingMode::UnifiedColoring
             && !self.config.faults.fail_heuristic_incumbent
         {
-            match ims.schedule_at_with(ddg, period, &period_budget) {
+            let hint = if self.config.warm_sweep {
+                warm.ims_hint.as_ref()
+            } else {
+                None
+            };
+            match ims.schedule_at_with_hint(ddg, period, &period_budget, hint) {
                 Ok(Some(schedule)) => {
-                    if self.verify(&schedule, ddg, SolvedBy::Heuristic).is_ok() {
+                    if hint == Some(&schedule) {
+                        warm.reuse.ims_hint_hits += 1;
+                    }
+                    if self
+                        .verify_with(&schedule, ddg, SolvedBy::Heuristic, oracle.as_deref())
+                        .is_ok()
+                    {
                         attempts.push(PeriodAttempt {
                             period,
                             outcome: PeriodOutcome::Feasible(SolvedBy::Heuristic),
@@ -805,9 +970,19 @@ impl RateOptimalScheduler {
             return Ok(PeriodResult::BudgetExhausted);
         }
 
+        // A strictly cold solve never threads the warm state into the
+        // engines: no basis carry-over, no no-good replay, even within
+        // one sweep.
+        let hot = self.config.warm_sweep;
         match self.effective_engine() {
             Engine::Ilp => {
-                let verdict = self.run_ilp_exact(ddg, period, &period_budget);
+                let verdict = self.run_ilp_exact(
+                    ddg,
+                    period,
+                    &period_budget,
+                    oracle.as_ref(),
+                    hot.then_some(&mut *warm),
+                );
                 self.settle_exact(
                     ddg,
                     period,
@@ -818,19 +993,28 @@ impl RateOptimalScheduler {
                     &period_budget,
                     attempts,
                     started,
+                    oracle.as_deref(),
                 )
             }
             Engine::Cp => {
                 // The CP backend cannot color classes wider than its
                 // 64-bit unit domains; on such instances fall back to the
                 // ILP for this period instead of reporting engine failure.
-                let (verdict, engine) = match self.run_cp_exact(ddg, period, &period_budget) {
-                    ExactVerdict::Failed { .. } => (
-                        self.run_ilp_exact(ddg, period, &period_budget),
-                        SolvedBy::Ilp,
-                    ),
-                    v => (v, SolvedBy::Cp),
-                };
+                let (verdict, engine) =
+                    match self.run_cp_exact(ddg, period, &period_budget, hot.then_some(&mut *warm))
+                    {
+                        ExactVerdict::Failed { .. } => (
+                            self.run_ilp_exact(
+                                ddg,
+                                period,
+                                &period_budget,
+                                oracle.as_ref(),
+                                hot.then_some(&mut *warm),
+                            ),
+                            SolvedBy::Ilp,
+                        ),
+                        v => (v, SolvedBy::Cp),
+                    };
                 self.settle_exact(
                     ddg,
                     period,
@@ -841,10 +1025,12 @@ impl RateOptimalScheduler {
                     &period_budget,
                     attempts,
                     started,
+                    oracle.as_deref(),
                 )
             }
             Engine::Portfolio => {
-                let (verdict, engine, race) = self.race_period(ddg, period, budget, &period_budget);
+                let (verdict, engine, race) =
+                    self.race_period(ddg, period, budget, &period_budget, oracle.as_ref());
                 self.settle_exact(
                     ddg,
                     period,
@@ -855,6 +1041,7 @@ impl RateOptimalScheduler {
                     &period_budget,
                     attempts,
                     started,
+                    oracle.as_deref(),
                 )
             }
         }
@@ -877,7 +1064,14 @@ impl RateOptimalScheduler {
     /// Runs the unified ILP at `period` under `period_budget` and
     /// normalizes the outcome. Pushes no attempt-log entry — that is
     /// [`Self::settle_exact`]'s job, so race losers never pollute the log.
-    fn run_ilp_exact(&self, ddg: &Ddg, period: u32, period_budget: &Budget) -> ExactVerdict {
+    fn run_ilp_exact(
+        &self,
+        ddg: &Ddg,
+        period: u32,
+        period_budget: &Budget,
+        oracle: Option<&Arc<HazardAutomaton>>,
+        warm: Option<&mut WarmState>,
+    ) -> ExactVerdict {
         let f = match formulation::build_with(
             ddg,
             &self.machine,
@@ -902,6 +1096,7 @@ impl RateOptimalScheduler {
             Err(ScheduleError::Cancelled) => return ExactVerdict::Cancelled,
             Err(e) => return ExactVerdict::Error(e),
         };
+        let mut warm = warm;
         let mut limits = SolveLimits {
             time_limit: self.config.time_limit_per_t,
             budget: period_budget.clone(),
@@ -911,14 +1106,33 @@ impl RateOptimalScheduler {
             limits.stop_at_first_incumbent = true;
         }
         if self.use_automaton() {
-            limits.node_pruner = Some(self.build_node_pruner(ddg, &f));
+            limits.node_pruner = Some(self.build_node_pruner(ddg, &f, oracle));
+        }
+        if let Some(w) = warm.as_deref_mut() {
+            if let Some(names) = &w.basis_names {
+                let hint = f.model.basis_from_names(names);
+                if !hint.is_empty() {
+                    w.reuse.basis_hits += 1;
+                    limits.warm_basis = Some(hint);
+                }
+            }
         }
         let (num_vars, num_constrs) = (f.model.num_vars(), f.model.num_constrs());
-        let solved = if self.config.faults.fail_ilp {
-            Err(SolveError::Numerical("injected fault".into()))
+        let (solved, basis) = if self.config.faults.fail_ilp {
+            (Err(SolveError::Numerical("injected fault".into())), None)
+        } else if warm.is_some() {
+            f.model.solve_with_basis(&limits)
         } else {
-            f.model.solve_with(&limits)
+            (f.model.solve_with(&limits), None)
         };
+        if let Some(w) = warm.as_deref_mut() {
+            // The basis is exported even off the infeasible path: refuted
+            // periods are exactly where the `T+1` crash start pays.
+            if let Some(b) = basis.filter(|b| !b.is_empty()) {
+                w.basis_names = Some(f.model.basis_to_names(&b));
+                w.reuse.basis_exports += 1;
+            }
+        }
         match solved {
             Ok(sol) => {
                 let stats = *sol.stats();
@@ -952,12 +1166,31 @@ impl RateOptimalScheduler {
 
     /// Runs the CP backend at `period` under `period_budget` and
     /// normalizes the outcome onto the same verdict type as the ILP.
-    fn run_cp_exact(&self, ddg: &Ddg, period: u32, period_budget: &Budget) -> ExactVerdict {
+    fn run_cp_exact(
+        &self,
+        ddg: &Ddg,
+        period: u32,
+        period_budget: &Budget,
+        warm: Option<&mut WarmState>,
+    ) -> ExactVerdict {
         let opts = CpOptions {
             symmetry_breaking: self.config.symmetry_breaking,
             packing_bound: self.config.packing_bound,
         };
-        match swp_cpsat::solve_at(ddg, &self.machine, period, opts, period_budget) {
+        // Race arms run with a throwaway store: which clauses a loser
+        // learned depends on wall-clock interleaving, and persisting them
+        // would leak race nondeterminism into the next warm solve.
+        let mut scratch = swp_cpsat::NoGoodStore::default();
+        let (store, reuse) = match warm {
+            Some(w) => (&mut w.nogoods, Some(&mut w.reuse)),
+            None => (&mut scratch, None),
+        };
+        let solved =
+            swp_cpsat::solve_at_warm(ddg, &self.machine, period, opts, period_budget, store);
+        if let (Some(reuse), Ok((_, stats))) = (reuse, &solved) {
+            reuse.nogood_replays += stats.nogoods_replayed;
+        }
+        match solved {
             Ok((CpOutcome::Feasible { starts, units }, stats)) => ExactVerdict::Feasible {
                 starts,
                 units,
@@ -997,6 +1230,7 @@ impl RateOptimalScheduler {
         period: u32,
         budget: &Budget,
         period_budget: &Budget,
+        oracle: Option<&Arc<HazardAutomaton>>,
     ) -> (ExactVerdict, SolvedBy, RaceReport) {
         let (ilp_budget, ilp_token) = period_budget.fork_racer();
         let (cp_budget, cp_token) = period_budget.fork_racer();
@@ -1014,12 +1248,12 @@ impl RateOptimalScheduler {
             let cp_tx = tx.clone();
             let cp_budget = &cp_budget;
             scope.spawn(move || {
-                let v = self.run_cp_exact(ddg, period, cp_budget);
+                let v = self.run_cp_exact(ddg, period, cp_budget, None);
                 let _ = cp_tx.send((RaceEngine::Cp, v, cp_budget.ticks_used()));
             });
             let ilp_budget = &ilp_budget;
             scope.spawn(move || {
-                let v = self.run_ilp_exact(ddg, period, ilp_budget);
+                let v = self.run_ilp_exact(ddg, period, ilp_budget, oracle, None);
                 let _ = tx.send((RaceEngine::Ilp, v, ilp_budget.ticks_used()));
             });
             let mut received = 0;
@@ -1117,6 +1351,7 @@ impl RateOptimalScheduler {
         period_budget: &Budget,
         attempts: &mut Vec<PeriodAttempt>,
         started: std::time::Instant,
+        oracle: Option<&HazardAutomaton>,
     ) -> Result<PeriodResult, ScheduleError> {
         match verdict {
             ExactVerdict::Feasible {
@@ -1129,7 +1364,7 @@ impl RateOptimalScheduler {
             } => {
                 let assignment = self.complete_assignment(ddg, period, &starts, &units)?;
                 let schedule = PipelinedSchedule::new(period, starts, assignment);
-                match self.verify(&schedule, ddg, engine) {
+                match self.verify_with(&schedule, ddg, engine, oracle) {
                     Ok(()) => {
                         attempts.push(PeriodAttempt {
                             period,
@@ -1146,8 +1381,14 @@ impl RateOptimalScheduler {
                     Err(error) => {
                         // Checker rejected the exact schedule: fall back
                         // to the heuristic at this same period.
-                        match self.heuristic_fallback(ddg, period, period_budget, attempts, started)
-                        {
+                        match self.heuristic_fallback(
+                            ddg,
+                            period,
+                            period_budget,
+                            attempts,
+                            started,
+                            oracle,
+                        ) {
                             Some(result) => result,
                             None => Err(ScheduleError::VerificationFailed {
                                 period,
@@ -1217,7 +1458,8 @@ impl RateOptimalScheduler {
                 // The exact engine lost traction: degrade to the heuristic
                 // at this period. Its success is a certificate; its failure
                 // proves nothing, so the period stays undecided.
-                match self.heuristic_fallback(ddg, period, period_budget, attempts, started) {
+                match self.heuristic_fallback(ddg, period, period_budget, attempts, started, oracle)
+                {
                     Some(result) => result,
                     None => Ok(PeriodResult::Undecided),
                 }
@@ -1238,7 +1480,12 @@ impl RateOptimalScheduler {
     /// marks forbidden. Every integer point in such a box violates a
     /// capacity or overlap row, so discarding the box is sound; the LP
     /// relaxation is simply skipped.
-    fn build_node_pruner(&self, ddg: &Ddg, f: &formulation::Formulation) -> NodePruner {
+    fn build_node_pruner(
+        &self,
+        ddg: &Ddg,
+        f: &formulation::Formulation,
+        oracle: Option<&Arc<HazardAutomaton>>,
+    ) -> NodePruner {
         struct OpInfo {
             class: OpClass,
             single_unit: bool,
@@ -1264,7 +1511,11 @@ impl RateOptimalScheduler {
             .flat_map(|i| ((i + 1)..ops.len()).map(move |j| (i, j)))
             .filter(|&(i, j)| ops[i].class == ops[j].class)
             .collect();
-        let automaton = HazardAutomaton::for_machine(&self.machine, f.period);
+        // The period loop hoists the registry fetch; direct callers (race
+        // arms get the caller's Arc too) fall back to fetching here.
+        let automaton = oracle
+            .cloned()
+            .unwrap_or_else(|| HazardAutomaton::for_machine(&self.machine, f.period));
         let period = f.period;
         NodePruner::new(move |lo: &[f64], hi: &[f64]| {
             let fixed_offset = |op: &OpInfo| -> Option<u32> {
@@ -1313,11 +1564,15 @@ impl RateOptimalScheduler {
         period_budget: &Budget,
         attempts: &mut Vec<PeriodAttempt>,
         started: std::time::Instant,
+        oracle: Option<&HazardAutomaton>,
     ) -> Option<Result<PeriodResult, ScheduleError>> {
         let ims = self.ims();
         match ims.schedule_at_with(ddg, period, period_budget) {
             Ok(Some(schedule)) => {
-                if self.verify(&schedule, ddg, SolvedBy::Heuristic).is_ok() {
+                if self
+                    .verify_with(&schedule, ddg, SolvedBy::Heuristic, oracle)
+                    .is_ok()
+                {
                     attempts.push(PeriodAttempt {
                         period,
                         outcome: PeriodOutcome::Feasible(SolvedBy::Heuristic),

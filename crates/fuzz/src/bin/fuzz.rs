@@ -6,7 +6,8 @@
 //!     [--artifact fuzz.jsonl] [--out DIR] [--adversarial 0.6] \
 //!     [--max-nodes 8] [--ticks 2000000] [--no-metamorphic] \
 //!     [--engine ilp|cp|portfolio] \
-//!     [--inject-fault reject-schedules|fail-ilp|fail-heuristic]
+//!     [--inject-fault reject-schedules|fail-ilp|fail-heuristic] \
+//!     [--incremental [--edits 4]]
 //! ```
 //!
 //! Cases are sharded over the `swp-harness` work-stealing executor and
@@ -21,6 +22,14 @@
 //! driver matrix to one exact engine (plus the baseline it is
 //! cross-checked against) — CI uses `--engine portfolio` for a cheap
 //! race-focused smoke.
+//!
+//! `--incremental` switches to the incremental-vs-cold differential: a
+//! warm [`SolveSession`] per case, a seeded `--edits`-step edit script,
+//! and a cold (`warm_sweep: false`) re-solve at every step. Warm reuse
+//! must never change a decision, and every warm-accepted schedule is
+//! re-verified by the checker and the cycle-accurate simulator.
+//!
+//! [`SolveSession`]: swp_incr::SolveSession
 
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -28,8 +37,8 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 use swp_core::{Engine, FaultPlan};
 use swp_fuzz::{
-    gen_case, run_case, shrink, to_json_line, write_regression, CaseReport, DiffOptions, FuzzCase,
-    GenConfig,
+    gen_case, run_case, run_incr_case, shrink, to_json_line, write_regression, CaseReport,
+    DiffOptions, FuzzCase, GenConfig, IncrOptions, IncrReport,
 };
 use swp_harness::{executor, Flags};
 use swp_loops::fingerprint::{ddg_fingerprint, machine_fingerprint};
@@ -76,7 +85,10 @@ fn main() -> ExitCode {
 
 #[allow(clippy::too_many_lines)]
 fn run() -> Result<ExitCode, String> {
-    let flags = Flags::parse(std::env::args().skip(1), &["shrink", "no-metamorphic"])?;
+    let flags = Flags::parse(
+        std::env::args().skip(1),
+        &["shrink", "no-metamorphic", "incremental"],
+    )?;
     let seed: u64 = flags.get_or("seed", 0)?;
     let cases: usize = flags.get_or("cases", 200)?;
     let workers: usize = flags.get_or("workers", 1)?;
@@ -92,6 +104,16 @@ fn run() -> Result<ExitCode, String> {
         adversarial_fraction: adversarial,
         ..GenConfig::default()
     };
+
+    if flags.has("incremental") {
+        let incr_opts = IncrOptions {
+            seed,
+            ticks_per_solve: ticks,
+            edits: flags.get_or("edits", 4)?,
+            ..IncrOptions::default()
+        };
+        return run_incremental(&flags, &gen_config, &incr_opts, cases, workers, budget_ms);
+    }
     let mut opts = DiffOptions {
         ticks_per_config: ticks,
         metamorphic: !flags.has("no-metamorphic"),
@@ -232,5 +254,99 @@ fn run() -> Result<ExitCode, String> {
             eprintln!("--- regression file ---\n{text}-----------------------");
         }
     }
+    Ok(ExitCode::FAILURE)
+}
+
+/// The incremental-vs-cold campaign: one warm session + seeded edit
+/// script per case, a cold re-solve at every step, decisions compared
+/// only when both sides finished inside the tick budget.
+fn run_incremental(
+    flags: &Flags,
+    gen_config: &GenConfig,
+    opts: &IncrOptions,
+    cases: usize,
+    workers: usize,
+    budget_ms: u64,
+) -> Result<ExitCode, String> {
+    let deadline = (budget_ms > 0).then(|| Instant::now() + Duration::from_millis(budget_ms));
+    let started = Instant::now();
+    println!(
+        "== swp-fuzz --incremental: seed {}, {cases} cases, {workers} worker(s), \
+         {} edit(s)/case, {} ticks/solve ==",
+        opts.seed, opts.edits, opts.ticks_per_solve
+    );
+
+    let results: Vec<Option<(FuzzCase, IncrReport)>> =
+        executor::run_indexed(cases, workers, move |_worker, index| {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Some(None);
+                }
+            }
+            let case = gen_case(gen_config, index);
+            let report = run_incr_case(&case, opts);
+            Some(Some((case, report)))
+        })
+        .into_iter()
+        .map(Option::flatten)
+        .collect();
+
+    let completed = results.iter().flatten().count();
+    let skipped = cases - completed;
+    let (mut steps, mut compared) = (0usize, 0usize);
+    let (mut skips, mut basis, mut hints, mut replays, mut nogoods) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut failing: Vec<&(FuzzCase, IncrReport)> = Vec::new();
+    for entry in results.iter().flatten() {
+        let r = &entry.1;
+        steps += r.steps;
+        compared += r.compared;
+        skips += r.periods_skipped;
+        basis += r.basis_hits;
+        hints += r.ims_hint_hits;
+        replays += r.replays;
+        nogoods += r.nogood_replays;
+        if !r.passed() {
+            failing.push(entry);
+        }
+    }
+    println!(
+        "completed {completed}/{cases} case(s) ({skipped} skipped by --budget-ms), \
+         {steps} step(s), {compared} conclusive comparison(s)"
+    );
+    println!(
+        "reuse: {skips} period(s) skipped, {basis} basis hit(s), {hints} hint hit(s), \
+         {replays} replay(s), {nogoods} no-good replay(s) [{:.1}s]",
+        started.elapsed().as_secs_f64()
+    );
+
+    if failing.is_empty() {
+        println!("ok: zero incremental divergences");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // Incremental failures depend on the whole edit script, which the
+    // structural shrinker cannot preserve — emit the unshrunk case.
+    let out_dir = flags.get("out").map(std::path::PathBuf::from);
+    for (case, report) in failing.iter().take(3) {
+        let v = &report.violations[0];
+        eprintln!(
+            "\ncase {}: {} [{}] {}",
+            case.name,
+            v.kind.as_str(),
+            v.config,
+            v.details
+        );
+        let text = write_regression(case, Some(v.kind));
+        if let Some(dir) = &out_dir {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+            let file = dir.join(format!("{}-{}.txt", v.kind.as_str(), case.name));
+            std::fs::write(&file, &text).map_err(|e| format!("cannot write {file:?}: {e}"))?;
+            eprintln!("regression file written to {}", file.display());
+        } else {
+            eprintln!("--- regression file ---\n{text}-----------------------");
+        }
+    }
+    eprintln!("{} failing case(s) total", failing.len());
     Ok(ExitCode::FAILURE)
 }

@@ -95,6 +95,10 @@ pub enum ViolationKind {
     /// The `T+1` confirmation schedule failed to verify, or `T+1` was
     /// refuted without a modulo-infeasible table to justify it.
     MetamorphicTPlusOne,
+    /// A warm incremental session and a cold solver disagreed on a
+    /// decision (achieved period, optimality claim, or schedule
+    /// acceptance) at some step of an edit script.
+    IncrementalDiverged,
 }
 
 impl ViolationKind {
@@ -115,6 +119,7 @@ impl ViolationKind {
             ViolationKind::MetamorphicRenaming => "metamorphic-renaming",
             ViolationKind::MetamorphicScaling => "metamorphic-scaling",
             ViolationKind::MetamorphicTPlusOne => "metamorphic-t-plus-1",
+            ViolationKind::IncrementalDiverged => "incremental-diverged",
         }
     }
 
@@ -136,6 +141,7 @@ impl ViolationKind {
             MetamorphicRenaming,
             MetamorphicScaling,
             MetamorphicTPlusOne,
+            IncrementalDiverged,
         ] {
             if k.as_str() == s {
                 return Some(k);
@@ -362,7 +368,7 @@ fn summarize(outcome: &DriverOutcome, winner_agnostic: bool) -> String {
 
 /// Checks one accepted schedule against the exact checker and the
 /// cycle-accurate simulator.
-fn check_schedule(
+pub(crate) fn check_schedule(
     config: &str,
     schedule: &PipelinedSchedule,
     ddg: &Ddg,

@@ -47,7 +47,7 @@ pub mod telemetry;
 
 pub use cache::ResultCache;
 pub use cli::Flags;
-pub use record::{CacheKey, LoopRecord, SuiteOutcome, SuiteRunConfig, SCHEMA_VERSION};
+pub use record::{CacheKey, LoopRecord, RecordReuse, SuiteOutcome, SuiteRunConfig, SCHEMA_VERSION};
 pub use run::{Harness, HarnessConfig, HarnessError, RunReport};
 pub use sink::{JsonlSink, NullSink, RunSink, VecSink};
 pub use swp_core::ConflictOracleMode;

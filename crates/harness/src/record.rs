@@ -19,12 +19,13 @@
 
 use crate::json::{parse_object, ObjectWriter};
 use std::time::Duration;
-use swp_core::{ConflictOracleMode, Engine, SolvedBy};
+use swp_core::{ConflictOracleMode, Engine, ReuseStats, SolvedBy};
 use swp_loops::fingerprint::{from_hex, to_hex, Fnv64};
 
 /// Schema version stamped into every artifact line. v2 added the
-/// portfolio-race counters (`races`, `race_cp`, `race_ilp`).
-pub const SCHEMA_VERSION: u64 = 2;
+/// portfolio-race counters (`races`, `race_cp`, `race_ilp`); v3 added
+/// the warm-sweep reuse counters (`reuse_*`).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Configuration for a corpus run (the solve-side knobs; sharding and
 /// artifact knobs live in [`HarnessConfig`]).
@@ -56,6 +57,12 @@ pub struct SuiteRunConfig {
     /// decision-equivalent on proven outcomes; like the oracle, the
     /// fingerprint still distinguishes them so A/B records never mix.
     pub engine: Engine,
+    /// Warm-start each loop's `T`-sweep: carry the simplex basis, the
+    /// IMS schedule hint, and the CP no-good store from period `T` into
+    /// `T+1` (`SchedulerConfig::warm_sweep`). Decision-equivalent to a
+    /// cold sweep — warm facts are hints re-validated before use — but
+    /// fingerprinted anyway so warm-vs-cold A/B records never mix.
+    pub warm: bool,
 }
 
 impl Default for SuiteRunConfig {
@@ -68,6 +75,7 @@ impl Default for SuiteRunConfig {
             heuristic_incumbent: true,
             conflict_oracle: ConflictOracleMode::default(),
             engine: Engine::default(),
+            warm: true,
         }
     }
 }
@@ -95,7 +103,59 @@ impl SuiteRunConfig {
             Engine::Cp => 1,
             Engine::Portfolio => 2,
         });
+        h.write_u64(u64::from(self.warm));
         h.finish()
+    }
+}
+
+/// Warm-sweep reuse telemetry carried on each record (schema v3): what
+/// the warm-started `T`-sweep actually reused while solving this loop.
+/// All zeros under a cold configuration ([`SuiteRunConfig::warm`]
+/// off); `replays` and `cone_nodes` are only filled by callers that
+/// host incremental sessions (the daemon), never by the corpus sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecordReuse {
+    /// Root LPs crash-started from the previous period's simplex basis.
+    pub basis_hits: u64,
+    /// CP no-good clauses replayed from the carried store.
+    pub nogood_replays: u64,
+    /// IMS probes settled by validating the carried schedule hint.
+    pub ims_hint_hits: u64,
+    /// Sweep periods skipped on carried (proven) refutations.
+    pub periods_skipped: u64,
+    /// Whole solves answered by replaying a cached session result.
+    pub replays: u64,
+    /// Total size of dependency cones invalidated by session edits.
+    pub cone_nodes: u64,
+}
+
+impl RecordReuse {
+    /// Whether any reuse happened at all.
+    pub fn any(&self) -> bool {
+        *self != RecordReuse::default()
+    }
+
+    /// Adds `other`'s counters into `self` (all fields are additive).
+    pub fn absorb(&mut self, other: &RecordReuse) {
+        self.basis_hits += other.basis_hits;
+        self.nogood_replays += other.nogood_replays;
+        self.ims_hint_hits += other.ims_hint_hits;
+        self.periods_skipped += other.periods_skipped;
+        self.replays += other.replays;
+        self.cone_nodes += other.cone_nodes;
+    }
+}
+
+impl From<&ReuseStats> for RecordReuse {
+    fn from(r: &ReuseStats) -> RecordReuse {
+        RecordReuse {
+            basis_hits: r.basis_hits,
+            nogood_replays: r.nogood_replays,
+            ims_hint_hits: r.ims_hint_hits,
+            periods_skipped: r.periods_skipped,
+            replays: r.replays,
+            cone_nodes: r.cone_nodes,
+        }
     }
 }
 
@@ -166,6 +226,8 @@ pub struct LoopRecord {
     pub race_ilp_wins: u32,
     /// Whether any attempted period timed out undecided.
     pub any_timeout: bool,
+    /// Warm-sweep reuse counters (all zeros under a cold config).
+    pub reuse: RecordReuse,
     /// Per-loop on-thread solve time (see the module docs; zeroed when
     /// the harness runs with timing recording off).
     pub solve_time: Duration,
@@ -181,13 +243,15 @@ impl LoopRecord {
     /// Schema (`v` = [`SCHEMA_VERSION`]):
     ///
     /// ```json
-    /// {"v":2,"idx":7,"name":"loop0007","nodes":9,
+    /// {"v":3,"idx":7,"name":"loop0007","nodes":9,
     ///  "ddg_fp":"9f…16 hex…","mach_fp":"…","cfg_fp":"…",
     ///  "t_lb":4,"t_lb_counting":4,"status":"scheduled",
     ///  "period":4,"slack":0,"solved_by":"heuristic","proven":true,
     ///  "bb_nodes":0,"lp_iters":0,"ticks":151,"periods":1,
-    ///  "races":0,"race_cp":0,"race_ilp":0,
-    ///  "timeout":false,"solve_us":423}
+    ///  "races":0,"race_cp":0,"race_ilp":0,"timeout":false,
+    ///  "reuse_basis":0,"reuse_nogoods":0,"reuse_hints":1,
+    ///  "reuse_skips":0,"reuse_replays":0,"reuse_cone":0,
+    ///  "solve_us":423}
     /// ```
     ///
     /// `period`, `slack`, and `solved_by` are `null` for `"unscheduled"`
@@ -233,6 +297,12 @@ impl LoopRecord {
             .u64("race_cp", u64::from(self.race_cp_wins))
             .u64("race_ilp", u64::from(self.race_ilp_wins))
             .bool("timeout", self.any_timeout)
+            .u64("reuse_basis", self.reuse.basis_hits)
+            .u64("reuse_nogoods", self.reuse.nogood_replays)
+            .u64("reuse_hints", self.reuse.ims_hint_hits)
+            .u64("reuse_skips", self.reuse.periods_skipped)
+            .u64("reuse_replays", self.reuse.replays)
+            .u64("reuse_cone", self.reuse.cone_nodes)
             .u64("solve_us", self.solve_time.as_micros() as u64);
         w.finish()
     }
@@ -308,6 +378,14 @@ impl LoopRecord {
             race_cp_wins: num("race_cp")? as u32,
             race_ilp_wins: num("race_ilp")? as u32,
             any_timeout: flag("timeout")?,
+            reuse: RecordReuse {
+                basis_hits: num("reuse_basis")?,
+                nogood_replays: num("reuse_nogoods")?,
+                ims_hint_hits: num("reuse_hints")?,
+                periods_skipped: num("reuse_skips")?,
+                replays: num("reuse_replays")?,
+                cone_nodes: num("reuse_cone")?,
+            },
             solve_time: Duration::from_micros(num("solve_us")?),
             cached: false,
         })
@@ -348,6 +426,14 @@ mod tests {
             race_cp_wins: 0,
             race_ilp_wins: 0,
             any_timeout: !scheduled,
+            reuse: RecordReuse {
+                basis_hits: 2,
+                nogood_replays: 1,
+                ims_hint_hits: 3,
+                periods_skipped: 1,
+                replays: 0,
+                cone_nodes: 4,
+            },
             solve_time: Duration::from_micros(423),
             cached: false,
         }
@@ -375,7 +461,7 @@ mod tests {
 
     #[test]
     fn schema_version_mismatch_is_rejected() {
-        let line = sample(true).to_json_line().replace("\"v\":2", "\"v\":99");
+        let line = sample(true).to_json_line().replace("\"v\":3", "\"v\":99");
         assert!(LoopRecord::from_json_line(&line)
             .unwrap_err()
             .contains("schema version"));
@@ -432,6 +518,10 @@ mod tests {
             },
             SuiteRunConfig {
                 engine: Engine::Portfolio,
+                ..base.clone()
+            },
+            SuiteRunConfig {
+                warm: false,
                 ..base.clone()
             },
         ];

@@ -29,7 +29,7 @@
 
 use crate::cache::ResultCache;
 use crate::executor;
-use crate::record::{CacheKey, LoopRecord, SuiteOutcome, SuiteRunConfig};
+use crate::record::{CacheKey, LoopRecord, RecordReuse, SuiteOutcome, SuiteRunConfig};
 use crate::sink::{JsonlSink, RunSink};
 use crate::telemetry::RunSummary;
 use std::error::Error;
@@ -38,7 +38,7 @@ use std::io;
 use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use swp_core::{RateOptimalScheduler, ScheduleError, SchedulerConfig, SolverStats};
+use swp_core::{RateOptimalScheduler, ScheduleError, SchedulerConfig, SolverStats, WarmState};
 use swp_loops::fingerprint::{ddg_fingerprint, machine_fingerprint};
 use swp_loops::suite::GeneratedLoop;
 use swp_machine::Machine;
@@ -230,6 +230,7 @@ impl Harness {
                 heuristic_incumbent: self.solve.heuristic_incumbent,
                 conflict_oracle: self.solve.conflict_oracle,
                 engine: self.solve.engine,
+                warm_sweep: self.solve.warm,
                 ..Default::default()
             },
         );
@@ -324,13 +325,18 @@ impl Harness {
             .max(self.machine.t_res_counting(&l.ddg).unwrap_or(0));
         let ticks_before = loop_budget.ticks_used();
         let solve_started = Instant::now();
-        let solved = scheduler.schedule_with(&l.ddg, &loop_budget);
+        // One warm state per loop: the basis/hint/no-good carry-over is
+        // strictly within this loop's T-sweep, so nothing leaks between
+        // DDGs and per-loop records stay scheduling-independent.
+        let mut warm = WarmState::new();
+        let solved = scheduler.schedule_with_warm(&l.ddg, &loop_budget, &mut warm);
         let solve_time = if self.config.record_timing {
             solve_started.elapsed()
         } else {
             Duration::ZERO
         };
         let ticks = loop_budget.ticks_used().saturating_sub(ticks_before);
+        let reuse = RecordReuse::from(&warm.reuse);
 
         let rec = match solved {
             Ok(r) => {
@@ -356,6 +362,7 @@ impl Harness {
                     race_cp_wins: stats.race_cp_wins,
                     race_ilp_wins: stats.race_ilp_wins,
                     any_timeout: stats.any_timeout(),
+                    reuse,
                     solve_time,
                     cached: false,
                 }
@@ -386,6 +393,7 @@ impl Harness {
                     race_cp_wins: stats.race_cp_wins,
                     race_ilp_wins: stats.race_ilp_wins,
                     any_timeout: stats.any_timeout(),
+                    reuse,
                     solve_time,
                     cached: false,
                 }
@@ -426,6 +434,7 @@ mod tests {
             heuristic_incumbent: true,
             conflict_oracle: Default::default(),
             engine: Default::default(),
+            warm: true,
         }
     }
 
@@ -528,6 +537,48 @@ mod tests {
         for r in &report.records {
             assert!(!r.cached);
         }
+    }
+
+    #[test]
+    fn warm_and_cold_sweeps_make_identical_decisions() {
+        // Warm sweeps are the default; decisions (period, outcome,
+        // proven) must be exactly those of a cold run, with only the
+        // reuse telemetry and effort counters free to differ. Tick caps
+        // keep both runs deterministic.
+        let loops = small_corpus(16);
+        let solve = SuiteRunConfig {
+            time_limit_per_t: None,
+            per_loop_ticks: Some(50_000),
+            ..fast_solve()
+        };
+        let run = |warm: bool| {
+            Harness::new(
+                Machine::example_pldi95(),
+                SuiteRunConfig {
+                    warm,
+                    ..solve.clone()
+                },
+                HarnessConfig::default(),
+            )
+            .run(&loops, &mut NullSink)
+            .expect("run")
+        };
+        let (w, c) = (run(true), run(false));
+        assert_eq!(w.records.len(), c.records.len());
+        for (a, b) in w.records.iter().zip(&c.records) {
+            assert_eq!(a.period, b.period, "{}", a.name);
+            assert_eq!(a.outcome, b.outcome, "{}", a.name);
+            assert_eq!(a.proven, b.proven, "{}", a.name);
+            assert!(!b.reuse.any(), "cold record reports reuse: {}", b.name);
+        }
+        // The two configs must never share cache entries.
+        assert_ne!(w.records[0].key.config, c.records[0].key.config);
+        // Summary totals aggregate the per-record counters exactly.
+        let mut total = RecordReuse::default();
+        for r in &w.records {
+            total.absorb(&r.reuse);
+        }
+        assert_eq!(w.summary.reuse, total);
     }
 
     #[test]

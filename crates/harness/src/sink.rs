@@ -142,6 +142,7 @@ mod tests {
             race_cp_wins: 0,
             race_ilp_wins: 0,
             any_timeout: false,
+            reuse: Default::default(),
             solve_time: Duration::ZERO,
             cached: false,
         }

@@ -7,7 +7,7 @@
 //! *versus* whole-run wall time, whose ratio is the realized parallel
 //! speedup.
 
-use crate::record::{LoopRecord, SuiteOutcome};
+use crate::record::{LoopRecord, RecordReuse, SuiteOutcome};
 use std::fmt::Write as _;
 use std::time::Duration;
 use swp_automata::OracleCounters;
@@ -61,6 +61,8 @@ pub struct RunSummary {
     pub lp_iterations: u64,
     /// Total budget ticks (pivots + B&B nodes + IMS placements).
     pub ticks: u64,
+    /// Summed warm-sweep reuse counters (all zeros for a cold run).
+    pub reuse: RecordReuse,
     /// Sum of per-loop on-thread solve times (CPU-side effort).
     pub solve_time_total: Duration,
     /// Whole-run wall time (what a user actually waits).
@@ -121,6 +123,7 @@ impl RunSummary {
             s.bb_nodes += r.bb_nodes;
             s.lp_iterations += r.lp_iterations;
             s.ticks += r.ticks;
+            s.reuse.absorb(&r.reuse);
             s.solve_time_total += r.solve_time;
             let us = r.solve_time.as_micros() as u64;
             let bucket = BUCKET_EDGES_US
@@ -186,6 +189,18 @@ impl RunSummary {
             "effort: {} B&B nodes, {} simplex iterations, {} budget ticks",
             self.bb_nodes, self.lp_iterations, self.ticks
         );
+        if self.reuse.any() {
+            let _ = writeln!(
+                out,
+                "reuse: {} basis hits, {} IMS hint hits, {} no-good replays, {} periods skipped, {} replays, {} cone nodes",
+                self.reuse.basis_hits,
+                self.reuse.ims_hint_hits,
+                self.reuse.nogood_replays,
+                self.reuse.periods_skipped,
+                self.reuse.replays,
+                self.reuse.cone_nodes
+            );
+        }
         let _ = writeln!(
             out,
             "time: {:.2?} wall, {:.2?} summed solve ({:.1} loops/s, speedup ×{:.2})",
@@ -260,6 +275,10 @@ mod tests {
             race_cp_wins: 0,
             race_ilp_wins: 0,
             any_timeout: false,
+            reuse: RecordReuse {
+                ims_hint_hits: 1,
+                ..RecordReuse::default()
+            },
             solve_time: Duration::from_micros(solve_us),
             cached,
         }
@@ -285,6 +304,8 @@ mod tests {
         assert_eq!(s.bb_nodes, 30);
         assert_eq!(s.lp_iterations, 300);
         assert_eq!(s.ticks, 333);
+        assert_eq!(s.reuse.ims_hint_hits, 3);
+        assert!(s.render().contains("reuse: 0 basis hits, 3 IMS hint hits"));
         assert_eq!(s.histogram[0], ("< 100 µs", 1));
         assert_eq!(s.histogram[2], ("< 10 ms", 1));
         assert_eq!(s.histogram[6], ("≥ 10 s", 1));

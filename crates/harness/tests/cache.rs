@@ -26,6 +26,7 @@ fn solve_cfg() -> SuiteRunConfig {
         heuristic_incumbent: true,
         conflict_oracle: Default::default(),
         engine: Default::default(),
+        warm: true,
     }
 }
 

@@ -33,6 +33,7 @@ fn deterministic_solve() -> SuiteRunConfig {
         heuristic_incumbent: true,
         conflict_oracle: ConflictOracleMode::Scan,
         engine: Default::default(),
+        warm: true,
     }
 }
 

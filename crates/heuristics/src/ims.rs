@@ -211,6 +211,38 @@ impl IterativeModuloScheduler {
         )
         .map_err(HeuristicError::from)
     }
+
+    /// [`Self::schedule_at_with`], seeded with a schedule from an earlier
+    /// closely-related solve (the previous sweep period, or the pre-edit
+    /// instance of an incremental session).
+    ///
+    /// If the hint already has initiation interval `ii` and validates on
+    /// `(ddg, machine)` it is returned directly — a zero-search
+    /// feasibility certificate (the caller's cycle-accurate verification
+    /// still runs, as for any heuristic schedule). Otherwise the hint is
+    /// discarded and the normal IMS search runs: a stale hint can cost
+    /// one validation, never correctness.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::schedule_at_with`].
+    pub fn schedule_at_with_hint(
+        &self,
+        ddg: &Ddg,
+        ii: u32,
+        budget: &Budget,
+        hint: Option<&PipelinedSchedule>,
+    ) -> Result<Option<PipelinedSchedule>, HeuristicError> {
+        if let Some(h) = hint {
+            if h.initiation_interval() == ii
+                && h.num_ops() == ddg.num_nodes()
+                && h.validate(ddg, &self.machine).is_ok()
+            {
+                return Ok(Some(h.clone()));
+            }
+        }
+        self.schedule_at_with(ddg, ii, budget)
+    }
 }
 
 /// Modulo list scheduling: identical priorities and placement windows,

@@ -10,7 +10,7 @@
 
 use crate::budget::{Budget, Exhaustion};
 use crate::model::{Model, Sense, VarKind};
-use crate::simplex::{solve_lp_with, LpOutcome, LpProblem, FEAS_TOL};
+use crate::simplex::{solve_lp_warm, solve_lp_with, LpBasis, LpOutcome, LpProblem, FEAS_TOL};
 use crate::SolveError;
 use std::fmt;
 use std::sync::Arc;
@@ -76,6 +76,12 @@ pub struct SolveLimits {
     /// LP solve (default: none). See [`NodePruner`] for the soundness
     /// contract.
     pub node_pruner: Option<NodePruner>,
+    /// Optional basis hint for the **root** relaxation, typically
+    /// exported from a closely related earlier solve (the previous
+    /// period of a T-sweep, or the pre-edit instance). Crash-started
+    /// with a full ratio test, so the hint can never change the verdict
+    /// — only the pivot count (default: none).
+    pub warm_basis: Option<LpBasis>,
 }
 
 impl Default for SolveLimits {
@@ -87,6 +93,7 @@ impl Default for SolveLimits {
             objective_cutoff: None,
             budget: Budget::unlimited(),
             node_pruner: None,
+            warm_basis: None,
         }
     }
 }
@@ -265,6 +272,21 @@ impl<'a> BranchBound<'a> {
     /// incumbent is returned with `proven_optimal == false` and the
     /// tripping limit in [`SearchStats::stop_reason`].
     pub fn run(self) -> Result<MipSolution, SolveError> {
+        self.run_with_basis().0
+    }
+
+    /// Runs the search and additionally exports the **root** relaxation's
+    /// terminal simplex basis, which is the natural warm-start hint for
+    /// the next closely-related model (T+1 of a sweep, or a re-solve
+    /// after a DDG edit). The basis is exported on the infeasible path
+    /// too — refuted periods are exactly where the next period's warm
+    /// start pays.
+    ///
+    /// # Errors
+    ///
+    /// As [`BranchBound::run`]; the error sits in the first tuple slot.
+    pub fn run_with_basis(self) -> (Result<MipSolution, SolveError>, Option<LpBasis>) {
+        let mut root_basis: Option<LpBasis> = None;
         let start = Instant::now();
         let (lo, hi) = self.root_bounds();
         let mut stack = vec![Node { lo, hi, depth: 0 }];
@@ -296,7 +318,7 @@ impl<'a> BranchBound<'a> {
             // honoured promptly even when node LPs are tiny.
             match self.limits.budget.check() {
                 Ok(()) => {}
-                Err(Exhaustion::Cancelled) => return Err(SolveError::Cancelled),
+                Err(Exhaustion::Cancelled) => return (Err(SolveError::Cancelled), root_basis),
                 Err(e) => {
                     truncated = true;
                     stats.stop_reason = StopReason::Budget(e);
@@ -319,16 +341,28 @@ impl<'a> BranchBound<'a> {
                 lo: node.lo.clone(),
                 hi: node.hi.clone(),
             };
-            let sol = match solve_lp_with(&lp, &self.limits.budget) {
+            // The root relaxation is warm-started from the caller's hint
+            // (if any) and its terminal basis exported for the caller's
+            // next solve; deeper nodes stay on the cold path, whose pivot
+            // sequence is untouched.
+            let lp_result = if node.depth == 0 {
+                solve_lp_warm(&lp, &self.limits.budget, self.limits.warm_basis.as_ref()).map(|r| {
+                    root_basis = Some(r.basis);
+                    r.outcome
+                })
+            } else {
+                solve_lp_with(&lp, &self.limits.budget)
+            };
+            let sol = match lp_result {
                 Ok(LpOutcome::Optimal(s)) => s,
                 Ok(LpOutcome::Infeasible) => continue,
                 Ok(LpOutcome::Unbounded) => {
                     // An unbounded relaxation (with or without integer
                     // variables) means the MIP is unbounded or needs a
                     // bound; report it.
-                    return Err(SolveError::Unbounded);
+                    return (Err(SolveError::Unbounded), root_basis);
                 }
-                Err(SolveError::Cancelled) => return Err(SolveError::Cancelled),
+                Err(SolveError::Cancelled) => return (Err(SolveError::Cancelled), root_basis),
                 Err(SolveError::LimitReached(_)) => {
                     // Budget tripped mid-LP: keep whatever incumbent we have.
                     truncated = true;
@@ -343,7 +377,7 @@ impl<'a> BranchBound<'a> {
                     );
                     break;
                 }
-                Err(e) => return Err(e),
+                Err(e) => return (Err(e), root_basis),
             };
             stats.lp_iterations += sol.iterations as u64;
 
@@ -440,7 +474,7 @@ impl<'a> BranchBound<'a> {
 
         stats.elapsed = start.elapsed();
         stats.proven_optimal = !truncated;
-        match incumbent {
+        let result = match incumbent {
             Some((x, obj)) => Ok(MipSolution {
                 objective: self.stated(obj),
                 values: x,
@@ -448,7 +482,8 @@ impl<'a> BranchBound<'a> {
             }),
             None if truncated => Err(SolveError::LimitReached(None)),
             None => Err(SolveError::Infeasible),
-        }
+        };
+        (result, root_basis)
     }
 
     /// Rounds the LP point to integers (within node bounds) and accepts it

@@ -478,6 +478,62 @@ impl Model {
         self.validate()?;
         BranchBound::new(self, limits.clone()).run()
     }
+
+    /// Solves under explicit limits and exports the root relaxation's
+    /// terminal simplex basis (also on the infeasible path), for
+    /// warm-starting the next closely-related model. See
+    /// [`BranchBound::run_with_basis`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SolveError`] from the search (first tuple slot).
+    pub fn solve_with_basis(
+        &self,
+        limits: &SolveLimits,
+    ) -> (
+        Result<MipSolution, SolveError>,
+        Option<crate::simplex::LpBasis>,
+    ) {
+        if let Err(e) = self.validate() {
+            return (Err(e), None);
+        }
+        BranchBound::new(self, limits.clone()).run_with_basis()
+    }
+
+    /// Resolves a basis carried as variable **names** — exported by
+    /// [`Model::basis_to_names`] from an earlier, possibly
+    /// differently-shaped model — into this model's column space.
+    /// Unknown names are dropped: the warm-start crash tolerates partial
+    /// hints, so a T-sweep can hand the `T` basis to the `T+1` model
+    /// even though row/column counts differ.
+    pub fn basis_from_names<S: AsRef<str>>(&self, names: &[S]) -> crate::simplex::LpBasis {
+        use std::collections::HashMap;
+        let by_name: HashMap<&str, usize> = self
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.name.as_str(), i))
+            .collect();
+        let mut cols: Vec<usize> = names
+            .iter()
+            .filter_map(|n| by_name.get(n.as_ref()).copied())
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        crate::simplex::LpBasis { cols }
+    }
+
+    /// Renders a basis exported from **this** model as variable names,
+    /// the representation that survives a model re-build at a different
+    /// period. Out-of-range columns are skipped.
+    pub fn basis_to_names(&self, basis: &crate::simplex::LpBasis) -> Vec<String> {
+        basis
+            .cols
+            .iter()
+            .filter(|&&j| j < self.vars.len())
+            .map(|&j| self.vars[j].name.clone())
+            .collect()
+    }
 }
 
 /// Conversion into [`LinExpr`], accepted by the modeling entry points.

@@ -56,6 +56,42 @@ pub struct LpSolution {
     pub iterations: usize,
 }
 
+/// A simplex basis exported in *structural* (model-variable) space.
+///
+/// `cols` lists the problem columns that were basic when the solve
+/// terminated (sorted, deduplicated; split free variables report their
+/// structural index once). The basis is a **hint**, never a contract: a
+/// warm solve crashes the hinted columns into the starting basis with a
+/// full ratio test, so primal feasibility is preserved no matter how
+/// stale the hint is, and phases 1/2 still run to completion. A useless
+/// hint costs a few extra pivots; it can never change the outcome.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LpBasis {
+    /// Structural column indices basic at termination.
+    pub cols: Vec<usize>,
+}
+
+impl LpBasis {
+    /// Whether the basis carries no information.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+}
+
+/// Outcome of a warm-started LP solve: the verdict plus the terminal
+/// basis (for carry-over to the next closely-related instance) and how
+/// many crash pivots the hint bought.
+#[derive(Debug, Clone)]
+pub struct WarmLpResult {
+    /// The solve verdict, identical in meaning to [`solve_lp_with`].
+    pub outcome: LpOutcome,
+    /// Structural basis at termination (empty on early infeasibility).
+    pub basis: LpBasis,
+    /// Forced-entering pivots performed while crashing the hint into the
+    /// starting basis (0 when no hint was given or none applied).
+    pub crash_pivots: usize,
+}
+
 /// Result of an LP solve.
 #[derive(Debug, Clone)]
 pub enum LpOutcome {
@@ -153,7 +189,9 @@ impl Tableau {
 pub fn solve_lp(p: &LpProblem) -> LpOutcome {
     // A fresh unlimited budget cannot trip, so the only possible error is
     // unreachable; Infeasible is the safe fallback if it ever were not.
-    solve_lp_impl(p, &Budget::unlimited(), false).unwrap_or(LpOutcome::Infeasible)
+    solve_lp_impl(p, &Budget::unlimited(), false, None)
+        .map(|r| r.outcome)
+        .unwrap_or(LpOutcome::Infeasible)
 }
 
 /// Solves the LP under a [`Budget`], with strict stall detection.
@@ -166,14 +204,49 @@ pub fn solve_lp(p: &LpProblem) -> LpOutcome {
 /// * [`SolveError::Numerical`] — the pivot cap was exhausted without
 ///   convergence (a stall or cycling even Bland's rule did not resolve).
 pub fn solve_lp_with(p: &LpProblem, budget: &Budget) -> Result<LpOutcome, SolveError> {
-    solve_lp_impl(p, budget, true)
+    solve_lp_impl(p, budget, true, None).map(|r| r.outcome)
 }
 
-fn solve_lp_impl(p: &LpProblem, budget: &Budget, strict: bool) -> Result<LpOutcome, SolveError> {
+/// Solves the LP under a [`Budget`] with an optional basis hint, and
+/// exports the terminal basis for carry-over to the next instance.
+///
+/// The hint is crashed into the starting basis by forced-entering pivots
+/// with a full ratio test, so the right-hand side stays non-negative and
+/// both simplex phases run unchanged afterwards: the verdict is always
+/// identical to a cold [`solve_lp_with`] (a vertex-degenerate optimum may
+/// sit at a different vertex, but feasibility/unboundedness and the
+/// optimal objective value agree). With `hint == None` the pivot sequence
+/// is bit-identical to the cold path.
+///
+/// # Errors
+///
+/// As [`solve_lp_with`]. Crash pivots spend budget ticks like any other
+/// pivot, so determinism under tick caps is preserved.
+pub fn solve_lp_warm(
+    p: &LpProblem,
+    budget: &Budget,
+    hint: Option<&LpBasis>,
+) -> Result<WarmLpResult, SolveError> {
+    solve_lp_impl(p, budget, true, hint)
+}
+
+fn solve_lp_impl(
+    p: &LpProblem,
+    budget: &Budget,
+    strict: bool,
+    hint: Option<&LpBasis>,
+) -> Result<WarmLpResult, SolveError> {
     let ncols = p.num_cols();
+    // Early exits happen before any tableau exists; they carry an empty
+    // basis (nothing useful to hand to the next solve).
+    let bare = |outcome: LpOutcome| WarmLpResult {
+        outcome,
+        basis: LpBasis::default(),
+        crash_pivots: 0,
+    };
     for j in 0..ncols {
         if p.lo[j] > p.hi[j] + FEAS_TOL {
-            return Ok(LpOutcome::Infeasible);
+            return Ok(bare(LpOutcome::Infeasible));
         }
     }
 
@@ -270,7 +343,7 @@ fn solve_lp_impl(p: &LpProblem, budget: &Budget, strict: bool) -> Result<LpOutco
         .iter()
         .any(|(dense, _, _)| dense.iter().all(|&c| c == 0.0))
     {
-        return Ok(LpOutcome::Infeasible);
+        return Ok(bare(LpOutcome::Infeasible));
     }
 
     let m = rows.len();
@@ -339,7 +412,70 @@ fn solve_lp_impl(p: &LpProblem, budget: &Budget, strict: bool) -> Result<LpOutco
         }
     }
 
+    // Reverse map: tableau structural column → problem column, used for
+    // basis export and for applying a basis hint.
+    let mut rev = vec![usize::MAX; nstruct];
+    for j in 0..ncols {
+        match map[j] {
+            ColMap::Shifted { col, .. } => rev[col] = j,
+            ColMap::Split { plus, minus } => {
+                rev[plus] = j;
+                rev[minus] = j;
+            }
+            ColMap::Fixed { .. } => {}
+        }
+    }
+
     let mut iterations = 0usize;
+    let mut crash_pivots = 0usize;
+
+    // --- Crash the hinted basis in before phase 1. ---
+    // Forced-entering pivots with the usual ratio test: the rhs stays
+    // non-negative, so the tableau remains a valid phase-1 start no
+    // matter how stale the hint is. On a good hint this drives the
+    // artificials out up front and phase 1 terminates immediately.
+    if let Some(hint) = hint {
+        let art_start = nstruct + nslack;
+        for &j in &hint.cols {
+            if j >= ncols {
+                continue; // hint from a differently-shaped model
+            }
+            let pc = match map[j] {
+                ColMap::Shifted { col, .. } => col,
+                ColMap::Split { plus, .. } => plus,
+                ColMap::Fixed { .. } => continue,
+            };
+            if t.basis.contains(&pc) {
+                continue;
+            }
+            let mut pr = usize::MAX;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..m {
+                let a = t.at(r, pc);
+                if a <= PIVOT_TOL {
+                    continue;
+                }
+                let ratio = t.rhs[r] / a;
+                if ratio < best_ratio - 1e-12 {
+                    best_ratio = ratio;
+                    pr = r;
+                } else if ratio < best_ratio + 1e-12 && pr != usize::MAX {
+                    // Among ties, prefer evicting an artificial: that is
+                    // the whole point of crashing.
+                    if t.basis[r] >= art_start && t.basis[pr] < art_start {
+                        pr = r;
+                    }
+                }
+            }
+            if pr == usize::MAX {
+                continue; // no feasibility-preserving pivot for this column
+            }
+            budget.tick().map_err(SolveError::from)?;
+            t.pivot(pr, pc);
+            crash_pivots += 1;
+            iterations += 1;
+        }
+    }
 
     // --- Phase 1: minimize sum of artificials. ---
     if !art_cols.is_empty() {
@@ -349,7 +485,7 @@ fn solve_lp_impl(p: &LpProblem, budget: &Budget, strict: bool) -> Result<LpOutco
         }
         match run_simplex(&mut t, &cost, &mut iterations, budget).map_err(SolveError::from)? {
             SimplexEnd::Optimal => {}
-            SimplexEnd::Unbounded => return Ok(LpOutcome::Infeasible), // cannot happen; safe
+            SimplexEnd::Unbounded => return Ok(bare(LpOutcome::Infeasible)), // cannot happen; safe
             SimplexEnd::Stalled if strict => {
                 return Err(SolveError::Numerical(
                     "phase-1 simplex stalled: pivot cap exhausted without convergence".into(),
@@ -365,7 +501,13 @@ fn solve_lp_impl(p: &LpProblem, budget: &Budget, strict: bool) -> Result<LpOutco
             .map(|(_, &v)| v)
             .sum();
         if phase1 > 1e-6 {
-            return Ok(LpOutcome::Infeasible);
+            // Infeasible, but the phase-1 terminal basis is still a
+            // useful hint for the next (e.g. T+1) instance: export it.
+            return Ok(WarmLpResult {
+                outcome: LpOutcome::Infeasible,
+                basis: export_basis(&t, &rev, nstruct),
+                crash_pivots,
+            });
         }
         // Drive remaining artificials out of the basis where possible.
         for r in 0..m {
@@ -403,7 +545,13 @@ fn solve_lp_impl(p: &LpProblem, budget: &Budget, strict: bool) -> Result<LpOutco
         .map_err(SolveError::from)?
     {
         SimplexEnd::Optimal => {}
-        SimplexEnd::Unbounded => return Ok(LpOutcome::Unbounded),
+        SimplexEnd::Unbounded => {
+            return Ok(WarmLpResult {
+                outcome: LpOutcome::Unbounded,
+                basis: export_basis(&t, &rev, nstruct),
+                crash_pivots,
+            })
+        }
         SimplexEnd::Stalled if strict => {
             return Err(SolveError::Numerical(
                 "phase-2 simplex stalled: pivot cap exhausted without convergence".into(),
@@ -427,11 +575,29 @@ fn solve_lp_impl(p: &LpProblem, budget: &Budget, strict: bool) -> Result<LpOutco
         };
         objective += p.obj[j] * x[j];
     }
-    Ok(LpOutcome::Optimal(LpSolution {
-        x,
-        objective,
-        iterations,
-    }))
+    Ok(WarmLpResult {
+        outcome: LpOutcome::Optimal(LpSolution {
+            x,
+            objective,
+            iterations,
+        }),
+        basis: export_basis(&t, &rev, nstruct),
+        crash_pivots,
+    })
+}
+
+/// Maps the tableau's basic structural columns back to problem columns.
+fn export_basis(t: &Tableau, rev: &[usize], nstruct: usize) -> LpBasis {
+    let mut cols: Vec<usize> = t
+        .basis
+        .iter()
+        .filter(|&&c| c < nstruct)
+        .map(|&c| rev[c])
+        .filter(|&j| j != usize::MAX)
+        .collect();
+    cols.sort_unstable();
+    cols.dedup();
+    LpBasis { cols }
 }
 
 enum SimplexEnd {

@@ -1,0 +1,141 @@
+//! Property tests for warm-started simplex: a basis hint — exact, stale,
+//! or garbage — never changes the verdict or the optimal objective, and
+//! the warm branch-and-bound root reaches the same MIP answer as cold.
+
+use proptest::prelude::*;
+use swp_milp::simplex::{solve_lp_warm, solve_lp_with, LpBasis, LpOutcome, LpProblem};
+use swp_milp::{Budget, Model, Sense, SolveError, SolveLimits, VarKind};
+
+fn coeff() -> impl Strategy<Value = i64> {
+    -5i64..=5
+}
+
+/// A random bounded LP: every variable in [0, ub] so it is never
+/// unbounded, with a handful of random rows.
+fn random_lp() -> impl Strategy<Value = LpProblem> {
+    (2usize..=6, 1usize..=6).prop_flat_map(|(ncols, nrows)| {
+        (
+            proptest::collection::vec(coeff(), ncols),
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(coeff(), ncols),
+                    0usize..3,
+                    -10i64..=20,
+                ),
+                nrows,
+            ),
+            proptest::collection::vec(1i64..=9, ncols),
+        )
+            .prop_map(|(obj, rows, ubs)| LpProblem {
+                obj: obj.iter().map(|&c| c as f64).collect(),
+                rows: rows
+                    .into_iter()
+                    .map(|(terms, sense, rhs)| {
+                        (
+                            terms
+                                .into_iter()
+                                .enumerate()
+                                .map(|(j, c)| (j, c as f64))
+                                .collect(),
+                            match sense {
+                                0 => Sense::Le,
+                                1 => Sense::Ge,
+                                _ => Sense::Eq,
+                            },
+                            rhs as f64,
+                        )
+                    })
+                    .collect(),
+                lo: vec![0.0; obj.len()],
+                hi: ubs.iter().map(|&u| u as f64).collect(),
+            })
+    })
+}
+
+fn outcomes_agree(cold: &LpOutcome, warm: &LpOutcome) -> Result<(), String> {
+    match (cold, warm) {
+        (LpOutcome::Optimal(a), LpOutcome::Optimal(b)) => {
+            if (a.objective - b.objective).abs() > 1e-6 * (1.0 + a.objective.abs()) {
+                return Err(format!(
+                    "objectives differ: cold {} vs warm {}",
+                    a.objective, b.objective
+                ));
+            }
+            Ok(())
+        }
+        (LpOutcome::Infeasible, LpOutcome::Infeasible) => Ok(()),
+        (LpOutcome::Unbounded, LpOutcome::Unbounded) => Ok(()),
+        (c, w) => Err(format!("verdicts differ: cold {c:?} vs warm {w:?}")),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Warm-starting from the cold solve's own exported basis — the
+    /// "T-sweep replays its predecessor" shape — reproduces the verdict
+    /// and objective exactly.
+    #[test]
+    fn warm_from_own_basis_matches_cold(p in random_lp()) {
+        let budget = Budget::unlimited();
+        let cold = solve_lp_with(&p, &budget).expect("cold solve");
+        let warm = solve_lp_warm(&p, &budget, None).expect("warm no-hint");
+        let r = outcomes_agree(&cold, &warm.outcome);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+        let again = solve_lp_warm(&p, &budget, Some(&warm.basis)).expect("warm hinted");
+        let r = outcomes_agree(&cold, &again.outcome);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    /// A garbage hint (arbitrary column subset, possibly out of range)
+    /// never changes the verdict — the crash ratio test keeps the start
+    /// primal-feasible regardless.
+    #[test]
+    fn warm_from_garbage_basis_matches_cold(
+        p in random_lp(),
+        junk in proptest::collection::vec(0usize..12, 0..8),
+    ) {
+        let budget = Budget::unlimited();
+        let cold = solve_lp_with(&p, &budget).expect("cold solve");
+        let hint = LpBasis { cols: junk };
+        let warm = solve_lp_warm(&p, &budget, Some(&hint)).expect("warm junk");
+        let r = outcomes_agree(&cold, &warm.outcome);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    /// Warm-started branch-and-bound (basis threaded through the root
+    /// relaxation) reaches the same MIP objective and proof status as a
+    /// cold solve, across random integer models — the `Optimality`
+    /// agreement the sweep relies on.
+    #[test]
+    fn warm_bb_root_matches_cold(p in random_lp(), flip in any::<u64>()) {
+        let mut m = Model::new();
+        let n = p.obj.len();
+        let vars: Vec<_> = (0..n)
+            .map(|j| {
+                let kind = if flip & (1 << j) != 0 { VarKind::Integer } else { VarKind::Continuous };
+                m.add_var(kind, p.lo[j], p.hi[j], format!("x{j}"))
+            })
+            .collect();
+        m.minimize(vars.iter().enumerate().map(|(j, &v)| (v, p.obj[j])).collect::<Vec<_>>());
+        for (terms, sense, rhs) in &p.rows {
+            m.add_constr(
+                terms.iter().map(|&(j, c)| (vars[j], c)).collect::<Vec<_>>(),
+                *sense,
+                *rhs,
+            );
+        }
+        let (cold, basis) = m.solve_with_basis(&SolveLimits::default());
+        let warm_limits = SolveLimits { warm_basis: basis, ..SolveLimits::default() };
+        let (warm, _) = m.solve_with_basis(&warm_limits);
+        match (&cold, &warm) {
+            (Ok(a), Ok(b)) => {
+                prop_assert!((a.objective() - b.objective()).abs() <= 1e-6 * (1.0 + a.objective().abs()),
+                    "objectives differ: cold {} warm {}", a.objective(), b.objective());
+                prop_assert_eq!(a.is_proven_optimal(), b.is_proven_optimal());
+            }
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+            (c, w) => prop_assert!(false, "verdicts differ: cold {c:?} warm {w:?}"),
+        }
+    }
+}

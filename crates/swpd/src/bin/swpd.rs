@@ -86,5 +86,6 @@ fn build_config(flags: &Flags) -> Result<DaemonConfig, String> {
             flags.get_or("drain-grace-ms", defaults.drain_grace.as_millis() as u64)?,
         ),
         allow_fault_injection: flags.has("allow-fault-injection"),
+        session_capacity: flags.get_or("sessions", defaults.session_capacity)?,
     })
 }

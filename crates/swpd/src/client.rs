@@ -17,6 +17,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::thread;
 use std::time::Duration;
+use swp_incr::EditOp;
 
 /// Longest single backoff sleep, whatever the hint escalates to.
 const BACKOFF_CAP_MS: u64 = 2_000;
@@ -96,6 +97,58 @@ impl SwpdClient {
         let reply = self.roundtrip(&Request::Stats { id: "stats".into() })?;
         reply.counters.ok_or_else(|| {
             io::Error::new(io::ErrorKind::InvalidData, "stats reply had no counters")
+        })
+    }
+
+    /// Opens an incremental solve session for `case`; the reply's
+    /// `session` field is the handle for the other session calls.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn session_open(&mut self, id: &str, case: &str) -> io::Result<Reply> {
+        self.roundtrip(&Request::SessionOpen {
+            id: id.into(),
+            case: case.into(),
+        })
+    }
+
+    /// Applies one DDG edit to an open session.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn session_edit(&mut self, session: u64, edit: EditOp) -> io::Result<Reply> {
+        self.roundtrip(&Request::SessionEdit {
+            id: format!("edit-{session}"),
+            session,
+            edit,
+        })
+    }
+
+    /// Solves an open session's current instance (warm).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn session_solve(&mut self, session: u64) -> io::Result<Reply> {
+        self.roundtrip(&Request::SessionSolve {
+            id: format!("solve-{session}"),
+            session,
+            ticks: None,
+            timeout_ms: None,
+        })
+    }
+
+    /// Closes a session and frees its slot.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn session_close(&mut self, session: u64) -> io::Result<Reply> {
+        self.roundtrip(&Request::SessionClose {
+            id: format!("close-{session}"),
+            session,
         })
     }
 

@@ -27,6 +27,12 @@
 //! * **Cancellation** — a dropped connection fires the request's
 //!   [`CancelToken`](swp_milp::CancelToken), so in-flight solves for
 //!   dead clients stop within one budget check interval.
+//! * **Incremental sessions** — `POST /session` (op `session_open`)
+//!   pins a [`swp_incr::SolveSession`] in daemon memory; edits
+//!   (`/session/{id}/edit`) invalidate only the touched dependency
+//!   cone's warm facts, solves (`/session/{id}/solve`) run warm-started,
+//!   and the per-operation reuse deltas (basis hits, no-good replays,
+//!   skipped periods) land in the monotone `stats` counters.
 //! * **Graceful drain, crash-only recovery** — a shutdown request stops
 //!   the accept loop, finishes (or budget-cancels, after a grace
 //!   period) in-flight work, and flushes the JSONL artifact; because
@@ -48,6 +54,7 @@
 pub mod client;
 pub mod proto;
 pub mod server;
+mod session;
 pub mod state;
 pub mod stats;
 mod worker;

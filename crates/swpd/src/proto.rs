@@ -19,6 +19,7 @@ use crate::stats::StatsSnapshot;
 use std::collections::BTreeMap;
 use swp_core::{ConflictOracleMode, Engine};
 use swp_harness::json::{parse_object, JsonValue, ObjectWriter};
+use swp_incr::EditOp;
 
 /// Protocol schema version stamped into every message.
 pub const PROTO_VERSION: u64 = 1;
@@ -170,6 +171,40 @@ pub enum Request {
         /// Correlation id.
         id: String,
     },
+    /// Open an incremental solve session for a case.
+    SessionOpen {
+        /// Correlation id.
+        id: String,
+        /// The problem, in the `swp-fuzz` regression-file format.
+        case: String,
+    },
+    /// Apply one DDG edit to an open session.
+    SessionEdit {
+        /// Correlation id.
+        id: String,
+        /// Session handle from `session_open`.
+        session: u64,
+        /// The edit to apply.
+        edit: EditOp,
+    },
+    /// Solve an open session's current instance (warm by default).
+    SessionSolve {
+        /// Correlation id.
+        id: String,
+        /// Session handle from `session_open`.
+        session: u64,
+        /// Deterministic tick cap for this solve.
+        ticks: Option<u64>,
+        /// Client deadline (clamped to the daemon's `max_timeout_ms`).
+        timeout_ms: Option<u64>,
+    },
+    /// Close a session and free its slot.
+    SessionClose {
+        /// Correlation id.
+        id: String,
+        /// Session handle from `session_open`.
+        session: u64,
+    },
 }
 
 impl Request {
@@ -177,7 +212,13 @@ impl Request {
     pub fn id(&self) -> &str {
         match self {
             Request::Solve(r) => &r.id,
-            Request::Ping { id } | Request::Stats { id } | Request::Shutdown { id } => id,
+            Request::Ping { id }
+            | Request::Stats { id }
+            | Request::Shutdown { id }
+            | Request::SessionOpen { id, .. }
+            | Request::SessionEdit { id, .. }
+            | Request::SessionSolve { id, .. }
+            | Request::SessionClose { id, .. } => id,
         }
     }
 
@@ -194,6 +235,62 @@ impl Request {
             }
             Request::Shutdown { id } => {
                 w.str("op", "shutdown").str("id", id);
+            }
+            Request::SessionOpen { id, case } => {
+                w.str("op", "session_open").str("id", id).str("case", case);
+            }
+            Request::SessionEdit { id, session, edit } => {
+                w.str("op", "session_edit")
+                    .str("id", id)
+                    .u64("session", *session);
+                match edit {
+                    EditOp::AddNode {
+                        name,
+                        class,
+                        latency,
+                    } => {
+                        w.str("edit", "add_node")
+                            .str("name", name)
+                            .u64("class", *class as u64)
+                            .u64("latency", u64::from(*latency));
+                    }
+                    EditOp::RemoveNode { index } => {
+                        w.str("edit", "remove_node").u64("index", *index as u64);
+                    }
+                    EditOp::AddEdge { src, dst, distance } => {
+                        w.str("edit", "add_edge")
+                            .u64("src", *src as u64)
+                            .u64("dst", *dst as u64)
+                            .u64("distance", u64::from(*distance));
+                    }
+                    EditOp::RemoveEdge { src, dst, distance } => {
+                        w.str("edit", "remove_edge")
+                            .u64("src", *src as u64)
+                            .u64("dst", *dst as u64)
+                            .u64("distance", u64::from(*distance));
+                    }
+                }
+            }
+            Request::SessionSolve {
+                id,
+                session,
+                ticks,
+                timeout_ms,
+            } => {
+                w.str("op", "session_solve")
+                    .str("id", id)
+                    .u64("session", *session);
+                if let Some(t) = ticks {
+                    w.u64("ticks", *t);
+                }
+                if let Some(ms) = timeout_ms {
+                    w.u64("timeout_ms", *ms);
+                }
+            }
+            Request::SessionClose { id, session } => {
+                w.str("op", "session_close")
+                    .str("id", id)
+                    .u64("session", *session);
             }
             Request::Solve(r) => {
                 w.str("op", "solve").str("id", &r.id).str("case", &r.case);
@@ -230,14 +327,77 @@ impl Request {
     /// A description of what is malformed; the daemon downgrades this to
     /// a `bad_request` reply.
     pub fn from_json_line(line: &str) -> Result<Request, String> {
+        Request::from_json_line_with(line, "solve", None)
+    }
+
+    /// Parses one request line with an HTTP-route-supplied default `op`
+    /// and session handle (the body of `POST /session/{id}/edit` does
+    /// not repeat what the path already says).
+    ///
+    /// # Errors
+    ///
+    /// A description of what is malformed.
+    pub fn from_json_line_with(
+        line: &str,
+        default_op: &str,
+        session: Option<u64>,
+    ) -> Result<Request, String> {
         let m = parse_object(line)?;
         let id = opt_str(&m, "id").unwrap_or_default();
-        // An HTTP POST /solve body may omit `op`; default to solve.
-        let op = opt_str(&m, "op").unwrap_or_else(|| "solve".to_string());
+        // An HTTP body may omit `op`; the route decides the default.
+        let op = opt_str(&m, "op").unwrap_or_else(|| default_op.to_string());
+        let need_session = || {
+            session
+                .or_else(|| opt_u64(&m, "session"))
+                .ok_or_else(|| format!("{op} request needs `session`"))
+        };
         match op.as_str() {
             "ping" => Ok(Request::Ping { id }),
             "stats" => Ok(Request::Stats { id }),
             "shutdown" => Ok(Request::Shutdown { id }),
+            "session_open" => {
+                let case = opt_str(&m, "case").ok_or("session_open request needs `case`")?;
+                Ok(Request::SessionOpen { id, case })
+            }
+            "session_edit" => {
+                let session = need_session()?;
+                let kind = opt_str(&m, "edit").ok_or("session_edit request needs `edit`")?;
+                let need = |k: &str| {
+                    opt_u64(&m, k).ok_or_else(|| format!("edit `{kind}` needs numeric `{k}`"))
+                };
+                let edit = match kind.as_str() {
+                    "add_node" => EditOp::AddNode {
+                        name: opt_str(&m, "name").unwrap_or_else(|| "added".to_string()),
+                        class: need("class")? as usize,
+                        latency: need("latency")? as u32,
+                    },
+                    "remove_node" => EditOp::RemoveNode {
+                        index: need("index")? as usize,
+                    },
+                    "add_edge" => EditOp::AddEdge {
+                        src: need("src")? as usize,
+                        dst: need("dst")? as usize,
+                        distance: need("distance")? as u32,
+                    },
+                    "remove_edge" => EditOp::RemoveEdge {
+                        src: need("src")? as usize,
+                        dst: need("dst")? as usize,
+                        distance: need("distance")? as u32,
+                    },
+                    other => return Err(format!("unknown edit `{other}`")),
+                };
+                Ok(Request::SessionEdit { id, session, edit })
+            }
+            "session_solve" => Ok(Request::SessionSolve {
+                id,
+                session: need_session()?,
+                ticks: opt_u64(&m, "ticks"),
+                timeout_ms: opt_u64(&m, "timeout_ms"),
+            }),
+            "session_close" => Ok(Request::SessionClose {
+                id,
+                session: need_session()?,
+            }),
             "solve" => {
                 let case = opt_str(&m, "case").ok_or("solve request needs `case`")?;
                 let oracle = match m.get("oracle").and_then(JsonValue::as_str) {
@@ -308,6 +468,14 @@ pub struct Reply {
     pub ticks: Option<u64>,
     /// On-thread solve time, microseconds.
     pub solve_us: Option<u64>,
+    /// Session handle (`session_open` replies, echoed on session ops).
+    pub session: Option<u64>,
+    /// Live instruction count after a session op.
+    pub nodes: Option<u64>,
+    /// Live dependence-edge count after a session op.
+    pub edges: Option<u64>,
+    /// Nodes in the dependency cone the last edit invalidated.
+    pub cone: Option<u64>,
     /// Backoff hint on `overloaded` replies.
     pub retry_after_ms: Option<u64>,
     /// Human-readable detail on error-ish statuses.
@@ -329,6 +497,10 @@ impl Reply {
             solved_by: None,
             ticks: None,
             solve_us: None,
+            session: None,
+            nodes: None,
+            edges: None,
+            cone: None,
             retry_after_ms: None,
             error: None,
             counters: None,
@@ -369,6 +541,18 @@ impl Reply {
         if let Some(t) = self.solve_us {
             w.u64("solve_us", t);
         }
+        if let Some(s) = self.session {
+            w.u64("session", s);
+        }
+        if let Some(n) = self.nodes {
+            w.u64("nodes", n);
+        }
+        if let Some(n) = self.edges {
+            w.u64("edges", n);
+        }
+        if let Some(c) = self.cone {
+            w.u64("cone", c);
+        }
         if let Some(r) = self.retry_after_ms {
             w.u64("retry_after_ms", r);
         }
@@ -401,6 +585,10 @@ impl Reply {
             solved_by: opt_str(&m, "solved_by"),
             ticks: opt_u64(&m, "ticks"),
             solve_us: opt_u64(&m, "solve_us"),
+            session: opt_u64(&m, "session"),
+            nodes: opt_u64(&m, "nodes"),
+            edges: opt_u64(&m, "edges"),
+            cone: opt_u64(&m, "cone"),
             retry_after_ms: opt_u64(&m, "retry_after_ms"),
             error: opt_str(&m, "error"),
             counters: StatsSnapshot::from_fields(&m),
@@ -450,6 +638,91 @@ mod tests {
             let line = req.to_json_line();
             assert_eq!(Request::from_json_line(&line).expect("round trip"), req);
         }
+    }
+
+    #[test]
+    fn session_requests_round_trip() {
+        let edits = [
+            EditOp::AddNode {
+                name: "n9".into(),
+                class: 1,
+                latency: 3,
+            },
+            EditOp::RemoveNode { index: 2 },
+            EditOp::AddEdge {
+                src: 0,
+                dst: 4,
+                distance: 1,
+            },
+            EditOp::RemoveEdge {
+                src: 3,
+                dst: 3,
+                distance: 2,
+            },
+        ];
+        let mut reqs = vec![
+            Request::SessionOpen {
+                id: "o".into(),
+                case: "machine m {}\nddg {}".into(),
+            },
+            Request::SessionSolve {
+                id: "s".into(),
+                session: 7,
+                ticks: Some(1000),
+                timeout_ms: None,
+            },
+            Request::SessionClose {
+                id: "c".into(),
+                session: 7,
+            },
+        ];
+        for edit in edits {
+            reqs.push(Request::SessionEdit {
+                id: "e".into(),
+                session: 7,
+                edit,
+            });
+        }
+        for req in reqs {
+            let line = req.to_json_line();
+            assert_eq!(Request::from_json_line(&line).expect("round trip"), req);
+        }
+    }
+
+    #[test]
+    fn http_route_defaults_supply_op_and_session() {
+        let parsed =
+            Request::from_json_line_with(r#"{"id":"x"}"#, "session_solve", Some(3)).expect("parse");
+        assert_eq!(
+            parsed,
+            Request::SessionSolve {
+                id: "x".into(),
+                session: 3,
+                ticks: None,
+                timeout_ms: None,
+            }
+        );
+        assert!(
+            Request::from_json_line(r#"{"op":"session_solve","id":"x"}"#)
+                .unwrap_err()
+                .contains("session")
+        );
+        assert!(Request::from_json_line(
+            r#"{"op":"session_edit","id":"x","session":1,"edit":"warp"}"#
+        )
+        .unwrap_err()
+        .contains("warp"));
+    }
+
+    #[test]
+    fn session_replies_round_trip() {
+        let mut r = Reply::status("sess", ReplyStatus::Ok);
+        r.session = Some(4);
+        r.nodes = Some(6);
+        r.edges = Some(5);
+        r.cone = Some(3);
+        let back = Reply::from_json_line(&r.to_json_line()).expect("round trip");
+        assert_eq!(back, r);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! the artifact was flushed per record all along (crash-only design).
 
 use crate::proto::{Reply, ReplyStatus, Request};
+use crate::session;
 use crate::state::{DaemonConfig, Job, Shared};
 use crate::worker::worker_loop;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -253,8 +254,21 @@ fn dispatch(
     tokens: &mut Vec<CancelToken>,
     addr: SocketAddr,
 ) {
+    dispatch_parsed(shared, Request::from_json_line(line), tx, tokens, addr);
+}
+
+/// Routes one already-parsed (or parse-failed) request. Split from
+/// [`dispatch`] so the HTTP front door can inject the op and session
+/// handle its path already names.
+fn dispatch_parsed(
+    shared: &Arc<Shared>,
+    req: Result<Request, String>,
+    tx: &Sender<Reply>,
+    tokens: &mut Vec<CancelToken>,
+    addr: SocketAddr,
+) {
     shared.stats.count_request();
-    let req = match Request::from_json_line(line) {
+    let req = match req {
         Ok(r) => r,
         Err(why) => {
             shared.finish(tx, Reply::error("", ReplyStatus::BadRequest, why));
@@ -275,6 +289,38 @@ fn dispatch(
         Request::Shutdown { id } => {
             shared.finish(tx, Reply::status(id, ReplyStatus::Ok));
             begin_drain(shared, addr);
+        }
+        Request::SessionOpen { id, case } => {
+            shared.finish(tx, session::open(shared, &id, &case));
+        }
+        Request::SessionEdit {
+            id,
+            session: handle,
+            edit,
+        } => {
+            shared.finish(tx, session::edit(shared, &id, handle, &edit));
+        }
+        Request::SessionSolve {
+            id,
+            session: handle,
+            ticks,
+            timeout_ms,
+        } => {
+            // Runs inline on this thread (session ops are causally
+            // ordered per client), but registers a cancel token so a
+            // drain hard-stop still interrupts it.
+            let cancel = CancelToken::new();
+            tokens.push(cancel.clone());
+            shared.finish(
+                tx,
+                session::solve(shared, &id, handle, ticks, timeout_ms, &cancel),
+            );
+        }
+        Request::SessionClose {
+            id,
+            session: handle,
+        } => {
+            shared.finish(tx, session::close(shared, &id, handle));
         }
         Request::Solve(solve) => {
             if solve.inject_panic && !shared.config.allow_fault_injection {
@@ -306,7 +352,9 @@ fn dispatch(
 /// Minimal HTTP/1.1 front door: one request per connection.
 ///
 /// Routes: `POST /solve` (body = the JSON request object, `op`
-/// optional), `POST /shutdown`, `GET /stats`, `GET /health`. Status
+/// optional), `POST /session`, `POST /session/{id}/edit`,
+/// `POST /session/{id}/solve`, `POST /session/{id}/close`,
+/// `POST /shutdown`, `GET /stats`, `GET /health`. Status
 /// codes follow [`ReplyStatus::http_code`] — notably `429` for
 /// `overloaded`, which is what off-the-shelf HTTP clients expect from
 /// load shedding.
@@ -375,6 +423,18 @@ fn handle_http(
             dispatch(shared, &body, &tx, &mut tokens, addr);
             wait_for_reply(&rx, &stream, &tokens)
         }
+        ("POST", p) if p == "/session" || p.starts_with("/session/") => {
+            let (tx, rx) = channel::<Reply>();
+            let mut tokens = Vec::new();
+            let body = if body.trim().is_empty() {
+                "{}".to_string()
+            } else {
+                body
+            };
+            let req = route_session(p, &body);
+            dispatch_parsed(shared, req, &tx, &mut tokens, addr);
+            wait_for_reply(&rx, &stream, &tokens)
+        }
         _ => {
             shared.stats.count_request();
             let r = Reply::error(
@@ -403,6 +463,31 @@ fn handle_http(
     let mut stream = stream;
     let _ = stream.write_all(response.as_bytes());
     let _ = stream.flush();
+}
+
+/// Maps a `/session[/{id}/{action}]` path plus body to a parsed
+/// request: `POST /session` opens, `POST /session/{id}/edit` edits,
+/// `POST /session/{id}/solve` solves, `POST /session/{id}/close`
+/// closes. The path supplies the op and session handle; the body
+/// supplies the rest.
+fn route_session(path: &str, body: &str) -> Result<Request, String> {
+    if path == "/session" {
+        return Request::from_json_line_with(body, "session_open", None);
+    }
+    let rest = path.trim_start_matches("/session/");
+    let mut parts = rest.split('/');
+    let handle: u64 = parts
+        .next()
+        .unwrap_or("")
+        .parse()
+        .map_err(|_| format!("bad session id in path `{path}`"))?;
+    let op = match parts.next() {
+        Some("edit") => "session_edit",
+        Some("solve") => "session_solve",
+        Some("close") => "session_close",
+        _ => return Err(format!("no route POST {path}")),
+    };
+    Request::from_json_line_with(body, op, Some(handle))
 }
 
 /// Waits for the solve reply while watching the socket for a client

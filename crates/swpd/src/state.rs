@@ -8,6 +8,7 @@
 //! [`Job`]s in; worker threads pop them out; nobody else holds state.
 
 use crate::proto::{Reply, ReplyStatus, SolveRequest};
+use crate::session::SessionStore;
 use crate::stats::SwpdStats;
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -48,6 +49,9 @@ pub struct DaemonConfig {
     pub drain_grace: Duration,
     /// Allow `panic` fault injection in requests (load tests only).
     pub allow_fault_injection: bool,
+    /// Most incremental solve sessions held open at once; opening past
+    /// the cap load-sheds with `overloaded`.
+    pub session_capacity: usize,
 }
 
 impl Default for DaemonConfig {
@@ -63,6 +67,7 @@ impl Default for DaemonConfig {
             max_timeout_ms: 120_000,
             drain_grace: Duration::from_secs(5),
             allow_fault_injection: false,
+            session_capacity: 16,
         }
     }
 }
@@ -105,6 +110,8 @@ pub(crate) struct Shared {
     pub admission: Budget,
     /// Cancel tokens of queued + in-flight solves, by `seq`.
     pub inflight: Mutex<HashMap<u64, CancelToken>>,
+    /// Open incremental solve sessions.
+    pub sessions: SessionStore,
     pub next_seq: AtomicU64,
     /// EWMA of recent solve times in microseconds; feeds the
     /// `retry_after_ms` hint.
@@ -152,6 +159,7 @@ impl Shared {
             artifact,
             admission,
             inflight: Mutex::new(HashMap::new()),
+            sessions: SessionStore::default(),
             next_seq: AtomicU64::new(0),
             avg_solve_us: AtomicU64::new(0),
         })

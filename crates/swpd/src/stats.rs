@@ -13,7 +13,7 @@
 use crate::proto::ReplyStatus;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use swp_core::SolverStats;
+use swp_core::{ReuseStats, SolverStats};
 use swp_harness::json::{JsonValue, ObjectWriter};
 
 /// Live daemon counters (interior-mutable; shared across threads).
@@ -36,6 +36,15 @@ pub struct SwpdStats {
     races: AtomicU64,
     race_cp_wins: AtomicU64,
     race_ilp_wins: AtomicU64,
+    sessions_opened: AtomicU64,
+    session_edits: AtomicU64,
+    session_solves: AtomicU64,
+    reuse_periods_skipped: AtomicU64,
+    reuse_basis_hits: AtomicU64,
+    reuse_ims_hint_hits: AtomicU64,
+    reuse_nogood_replays: AtomicU64,
+    reuse_replays: AtomicU64,
+    reuse_cone_nodes: AtomicU64,
     draining: AtomicBool,
 }
 
@@ -96,6 +105,38 @@ impl SwpdStats {
             .fetch_add(u64::from(stats.race_ilp_wins), Ordering::Relaxed);
     }
 
+    /// Counts one opened session.
+    pub fn count_session_open(&self) {
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one applied session edit.
+    pub fn count_session_edit(&self) {
+        self.session_edits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one session solve.
+    pub fn count_session_solve(&self) {
+        self.session_solves.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accumulates a session's reuse-counter *delta* (what this one
+    /// operation added to the session's lifetime totals).
+    pub fn record_reuse(&self, delta: &ReuseStats) {
+        self.reuse_periods_skipped
+            .fetch_add(delta.periods_skipped, Ordering::Relaxed);
+        self.reuse_basis_hits
+            .fetch_add(delta.basis_hits, Ordering::Relaxed);
+        self.reuse_ims_hint_hits
+            .fetch_add(delta.ims_hint_hits, Ordering::Relaxed);
+        self.reuse_nogood_replays
+            .fetch_add(delta.nogood_replays, Ordering::Relaxed);
+        self.reuse_replays
+            .fetch_add(delta.replays, Ordering::Relaxed);
+        self.reuse_cone_nodes
+            .fetch_add(delta.cone_nodes, Ordering::Relaxed);
+    }
+
     /// Latches the draining flag (never unlatched).
     pub fn set_draining(&self) {
         self.draining.store(true, Ordering::Relaxed);
@@ -121,6 +162,15 @@ impl SwpdStats {
             races: self.races.load(Ordering::Relaxed),
             race_cp_wins: self.race_cp_wins.load(Ordering::Relaxed),
             race_ilp_wins: self.race_ilp_wins.load(Ordering::Relaxed),
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            session_edits: self.session_edits.load(Ordering::Relaxed),
+            session_solves: self.session_solves.load(Ordering::Relaxed),
+            reuse_periods_skipped: self.reuse_periods_skipped.load(Ordering::Relaxed),
+            reuse_basis_hits: self.reuse_basis_hits.load(Ordering::Relaxed),
+            reuse_ims_hint_hits: self.reuse_ims_hint_hits.load(Ordering::Relaxed),
+            reuse_nogood_replays: self.reuse_nogood_replays.load(Ordering::Relaxed),
+            reuse_replays: self.reuse_replays.load(Ordering::Relaxed),
+            reuse_cone_nodes: self.reuse_cone_nodes.load(Ordering::Relaxed),
             draining: self.draining.load(Ordering::Relaxed),
         }
     }
@@ -164,6 +214,24 @@ pub struct StatsSnapshot {
     pub race_cp_wins: u64,
     /// Races the ILP settled first.
     pub race_ilp_wins: u64,
+    /// Incremental sessions opened.
+    pub sessions_opened: u64,
+    /// Session edits applied.
+    pub session_edits: u64,
+    /// Session solves executed (warm or replayed).
+    pub session_solves: u64,
+    /// Sweep periods skipped via carried refutations.
+    pub reuse_periods_skipped: u64,
+    /// Root LPs crash-started from a carried simplex basis.
+    pub reuse_basis_hits: u64,
+    /// IMS probes seeded from a still-valid previous schedule.
+    pub reuse_ims_hint_hits: u64,
+    /// CP no-good clauses replayed into warm solves.
+    pub reuse_nogood_replays: u64,
+    /// Exact replays served from session caches.
+    pub reuse_replays: u64,
+    /// Total nodes in edit-invalidated dependency cones.
+    pub reuse_cone_nodes: u64,
     /// Whether a drain has begun.
     pub draining: bool,
 }
@@ -190,7 +258,7 @@ impl StatsSnapshot {
     /// `earlier` snapshot, returning the first violation's field name.
     /// The gauges and the latch are exempt.
     pub fn monotone_regression_from(&self, earlier: &StatsSnapshot) -> Option<&'static str> {
-        let pairs: [(&'static str, u64, u64); 14] = [
+        let pairs: [(&'static str, u64, u64); 23] = [
             ("requests", earlier.requests, self.requests),
             ("ok", earlier.ok, self.ok),
             ("solved", earlier.solved, self.solved),
@@ -213,6 +281,43 @@ impl StatsSnapshot {
             ("races", earlier.races, self.races),
             ("race_cp_wins", earlier.race_cp_wins, self.race_cp_wins),
             ("race_ilp_wins", earlier.race_ilp_wins, self.race_ilp_wins),
+            (
+                "sessions_opened",
+                earlier.sessions_opened,
+                self.sessions_opened,
+            ),
+            ("session_edits", earlier.session_edits, self.session_edits),
+            (
+                "session_solves",
+                earlier.session_solves,
+                self.session_solves,
+            ),
+            (
+                "reuse_periods_skipped",
+                earlier.reuse_periods_skipped,
+                self.reuse_periods_skipped,
+            ),
+            (
+                "reuse_basis_hits",
+                earlier.reuse_basis_hits,
+                self.reuse_basis_hits,
+            ),
+            (
+                "reuse_ims_hint_hits",
+                earlier.reuse_ims_hint_hits,
+                self.reuse_ims_hint_hits,
+            ),
+            (
+                "reuse_nogood_replays",
+                earlier.reuse_nogood_replays,
+                self.reuse_nogood_replays,
+            ),
+            ("reuse_replays", earlier.reuse_replays, self.reuse_replays),
+            (
+                "reuse_cone_nodes",
+                earlier.reuse_cone_nodes,
+                self.reuse_cone_nodes,
+            ),
         ];
         pairs
             .iter()
@@ -239,6 +344,15 @@ impl StatsSnapshot {
             .u64("races", self.races)
             .u64("race_cp_wins", self.race_cp_wins)
             .u64("race_ilp_wins", self.race_ilp_wins)
+            .u64("sessions_opened", self.sessions_opened)
+            .u64("session_edits", self.session_edits)
+            .u64("session_solves", self.session_solves)
+            .u64("reuse_periods_skipped", self.reuse_periods_skipped)
+            .u64("reuse_basis_hits", self.reuse_basis_hits)
+            .u64("reuse_ims_hint_hits", self.reuse_ims_hint_hits)
+            .u64("reuse_nogood_replays", self.reuse_nogood_replays)
+            .u64("reuse_replays", self.reuse_replays)
+            .u64("reuse_cone_nodes", self.reuse_cone_nodes)
             .bool("draining", self.draining);
     }
 
@@ -264,6 +378,15 @@ impl StatsSnapshot {
             races: num("races")?,
             race_cp_wins: num("race_cp_wins")?,
             race_ilp_wins: num("race_ilp_wins")?,
+            sessions_opened: num("sessions_opened")?,
+            session_edits: num("session_edits")?,
+            session_solves: num("session_solves")?,
+            reuse_periods_skipped: num("reuse_periods_skipped")?,
+            reuse_basis_hits: num("reuse_basis_hits")?,
+            reuse_ims_hint_hits: num("reuse_ims_hint_hits")?,
+            reuse_nogood_replays: num("reuse_nogood_replays")?,
+            reuse_replays: num("reuse_replays")?,
+            reuse_cone_nodes: num("reuse_cone_nodes")?,
             draining: m.get("draining").and_then(JsonValue::as_bool)?,
         })
     }
@@ -313,6 +436,42 @@ mod tests {
         snap.write_fields(&mut w);
         let m = parse_object(&w.finish()).expect("flat json");
         assert_eq!(StatsSnapshot::from_fields(&m), Some(snap));
+    }
+
+    #[test]
+    fn session_and_reuse_counters_accumulate_monotonically() {
+        let stats = SwpdStats::default();
+        stats.count_session_open();
+        stats.count_session_edit();
+        stats.count_session_edit();
+        stats.count_session_solve();
+        let mut delta = ReuseStats::default();
+        delta.periods_skipped = 2;
+        delta.basis_hits = 1;
+        delta.ims_hint_hits = 3;
+        delta.replays = 1;
+        delta.cone_nodes = 5;
+        let before = stats.snapshot();
+        stats.record_reuse(&delta);
+        let after = stats.snapshot();
+        assert_eq!(after.sessions_opened, 1);
+        assert_eq!(after.session_edits, 2);
+        assert_eq!(after.session_solves, 1);
+        assert_eq!(after.reuse_periods_skipped, 2);
+        assert_eq!(after.reuse_basis_hits, 1);
+        assert_eq!(after.reuse_ims_hint_hits, 3);
+        assert_eq!(after.reuse_replays, 1);
+        assert_eq!(after.reuse_cone_nodes, 5);
+        assert_eq!(after.monotone_regression_from(&before), None);
+        assert_eq!(
+            before.monotone_regression_from(&after),
+            Some("reuse_periods_skipped")
+        );
+
+        let mut w = ObjectWriter::new();
+        after.write_fields(&mut w);
+        let m = parse_object(&w.finish()).expect("flat json");
+        assert_eq!(StatsSnapshot::from_fields(&m), Some(after));
     }
 
     #[test]

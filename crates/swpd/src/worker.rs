@@ -17,9 +17,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use swp_core::{
     FaultPlan, Optimality, RateOptimalScheduler, ScheduleError, SchedulerConfig, SolvedBy,
-    SolverStats,
+    SolverStats, WarmState,
 };
-use swp_harness::{CacheKey, LoopRecord, SuiteOutcome, SuiteRunConfig};
+use swp_harness::{CacheKey, LoopRecord, RecordReuse, SuiteOutcome, SuiteRunConfig};
 use swp_loops::fingerprint::{ddg_fingerprint, machine_fingerprint};
 
 /// One worker thread's main loop: runs until draining *and* the queue
@@ -81,6 +81,10 @@ fn process(shared: &Shared, job: &Job) -> Reply {
         heuristic_incumbent: heuristic,
         conflict_oracle: oracle,
         engine,
+        // The solve below runs under the scheduler's default
+        // warm-sweep mode; fingerprint accordingly so daemon records
+        // stay interchangeable with the harness's warm records.
+        warm: true,
     };
     let key = CacheKey {
         ddg: ddg_fingerprint(&ddg),
@@ -152,10 +156,16 @@ fn process(shared: &Shared, job: &Job) -> Reply {
         .max(machine.t_res_counting(&ddg).unwrap_or(0));
     let ticks_before = budget.ticks_used();
     let started = Instant::now();
-    let solved = catch_unwind(AssertUnwindSafe(|| scheduler.schedule_with(&ddg, &budget)));
+    // Per-request warm state: reuse is within this solve's T-sweep only
+    // (cross-solve reuse is the session endpoints' job).
+    let mut warm = WarmState::new();
+    let solved = catch_unwind(AssertUnwindSafe(|| {
+        scheduler.schedule_with_warm(&ddg, &budget, &mut warm)
+    }));
     let solve_time = started.elapsed();
     let ticks = budget.ticks_used().saturating_sub(ticks_before);
     shared.observe_solve_us(solve_time.as_micros() as u64);
+    shared.stats.record_reuse(&warm.reuse);
 
     let base = |status: ReplyStatus| {
         let mut r = Reply::status(&req.id, status);
@@ -185,6 +195,7 @@ fn process(shared: &Shared, job: &Job) -> Reply {
         race_cp_wins: stats.race_cp_wins,
         race_ilp_wins: stats.race_ilp_wins,
         any_timeout: stats.any_timeout(),
+        reuse: RecordReuse::from(&warm.reuse),
         solve_time,
         cached: false,
     };

@@ -7,6 +7,7 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 use swp_fuzz::{gen_case, write_regression, GenConfig};
+use swp_incr::EditOp;
 use swp_swpd::{Daemon, DaemonConfig, Reply, ReplyStatus, Request, SolveRequest, SwpdClient};
 
 fn guaranteed_case(seed: u64, i: usize) -> String {
@@ -496,5 +497,178 @@ fn disconnect_cancels_in_flight_solve() {
         "worker stayed wedged {:?} after client disconnect",
         started.elapsed()
     );
+    handle.shutdown();
+}
+
+#[test]
+fn session_lifecycle_edit_solve_replay_and_telemetry() {
+    let (handle, addr) = start(default_config());
+    let mut client = SwpdClient::new(addr, 31);
+    let before = client.stats().expect("stats");
+
+    let opened = client
+        .session_open("sess-0", &guaranteed_case(0x5E55, 2))
+        .expect("open");
+    assert_eq!(opened.status, ReplyStatus::Ok, "{:?}", opened.error);
+    let sid = opened.session.expect("session handle");
+    let nodes = opened.nodes.expect("node count");
+
+    let first = client.session_solve(sid).expect("solve");
+    assert_eq!(first.status, ReplyStatus::Solved, "{:?}", first.error);
+    let first_period = first.period.expect("period");
+
+    if nodes >= 2 {
+        let edit = EditOp::AddEdge {
+            src: 0,
+            dst: nodes as usize - 1,
+            distance: 1,
+        };
+        let edited = client.session_edit(sid, edit.clone()).expect("edit");
+        assert_eq!(edited.status, ReplyStatus::Ok, "{:?}", edited.error);
+        assert!(edited.cone.is_some());
+        let second = client.session_solve(sid).expect("solve 2");
+        assert_eq!(second.status, ReplyStatus::Solved, "{:?}", second.error);
+
+        // Reverting the edit restores the fingerprint: the third solve
+        // replays the first answer.
+        let reverted = client
+            .session_edit(
+                sid,
+                EditOp::RemoveEdge {
+                    src: 0,
+                    dst: nodes as usize - 1,
+                    distance: 1,
+                },
+            )
+            .expect("revert");
+        assert_eq!(reverted.status, ReplyStatus::Ok);
+        let third = client.session_solve(sid).expect("solve 3");
+        assert_eq!(third.status, ReplyStatus::Solved);
+        assert_eq!(
+            third.period,
+            Some(first_period),
+            "replay changed the answer"
+        );
+    }
+
+    let closed = client.session_close(sid).expect("close");
+    assert_eq!(closed.status, ReplyStatus::Ok);
+    let gone = client.session_solve(sid).expect("solve after close");
+    assert_eq!(gone.status, ReplyStatus::BadRequest);
+
+    let after = client.stats().expect("stats");
+    assert_eq!(after.monotone_regression_from(&before), None);
+    assert_eq!(after.sessions_opened, before.sessions_opened + 1);
+    assert!(after.session_solves >= before.session_solves + 2);
+    if nodes >= 2 {
+        assert_eq!(after.session_edits, before.session_edits + 2);
+        assert!(
+            after.reuse_replays > before.reuse_replays,
+            "revert solve must be an exact replay"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn session_http_round_trip() {
+    let (handle, addr) = start(default_config());
+    let http = |request: String| -> (u32, String) {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        stream.write_all(request.as_bytes()).expect("write");
+        stream.flush().expect("flush");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let code: u32 = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .expect("status code");
+        let body = response
+            .split("\r\n\r\n")
+            .nth(1)
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        (code, body)
+    };
+    let post = |path: &str, body: String| -> (u32, String) {
+        http(format!(
+            "POST {path} HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        ))
+    };
+
+    let open_body = Request::SessionOpen {
+        id: "h-open".into(),
+        case: guaranteed_case(0x177E, 3),
+    }
+    .to_json_line();
+    let (code, body) = post("/session", open_body);
+    assert_eq!(code, 200, "body: {body}");
+    let opened = Reply::from_json_line(&body).expect("open reply");
+    assert_eq!(opened.status, ReplyStatus::Ok);
+    let sid = opened.session.expect("handle");
+    let nodes = opened.nodes.expect("nodes");
+
+    // Solve with an empty body: the path carries op and session.
+    let (code, body) = post(&format!("/session/{sid}/solve"), String::new());
+    assert_eq!(code, 200, "body: {body}");
+    let solved = Reply::from_json_line(&body).expect("solve reply");
+    assert_eq!(solved.status, ReplyStatus::Solved, "{:?}", solved.error);
+    assert!(solved.period.is_some());
+
+    // Edit: add a node, then re-solve.
+    let (code, body) = post(
+        &format!("/session/{sid}/edit"),
+        format!(r#"{{"id":"h-edit","edit":"add_node","name":"x","class":0,"latency":1}}"#),
+    );
+    assert_eq!(code, 200, "body: {body}");
+    let edited = Reply::from_json_line(&body).expect("edit reply");
+    assert_eq!(edited.status, ReplyStatus::Ok, "{:?}", edited.error);
+    assert_eq!(edited.nodes, Some(nodes + 1));
+
+    let (code, body) = post(&format!("/session/{sid}/solve"), String::new());
+    assert_eq!(code, 200, "body: {body}");
+    let second = Reply::from_json_line(&body).expect("second solve");
+    assert_eq!(second.status, ReplyStatus::Solved, "{:?}", second.error);
+
+    let (code, _) = post(&format!("/session/{sid}/close"), String::new());
+    assert_eq!(code, 200);
+    let (code, _) = post(&format!("/session/{sid}/warp"), String::new());
+    assert_eq!(code, 400);
+    let (code, _) = post("/session/notanumber/solve", String::new());
+    assert_eq!(code, 400);
+
+    handle.shutdown();
+}
+
+#[test]
+fn session_capacity_sheds_and_frees_on_close() {
+    let (handle, addr) = start(DaemonConfig {
+        session_capacity: 1,
+        ..default_config()
+    });
+    let mut client = SwpdClient::new(addr, 77);
+    let first = client
+        .session_open("cap-0", &guaranteed_case(0xCA9, 0))
+        .expect("open");
+    assert_eq!(first.status, ReplyStatus::Ok);
+    let refused = client
+        .session_open("cap-1", &guaranteed_case(0xCA9, 1))
+        .expect("open refused");
+    assert_eq!(refused.status, ReplyStatus::Overloaded);
+    assert!(refused.retry_after_ms.is_some());
+
+    client
+        .session_close(first.session.expect("handle"))
+        .expect("close");
+    let reopened = client
+        .session_open("cap-2", &guaranteed_case(0xCA9, 2))
+        .expect("open again");
+    assert_eq!(reopened.status, ReplyStatus::Ok);
     handle.shutdown();
 }
