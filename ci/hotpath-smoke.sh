@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Hot-path data-layout smoke: the layout equivalence property suites
+# (legacy vs flat checker/MRT/IMS, dense vs sparse simplex pivoting,
+# and the whole driver's decision identity), then a quick run of the
+# cumulative hot-path A/B benchmark — which gates every reported
+# speedup on byte-identical timing-stripped artifacts across layouts,
+# so a green run re-proves the bit-identity contract end to end.
+#
+# Usage: ci/hotpath-smoke.sh [seed]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${1:-1}"
+
+echo "== layout equivalence property suites (SWP_PROPTEST_SEED=$SEED) =="
+SWP_PROPTEST_SEED="$SEED" cargo test -q -p swp-machine --test proptest_layout
+SWP_PROPTEST_SEED="$SEED" cargo test -q -p swp-heuristics --test proptest_layout
+SWP_PROPTEST_SEED="$SEED" cargo test -q -p swp-milp --test proptest_layout
+SWP_PROPTEST_SEED="$SEED" cargo test -q -p swp-core --test proptest_layout
+
+echo "== shared A/B harness helpers =="
+cargo test -q -p swp-bench --lib
+
+echo "== bench_hotpath --quick (micro + e2e, decision-identity gated) =="
+cargo run -p swp-bench --release --bin bench_hotpath -- \
+  --quick --out "${TMPDIR:-/tmp}/BENCH_hotpath_smoke.json"
+test -s "${TMPDIR:-/tmp}/BENCH_hotpath_smoke.json"

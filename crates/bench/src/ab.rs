@@ -1,0 +1,155 @@
+//! Shared A/B timing machinery for the `BENCH_*` binaries.
+//!
+//! Every benchmark in `src/bin/bench_*.rs` follows the same measurement
+//! discipline:
+//!
+//! * **Interleaved repetitions, minima kept** — repetition `r` runs
+//!   every arm once before repetition `r + 1` begins, so slow
+//!   machine-wide drift (thermal throttling, background load) hits each
+//!   arm equally, and keeping the per-arm minimum filters scheduler
+//!   noise without biasing the comparison.
+//! * **Batched per-query micro timing** — a query batch amortizes the
+//!   `Instant` overhead; the minimum over repetitions is reported.
+//! * **Byte-level outcome comparison** — A/B record lines are compared
+//!   verbatim after stripping only the fields that legitimately differ
+//!   (config fingerprints, wall-clock timings).
+//!
+//! This module is that discipline, factored once; the binaries keep
+//! their own constants, arm definitions, and artifact schemas.
+
+use std::time::Instant;
+
+/// Runs `arms` measurement arms for `reps` interleaved repetitions and
+/// returns one folded result per arm, in arm order.
+///
+/// The first repetition seeds each arm's slot; later repetitions are
+/// folded in with `merge(best, next)` — typically keeping whichever has
+/// the lower wall time, or taking element-wise minima.
+///
+/// # Panics
+///
+/// Panics if `reps` is zero.
+pub fn interleave_min<T>(
+    reps: usize,
+    arms: usize,
+    mut run: impl FnMut(usize) -> T,
+    mut merge: impl FnMut(&mut T, T),
+) -> Vec<T> {
+    assert!(reps > 0, "at least one repetition");
+    let mut best: Vec<Option<T>> = std::iter::repeat_with(|| None).take(arms).collect();
+    for _ in 0..reps {
+        for (arm, slot) in best.iter_mut().enumerate() {
+            let result = run(arm);
+            match slot {
+                None => *slot = Some(result),
+                Some(b) => merge(b, result),
+            }
+        }
+    }
+    best.into_iter().map(|b| b.expect("reps > 0")).collect()
+}
+
+/// Minimum-of-`reps` per-query nanoseconds for `f` over a `batch` of
+/// queries.
+///
+/// `f` takes the query index (already passed through
+/// [`std::hint::black_box`]) and returns a boolean whose sum is
+/// black-boxed too, so the compiler can neither hoist the query nor
+/// discard its result.
+pub fn time_per_query(batch: u32, reps: usize, mut f: impl FnMut(u32) -> bool) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let mut hits = 0u32;
+        for q in 0..batch {
+            hits += u32::from(f(std::hint::black_box(q)));
+        }
+        std::hint::black_box(hits);
+        let ns = started.elapsed().as_nanos() as f64 / f64::from(batch);
+        best = best.min(ns);
+    }
+    best
+}
+
+/// Removes one `"key":value` member (and an adjoining comma) from a
+/// flat JSON line. Values must not contain `,` or `}` (fingerprint hex
+/// strings and integers both qualify).
+pub fn drop_field(line: &str, key: &str) -> String {
+    let needle = format!("\"{key}\":");
+    let Some(at) = line.find(&needle) else {
+        return line.to_string();
+    };
+    let val_end = line[at..].find([',', '}']).map_or(line.len(), |e| at + e);
+    if line[val_end..].starts_with(',') {
+        format!("{}{}", &line[..at], &line[val_end + 1..])
+    } else {
+        let prefix = line[..at].strip_suffix(',').unwrap_or(&line[..at]);
+        format!("{prefix}{}", &line[val_end..])
+    }
+}
+
+/// Strips every named field from every line — the prelude to a
+/// byte-for-byte A/B outcome comparison. The stripped fields are the
+/// ones that legitimately differ between arms (config fingerprints that
+/// encode the arm itself, wall-clock timings); everything else,
+/// including deterministic effort counters, must match exactly.
+pub fn strip_fields(lines: &[String], keys: &[&str]) -> Vec<String> {
+    lines
+        .iter()
+        .map(|l| {
+            let mut l = l.clone();
+            for key in keys {
+                l = drop_field(&l, key);
+            }
+            l
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_runs_arms_in_order_and_merges_minima() {
+        let mut trace = Vec::new();
+        let mut tick = 0u64;
+        let best = interleave_min(
+            3,
+            2,
+            |arm| {
+                trace.push(arm);
+                tick += 1;
+                // Arm 0 improves over reps, arm 1 worsens.
+                match arm {
+                    0 => 100 - tick,
+                    _ => 100 + tick,
+                }
+            },
+            |best, next| *best = (*best).min(next),
+        );
+        assert_eq!(trace, [0, 1, 0, 1, 0, 1]);
+        assert_eq!(best, [100 - 5, 100 + 2]);
+    }
+
+    #[test]
+    fn drop_field_handles_every_position() {
+        let line = r#"{"a":1,"b":"0xff","c":2}"#;
+        assert_eq!(drop_field(line, "a"), r#"{"b":"0xff","c":2}"#);
+        assert_eq!(drop_field(line, "b"), r#"{"a":1,"c":2}"#);
+        assert_eq!(drop_field(line, "c"), r#"{"a":1,"b":"0xff"}"#);
+        assert_eq!(drop_field(line, "missing"), line);
+    }
+
+    #[test]
+    fn strip_fields_removes_each_key() {
+        let lines = vec![r#"{"a":1,"b":2,"c":3}"#.to_string()];
+        assert_eq!(strip_fields(&lines, &["a", "c"]), [r#"{"b":2}"#]);
+    }
+
+    #[test]
+    fn time_per_query_is_finite_and_positive() {
+        let ns = time_per_query(64, 2, |q| q % 2 == 0);
+        assert!(ns.is_finite() && ns >= 0.0);
+    }
+}

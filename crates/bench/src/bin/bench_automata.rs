@@ -14,8 +14,8 @@
 //! Run: `cargo run -p swp-bench --release --bin bench_automata -- [num_loops] [--out PATH]`
 
 use std::process::ExitCode;
-use std::time::Instant;
 use swp_automata::{stats, HazardAutomaton, HazardFsa};
+use swp_bench::ab;
 use swp_ddg::OpClass;
 use swp_harness::{
     ConflictOracleMode, Flags, Harness, HarnessConfig, LoopRecord, NullSink, SuiteRunConfig,
@@ -50,19 +50,8 @@ fn naive_collides(rt: &ReservationTable, period: u32, delta: u32) -> bool {
 }
 
 /// Minimum-of-`REPS` per-query nanoseconds for `f` over a batch.
-fn time_per_query<F: FnMut(u32) -> bool>(mut f: F) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..REPS {
-        let started = Instant::now();
-        let mut hits = 0u32;
-        for q in 0..BATCH {
-            hits += u32::from(f(std::hint::black_box(q)));
-        }
-        std::hint::black_box(hits);
-        let ns = started.elapsed().as_nanos() as f64 / f64::from(BATCH);
-        best = best.min(ns);
-    }
-    best
+fn time_per_query<F: FnMut(u32) -> bool>(f: F) -> f64 {
+    ab::time_per_query(BATCH, REPS, f)
 }
 
 struct MicroRow {
@@ -123,6 +112,7 @@ fn run_ab(machine: &Machine, num_loops: usize, oracle: ConflictOracleMode) -> Ab
             conflict_oracle: oracle,
             engine: Default::default(),
             warm: true,
+            layout: Default::default(),
         },
         HarnessConfig {
             workers: 1,
@@ -145,23 +135,6 @@ fn run_ab(machine: &Machine, num_loops: usize, oracle: ConflictOracleMode) -> Ab
     }
 }
 
-/// Remove one `"key":value` member (and an adjoining comma) from a
-/// flat JSON line. Values must not contain `,` or `}` (fingerprint hex
-/// strings and integers both qualify).
-fn drop_field(line: &str, key: &str) -> String {
-    let needle = format!("\"{key}\":");
-    let Some(at) = line.find(&needle) else {
-        return line.to_string();
-    };
-    let val_end = line[at..].find([',', '}']).map_or(line.len(), |e| at + e);
-    if line[val_end..].starts_with(',') {
-        format!("{}{}", &line[..at], &line[val_end + 1..])
-    } else {
-        let prefix = line[..at].strip_suffix(',').unwrap_or(&line[..at]);
-        format!("{prefix}{}", &line[val_end..])
-    }
-}
-
 /// Outcome fields only: `cfg_fp` legitimately differs (the oracle mode
 /// is part of the config fingerprint so A/B artifacts never share a
 /// cache), and `solve_us` is wall-clock timing — nondeterministic
@@ -169,10 +142,7 @@ fn drop_field(line: &str, key: &str) -> String {
 /// including the deterministic effort counters (`ticks`, `bb_nodes`,
 /// `lp_iters`), must match byte-for-byte.
 fn strip_noncomparable(lines: &[String]) -> Vec<String> {
-    lines
-        .iter()
-        .map(|l| drop_field(&drop_field(l, "cfg_fp"), "solve_us"))
-        .collect()
+    ab::strip_fields(lines, &["cfg_fp", "solve_us"])
 }
 
 fn main() -> ExitCode {
@@ -214,18 +184,19 @@ fn main() -> ExitCode {
     );
     // Interleave the reps so slow machine-wide drift hits both modes
     // equally; keep the minimum-wall rep of each.
-    let (mut scan, mut auto) = (None::<AbRun>, None::<AbRun>);
-    for _ in 0..AB_REPS {
-        let s = run_ab(&machine, num_loops, ConflictOracleMode::Scan);
-        let a = run_ab(&machine, num_loops, ConflictOracleMode::Automaton);
-        if scan.as_ref().is_none_or(|best| s.wall_us < best.wall_us) {
-            scan = Some(s);
-        }
-        if auto.as_ref().is_none_or(|best| a.wall_us < best.wall_us) {
-            auto = Some(a);
-        }
-    }
-    let (scan, auto) = (scan.expect("AB_REPS > 0"), auto.expect("AB_REPS > 0"));
+    let modes = [ConflictOracleMode::Scan, ConflictOracleMode::Automaton];
+    let mut runs = ab::interleave_min(
+        AB_REPS,
+        modes.len(),
+        |arm| run_ab(&machine, num_loops, modes[arm]),
+        |best, next| {
+            if next.wall_us < best.wall_us {
+                *best = next;
+            }
+        },
+    );
+    let auto = runs.pop().expect("two arms");
+    let scan = runs.pop().expect("two arms");
     let (scan_cmp, auto_cmp) = (
         strip_noncomparable(&scan.lines),
         strip_noncomparable(&auto.lines),

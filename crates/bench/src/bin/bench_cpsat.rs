@@ -20,6 +20,7 @@
 //! Run: `cargo run -p swp-bench --release --bin bench_cpsat -- [num_loops] [--out PATH] [--ticks N]`
 
 use std::process::ExitCode;
+use swp_bench::ab;
 use swp_core::Engine;
 use swp_harness::{Flags, Harness, HarnessConfig, LoopRecord, NullSink, SuiteRunConfig};
 use swp_loops::suite::{generate, GeneratedLoop, SuiteConfig};
@@ -52,6 +53,7 @@ fn run_engine(machine: &Machine, loops: &[GeneratedLoop], engine: Engine, ticks:
             conflict_oracle: Default::default(),
             engine,
             warm: true,
+            layout: Default::default(),
         },
         HarnessConfig {
             workers: 1,
@@ -113,23 +115,22 @@ fn main() -> ExitCode {
          1 worker, per-loop min of {AB_REPS} reps =="
     );
     let engines = [Engine::Ilp, Engine::Cp, Engine::Portfolio];
-    let mut best: [Option<EngineRun>; 3] = [None, None, None];
-    for _ in 0..AB_REPS {
-        // Interleaved so machine-wide drift hits every engine equally.
-        for (slot, &engine) in engines.iter().enumerate() {
-            let run = run_engine(&machine, &loops, engine, ticks);
-            match &mut best[slot] {
-                None => best[slot] = Some(run),
-                Some(b) => {
-                    b.wall_us = b.wall_us.min(run.wall_us);
-                    for (m, v) in b.per_loop_us.iter_mut().zip(&run.per_loop_us) {
-                        *m = (*m).min(*v);
-                    }
-                }
+    // Interleaved so machine-wide drift hits every engine equally; the
+    // merge keeps the min wall and element-wise min per-loop times.
+    let mut runs = ab::interleave_min(
+        AB_REPS,
+        engines.len(),
+        |arm| run_engine(&machine, &loops, engines[arm], ticks),
+        |b, run| {
+            b.wall_us = b.wall_us.min(run.wall_us);
+            for (m, v) in b.per_loop_us.iter_mut().zip(&run.per_loop_us) {
+                *m = (*m).min(*v);
             }
-        }
-    }
-    let [ilp, cp, port] = best.map(|b| b.expect("AB_REPS > 0"));
+        },
+    );
+    let port = runs.pop().expect("three arms");
+    let cp = runs.pop().expect("three arms");
+    let ilp = runs.pop().expect("three arms");
 
     // Decision identity: every engine is decision-equivalent, so with
     // the same tick budget the (period, proven, timeout) triple must

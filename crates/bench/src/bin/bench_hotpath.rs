@@ -1,0 +1,554 @@
+//! Data-layout A/B benchmark: `Legacy` vs `Flat` hot paths → `BENCH_hotpath.json`.
+//!
+//! Three micro benchmarks and one end-to-end harness A/B, one artifact:
+//!
+//! 1. **MRT probe**: per-query cost of `find_free_unit` on a
+//!    half-occupied modulo reservation table at `T ∈ {2, 4, 8, 16}`,
+//!    nested-`Vec` cells vs stride-indexed arenas with u64 occupancy
+//!    words.
+//! 2. **Collision check**: full `check_fixed_assignment` cost on a
+//!    saturated conflict-free placement, per-cell hash-map scan vs
+//!    word-parallel occupancy probe.
+//! 3. **Exact simplex**: full exact-LP solve cost on small-integer
+//!    scheduling-shaped LPs, dense `BigRat` tableau vs sparse
+//!    `SmallRat` rows (the two are pivot-identical; outcomes are
+//!    asserted equal here and in the equivalence tests).
+//! 4. **Harness A/B**: the corpus harness run per [`DataLayout`] over
+//!    the table-4 stack (heuristic incumbent on — IMS/MRT/checker
+//!    dominate) and a table-5 slice (heuristic off — exact engines
+//!    dominate, layout still covers verification), under identical
+//!    deterministic tick budgets. Methodology follows `bench_automata`:
+//!    one worker, interleaved min-of-`AB_REPS` walls, decision identity
+//!    gated byte-for-byte after stripping `cfg_fp` (the layout is
+//!    fingerprinted) and `solve_us` (wall-clock noise).
+//!
+//! Run: `cargo run -p swp-bench --release --bin bench_hotpath -- [num_loops] [--out PATH] [--ticks N] [--quick]`
+
+use std::process::ExitCode;
+use std::time::Instant;
+use swp_bench::ab;
+use swp_ddg::OpClass;
+use swp_harness::{Flags, Harness, HarnessConfig, LoopRecord, NullSink, SuiteRunConfig};
+use swp_heuristics::ModuloReservationTable;
+use swp_loops::suite::{generate, GeneratedLoop, SuiteConfig};
+use swp_machine::{check_fixed_assignment_layout, DataLayout, Machine, PlacedOp};
+use swp_milp::exact::{solve_lp_exact, solve_lp_exact_dense, ExactOutcome};
+use swp_milp::simplex::LpProblem;
+use swp_milp::Sense;
+
+const PERIODS: [u32; 4] = [2, 4, 8, 16];
+/// Queries per timed micro repetition (amortizes the `Instant` overhead).
+const BATCH: u32 = 4096;
+/// Timed micro repetitions; the minimum is reported.
+const REPS: usize = 32;
+/// Full harness A/B repetitions per layout; minimum wall is reported.
+const AB_REPS: usize = 3;
+/// Timed whole-solve repetitions for the exact-simplex micro.
+const SOLVE_REPS: usize = 8;
+
+const LAYOUTS: [DataLayout; 2] = [DataLayout::Legacy, DataLayout::Flat];
+
+// ---------------------------------------------------------------- micro
+
+/// Builds one MRT per layout with identical placements: one op every
+/// other slot of every class, so probes see a half-occupied table (the
+/// IMS steady state, neither empty-table fast paths nor all-full).
+fn occupied_mrts(machine: &Machine, period: u32) -> [ModuloReservationTable; 2] {
+    let mut mrts =
+        LAYOUTS.map(|layout| ModuloReservationTable::with_layout(machine, period, layout));
+    let mut op = 0usize;
+    for class in (0..machine.num_classes()).map(OpClass::new) {
+        for t in (0..period).step_by(2) {
+            // Both layouts are decision-identical, so the legacy pick is
+            // the flat pick; place the same (fu, t, op) in both.
+            let Some(fu) = mrts[0].find_free_unit(machine, class, t) else {
+                continue;
+            };
+            for mrt in &mut mrts {
+                mrt.place(machine, class, fu, t, op);
+            }
+            op += 1;
+        }
+    }
+    mrts
+}
+
+struct MrtRow {
+    period: u32,
+    legacy_ns: f64,
+    flat_ns: f64,
+}
+
+fn micro_mrt(machine: &Machine) -> Vec<MrtRow> {
+    let nclasses = machine.num_classes() as u32;
+    PERIODS
+        .iter()
+        .map(|&period| {
+            let [legacy, flat] = occupied_mrts(machine, period);
+            let probe = |mrt: &ModuloReservationTable, q: u32| {
+                let class = OpClass::new((q % nclasses) as usize);
+                mrt.find_free_unit(machine, class, q % period).is_some()
+            };
+            // Sanity: identical verdicts before timing anything.
+            for q in 0..BATCH {
+                assert_eq!(
+                    legacy.find_free_unit(
+                        machine,
+                        OpClass::new((q % nclasses) as usize),
+                        q % period
+                    ),
+                    flat.find_free_unit(machine, OpClass::new((q % nclasses) as usize), q % period),
+                    "layouts disagree at T={period}, q={q}"
+                );
+            }
+            MrtRow {
+                period,
+                legacy_ns: ab::time_per_query(BATCH, REPS, |q| probe(&legacy, q)),
+                flat_ns: ab::time_per_query(BATCH, REPS, |q| probe(&flat, q)),
+            }
+        })
+        .collect()
+}
+
+/// Greedily saturates a conflict-free fixed-assignment placement, so the
+/// timed check scans a full table and never exits on an early error.
+fn saturated_ops(machine: &Machine, period: u32) -> Vec<PlacedOp> {
+    let mut ops = Vec::new();
+    for (c, fu_type) in machine.types().iter().enumerate() {
+        for fu in 0..fu_type.count {
+            for offset in 0..period {
+                let cand = PlacedOp {
+                    class: OpClass::new(c),
+                    offset,
+                    fu: Some(fu),
+                };
+                ops.push(cand);
+                if check_fixed_assignment_layout(machine, period, &ops, DataLayout::Legacy).is_err()
+                {
+                    ops.pop();
+                }
+            }
+        }
+    }
+    ops
+}
+
+struct CheckRow {
+    period: u32,
+    ops: usize,
+    legacy_ns: f64,
+    flat_ns: f64,
+}
+
+fn micro_checker(machine: &Machine) -> Vec<CheckRow> {
+    PERIODS
+        .iter()
+        .map(|&period| {
+            let ops = saturated_ops(machine, period);
+            let time = |layout: DataLayout| {
+                ab::time_per_query(256, REPS, |_| {
+                    check_fixed_assignment_layout(machine, period, &ops, layout).is_ok()
+                })
+            };
+            CheckRow {
+                period,
+                ops: ops.len(),
+                legacy_ns: time(DataLayout::Legacy),
+                flat_ns: time(DataLayout::Flat),
+            }
+        })
+        .collect()
+}
+
+/// Deterministic split-mix generator — the micro LPs must be identical
+/// on every run so the artifact is reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A dense-ish LP with the coefficient profile of the scheduling ILP
+/// relaxations: small integers, `0 ≤ x ≤ 6` boxes, mixed row senses.
+fn synthetic_lp(seed: u64, cols: usize, rows: usize) -> LpProblem {
+    let mut rng = Rng(seed);
+    let mut lp_rows = Vec::new();
+    for r in 0..rows {
+        let mut terms = Vec::new();
+        for j in 0..cols {
+            if rng.below(10) < 3 {
+                let c = rng.below(6) as f64 - 3.0;
+                if c != 0.0 {
+                    terms.push((j, c));
+                }
+            }
+        }
+        if terms.is_empty() {
+            terms.push((r % cols, 1.0));
+        }
+        let sense = match rng.below(4) {
+            0 => Sense::Ge,
+            1 => Sense::Eq,
+            _ => Sense::Le,
+        };
+        let rhs = rng.below(8) as f64;
+        lp_rows.push((terms, sense, rhs));
+    }
+    LpProblem {
+        obj: (0..cols).map(|_| rng.below(11) as f64 - 5.0).collect(),
+        rows: lp_rows,
+        lo: vec![0.0; cols],
+        hi: vec![6.0; cols],
+    }
+}
+
+/// Minimum-of-`reps` microseconds for one whole run of `f`.
+fn time_solve_us(reps: usize, mut f: impl FnMut() -> ExactOutcome) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(started.elapsed().as_nanos() as f64 / 1000.0);
+    }
+    best
+}
+
+struct SimplexRow {
+    seed: u64,
+    cols: usize,
+    rows: usize,
+    outcome: &'static str,
+    dense_us: f64,
+    sparse_us: f64,
+}
+
+fn micro_simplex() -> Vec<SimplexRow> {
+    let shapes = [(1u64, 16usize, 20usize), (2, 24, 28), (3, 32, 40)];
+    shapes
+        .iter()
+        .map(|&(seed, cols, rows)| {
+            let p = synthetic_lp(seed, cols, rows);
+            let exact = swp_milp::exact::ExactLp::from_f64_problem(&p);
+            let sparse = solve_lp_exact(&exact);
+            let dense = solve_lp_exact_dense(&exact);
+            let outcome = match (&sparse, &dense) {
+                (
+                    ExactOutcome::Optimal {
+                        objective: a,
+                        x: xa,
+                    },
+                    ExactOutcome::Optimal {
+                        objective: b,
+                        x: xb,
+                    },
+                ) => {
+                    assert!(a == b && xa == xb, "sparse and dense optima differ");
+                    "optimal"
+                }
+                (ExactOutcome::Infeasible, ExactOutcome::Infeasible) => "infeasible",
+                (ExactOutcome::Unbounded, ExactOutcome::Unbounded) => "unbounded",
+                _ => panic!("sparse and dense outcomes differ on seed {seed}"),
+            };
+            SimplexRow {
+                seed,
+                cols,
+                rows,
+                outcome,
+                dense_us: time_solve_us(SOLVE_REPS, || solve_lp_exact_dense(&exact)),
+                sparse_us: time_solve_us(SOLVE_REPS, || solve_lp_exact(&exact)),
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- e2e
+
+struct LayoutRun {
+    wall_us: u64,
+    lines: Vec<String>,
+}
+
+fn run_layout(
+    machine: &Machine,
+    loops: &[GeneratedLoop],
+    heuristic: bool,
+    ticks: u64,
+    layout: DataLayout,
+) -> LayoutRun {
+    let harness = Harness::new(
+        machine.clone(),
+        SuiteRunConfig {
+            num_loops: loops.len(),
+            time_limit_per_t: None,
+            per_loop_ticks: Some(ticks),
+            max_t_above_lb: 8,
+            heuristic_incumbent: heuristic,
+            conflict_oracle: Default::default(),
+            engine: Default::default(),
+            warm: true,
+            layout,
+        },
+        HarnessConfig {
+            workers: 1,
+            record_timing: true,
+            ..HarnessConfig::default()
+        },
+    );
+    let report = harness.run(loops, &mut NullSink).expect("artifact-less");
+    assert!(!report.interrupted, "A/B run must cover every loop");
+    LayoutRun {
+        wall_us: report.wall_time.as_micros() as u64,
+        lines: report
+            .records
+            .iter()
+            .map(LoopRecord::to_json_line)
+            .collect(),
+    }
+}
+
+struct SuiteSpec {
+    name: &'static str,
+    heuristic_incumbent: bool,
+    num_loops: usize,
+    ticks: u64,
+}
+
+struct SuiteResult {
+    name: &'static str,
+    loops: usize,
+    ticks: u64,
+    heuristic_incumbent: bool,
+    legacy_wall_us: u64,
+    flat_wall_us: u64,
+    identical: bool,
+}
+
+fn run_suite(machine: &Machine, spec: &SuiteSpec) -> SuiteResult {
+    let loops = generate(&SuiteConfig {
+        num_loops: spec.num_loops,
+        ..SuiteConfig::pldi95_default()
+    });
+    let mut runs = ab::interleave_min(
+        AB_REPS,
+        LAYOUTS.len(),
+        |arm| {
+            run_layout(
+                machine,
+                &loops,
+                spec.heuristic_incumbent,
+                spec.ticks,
+                LAYOUTS[arm],
+            )
+        },
+        |best, next| {
+            if next.wall_us < best.wall_us {
+                *best = next;
+            }
+        },
+    );
+    let flat = runs.pop().expect("two arms");
+    let legacy = runs.pop().expect("two arms");
+    // `cfg_fp` hashes the layout (so A/B artifacts never share a cache)
+    // and `solve_us` is wall-clock; everything else — periods, proofs,
+    // deterministic effort counters — must match byte-for-byte.
+    let legacy_cmp = ab::strip_fields(&legacy.lines, &["cfg_fp", "solve_us"]);
+    let flat_cmp = ab::strip_fields(&flat.lines, &["cfg_fp", "solve_us"]);
+    let identical = legacy_cmp == flat_cmp;
+    for (l, f) in legacy_cmp
+        .iter()
+        .zip(&flat_cmp)
+        .filter(|(l, f)| l != f)
+        .take(3)
+    {
+        eprintln!("diverged:\n  legacy: {l}\n  flat:   {f}");
+    }
+    SuiteResult {
+        name: spec.name,
+        loops: spec.num_loops,
+        ticks: spec.ticks,
+        heuristic_incumbent: spec.heuristic_incumbent,
+        legacy_wall_us: legacy.wall_us,
+        flat_wall_us: flat.wall_us,
+        identical,
+    }
+}
+
+fn main() -> ExitCode {
+    let flags = match Flags::parse(std::env::args().skip(1), &["quick"]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench_hotpath: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let quick = flags.has("quick");
+    let parsed = (|| -> Result<_, String> {
+        let num_loops: usize = flags.positional_or(0, if quick { 24 } else { 256 })?;
+        let ticks: u64 = flags.get_or("ticks", 50_000)?;
+        Ok((num_loops, ticks))
+    })();
+    let (num_loops, ticks) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_hotpath: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = flags.get("out").unwrap_or("BENCH_hotpath.json").to_string();
+    let machine = Machine::example_pldi95();
+
+    eprintln!("== micro: MRT probe, legacy vs flat ({BATCH} queries × {REPS} reps) ==");
+    let mrt_rows = micro_mrt(&machine);
+    for r in &mrt_rows {
+        eprintln!(
+            "T={:<2}  legacy {:>7.1} ns  flat {:>6.1} ns  (×{:.1})",
+            r.period,
+            r.legacy_ns,
+            r.flat_ns,
+            r.legacy_ns / r.flat_ns
+        );
+    }
+
+    eprintln!("== micro: full collision check, legacy vs flat ==");
+    let check_rows = micro_checker(&machine);
+    for r in &check_rows {
+        eprintln!(
+            "T={:<2} ({:>2} ops)  legacy {:>8.1} ns  flat {:>7.1} ns  (×{:.1})",
+            r.period,
+            r.ops,
+            r.legacy_ns,
+            r.flat_ns,
+            r.legacy_ns / r.flat_ns
+        );
+    }
+
+    eprintln!("== micro: exact LP solve, dense BigRat vs sparse SmallRat (min of {SOLVE_REPS}) ==");
+    let simplex_rows = micro_simplex();
+    for r in &simplex_rows {
+        eprintln!(
+            "{}×{} ({})  dense {:>9.1} µs  sparse {:>8.1} µs  (×{:.1})",
+            r.rows,
+            r.cols,
+            r.outcome,
+            r.dense_us,
+            r.sparse_us,
+            r.dense_us / r.sparse_us
+        );
+    }
+
+    // The pure-ILP stack is orders of magnitude slower per solve (see
+    // BENCH_cpsat), so the table5 suite runs a corpus slice at a quarter
+    // of the tick budget, exactly as bench_incr does.
+    let suites = [
+        SuiteSpec {
+            name: "table4",
+            heuristic_incumbent: true,
+            num_loops,
+            ticks,
+        },
+        SuiteSpec {
+            name: "table5",
+            heuristic_incumbent: false,
+            num_loops: if quick { 4 } else { (num_loops / 16).max(8) },
+            ticks: (ticks / 4).max(1),
+        },
+    ];
+    eprintln!(
+        "== harness A/B: legacy vs flat, deterministic ticks, 1 worker, min of {AB_REPS} reps =="
+    );
+    let mut results = Vec::new();
+    for spec in &suites {
+        let r = run_suite(&machine, spec);
+        eprintln!(
+            "{}: {} loops × {} ticks | legacy {} µs, flat {} µs (speedup ×{:.2}) | outcomes identical: {}",
+            r.name,
+            r.loops,
+            r.ticks,
+            r.legacy_wall_us,
+            r.flat_wall_us,
+            r.legacy_wall_us as f64 / r.flat_wall_us.max(1) as f64,
+            r.identical
+        );
+        results.push(r);
+    }
+
+    let mut json = String::from("{\n  \"machine\": \"example_pldi95\",\n");
+    json.push_str(&format!(
+        "  \"quick\": {quick},\n  \"micro\": {{\n    \"mrt_probe\": [\n"
+    ));
+    for (i, r) in mrt_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"t\": {}, \"legacy_ns\": {:.2}, \"flat_ns\": {:.2}, \"speedup\": {:.2}}}{}\n",
+            r.period,
+            r.legacy_ns,
+            r.flat_ns,
+            r.legacy_ns / r.flat_ns,
+            if i + 1 < mrt_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ],\n    \"collision_check\": [\n");
+    for (i, r) in check_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"t\": {}, \"ops\": {}, \"legacy_ns\": {:.2}, \"flat_ns\": {:.2}, \"speedup\": {:.2}}}{}\n",
+            r.period,
+            r.ops,
+            r.legacy_ns,
+            r.flat_ns,
+            r.legacy_ns / r.flat_ns,
+            if i + 1 < check_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ],\n    \"exact_simplex\": [\n");
+    for (i, r) in simplex_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{\"seed\": {}, \"rows\": {}, \"cols\": {}, \"outcome\": \"{}\", \"dense_us\": {:.1}, \"sparse_us\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            r.seed,
+            r.rows,
+            r.cols,
+            r.outcome,
+            r.dense_us,
+            r.sparse_us,
+            r.dense_us / r.sparse_us,
+            if i + 1 < simplex_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("    ]\n  },\n");
+    json.push_str(&format!("  \"reps\": {AB_REPS},\n  \"harness_ab\": [\n"));
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"suite\": \"{}\", \"loops\": {}, \"per_loop_ticks\": {}, \"heuristic_incumbent\": {},\n     \"legacy_wall_us\": {}, \"flat_wall_us\": {}, \"speedup\": {:.2}, \"outcomes_identical\": {}}}{}\n",
+            r.name,
+            r.loops,
+            r.ticks,
+            r.heuristic_incumbent,
+            r.legacy_wall_us,
+            r.flat_wall_us,
+            r.legacy_wall_us as f64 / r.flat_wall_us.max(1) as f64,
+            r.identical,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_hotpath: writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+
+    if results.iter().any(|r| !r.identical) {
+        eprintln!("bench_hotpath: legacy and flat outcomes DIVERGED");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -28,6 +28,7 @@
 
 use std::process::ExitCode;
 use std::time::Instant;
+use swp_bench::ab;
 use swp_core::{
     Optimality, PeriodOutcome, RateOptimalScheduler, ReuseStats, ScheduleError, ScheduleResult,
     SchedulerConfig,
@@ -233,31 +234,35 @@ fn run_suite(machine: &Machine, spec: &SuiteSpec) -> SuiteResult {
         })
         .collect();
 
-    let mut best_warm: Option<ArmResult> = None;
-    let mut best_cold: Option<ArmResult> = None;
+    // Interleaved warm/cold reps with the min-total-time rep of each arm
+    // kept. Decisions are tick-deterministic (identical budgets every
+    // rep), so comparing the kept arms' decision vectors is the same
+    // comparison the first rep would make.
+    let mut runs = ab::interleave_min(
+        REPS,
+        2,
+        |arm| match arm {
+            0 => run_warm(machine, &loops, spec.heuristic_incumbent, ticks),
+            _ => run_cold(machine, &snapshots, spec.heuristic_incumbent, ticks),
+        },
+        |best, next| {
+            if next.us < best.us {
+                *best = next;
+            }
+        },
+    );
+    let cold = runs.pop().expect("two arms");
+    let warm = runs.pop().expect("two arms");
+    assert_eq!(warm.decisions.len(), cold.decisions.len());
     let mut mismatches = 0usize;
     let mut inconclusive = 0usize;
-    for rep in 0..REPS {
-        let warm = run_warm(machine, &loops, spec.heuristic_incumbent, ticks);
-        let cold = run_cold(machine, &snapshots, spec.heuristic_incumbent, ticks);
-        assert_eq!(warm.decisions.len(), cold.decisions.len());
-        if rep == 0 {
-            for (w, c) in warm.decisions.iter().zip(&cold.decisions) {
-                match (w, c) {
-                    (Some(a), Some(b)) if a != b => mismatches += 1,
-                    (Some(_), Some(_)) => {}
-                    _ => inconclusive += 1,
-                }
-            }
-        }
-        if best_warm.as_ref().is_none_or(|b| warm.us < b.us) {
-            best_warm = Some(warm);
-        }
-        if best_cold.as_ref().is_none_or(|b| cold.us < b.us) {
-            best_cold = Some(cold);
+    for (w, c) in warm.decisions.iter().zip(&cold.decisions) {
+        match (w, c) {
+            (Some(a), Some(b)) if a != b => mismatches += 1,
+            (Some(_), Some(_)) => {}
+            _ => inconclusive += 1,
         }
     }
-    let (warm, cold) = (best_warm.expect("REPS > 0"), best_cold.expect("REPS > 0"));
     SuiteResult {
         name: spec.name,
         loops: loops.len(),

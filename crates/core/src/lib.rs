@@ -60,7 +60,7 @@ pub use scheduler::{
     RaceReport, RateOptimalScheduler, ReuseStats, ScheduleResult, SchedulerConfig, SolvedBy,
     SolverStats, WarmState,
 };
-pub use swp_machine::{Matrices, PipelinedSchedule, ValidationError};
+pub use swp_machine::{DataLayout, Matrices, PipelinedSchedule, ValidationError};
 pub use swp_milp::{Budget, CancelToken};
 
 use std::error::Error;

@@ -36,7 +36,7 @@ use swp_cpsat::{CpError, CpOptions, CpOutcome};
 use swp_ddg::{Ddg, OpClass};
 use swp_heuristics::{HeuristicError, IterativeModuloScheduler};
 use swp_machine::Machine;
-use swp_machine::{PipelinedSchedule, ValidationError};
+use swp_machine::{DataLayout, PipelinedSchedule, ValidationError};
 use swp_milp::{Budget, Exhaustion, NodePruner, SolveError, SolveLimits};
 
 /// Tick allowance for the best-effort heuristic pass that runs after the
@@ -157,6 +157,13 @@ pub struct SchedulerConfig {
     /// change a verdict; turn off for a strictly cold, hint-free solve —
     /// the pre-warm-start behaviour, byte for byte.
     pub warm_sweep: bool,
+    /// Cell layout of the reservation-table hot paths — the IMS modulo
+    /// reservation table and the independent collision checker (default:
+    /// [`DataLayout::Flat`], word-parallel bitsets). Decisions are
+    /// bit-identical across layouts; only probe cost changes. Select
+    /// [`DataLayout::Legacy`] for the seed's per-cell scan, e.g. for A/B
+    /// timing.
+    pub data_layout: DataLayout,
     /// Test-only fault injection; leave at `Default::default()`.
     #[doc(hidden)]
     pub faults: FaultPlan,
@@ -176,6 +183,7 @@ impl Default for SchedulerConfig {
             conflict_oracle: ConflictOracleMode::default(),
             engine: Engine::default(),
             warm_sweep: true,
+            data_layout: DataLayout::default(),
             faults: FaultPlan::default(),
         }
     }
@@ -603,7 +611,9 @@ impl RateOptimalScheduler {
 
     /// An IMS instance honouring the configured conflict oracle.
     fn ims(&self) -> IterativeModuloScheduler {
-        IterativeModuloScheduler::new(self.machine.clone()).with_automaton(self.use_automaton())
+        IterativeModuloScheduler::new(self.machine.clone())
+            .with_automaton(self.use_automaton())
+            .with_layout(self.config.data_layout)
     }
 
     /// Finds a schedule at the smallest feasible period `≥ T_lb`, under a
@@ -871,12 +881,15 @@ impl RateOptimalScheduler {
                 ddg: ddg.num_nodes(),
             });
         }
-        match oracle {
-            // Checker fast path: automaton verdicts with exact-scan
-            // fallback on any query it cannot answer.
-            Some(oracle) => schedule.validate_with(ddg, &self.machine, Some(oracle)),
-            None => schedule.validate(ddg, &self.machine),
-        }
+        // Checker fast path: automaton verdicts with exact-scan fallback
+        // on any query it cannot answer; otherwise the configured cell
+        // layout decides between word-parallel and per-cell scans.
+        schedule.validate_layout(
+            ddg,
+            &self.machine,
+            oracle.map(|o| o as &dyn swp_machine::ConflictOracle),
+            self.config.data_layout,
+        )
     }
 
     /// Attempts exactly one period under a per-period slice of `budget`.
@@ -1100,6 +1113,14 @@ impl RateOptimalScheduler {
         let mut limits = SolveLimits {
             time_limit: self.config.time_limit_per_t,
             budget: period_budget.clone(),
+            // Both pivot layouts take identical pivot sequences (see
+            // swp-milp's simplex docs), so this keeps the whole solve
+            // decision-identical across `data_layout` while moving the
+            // LP inner loop onto the matching layout.
+            pivot_layout: match self.config.data_layout {
+                DataLayout::Legacy => swp_milp::PivotLayout::Dense,
+                DataLayout::Flat => swp_milp::PivotLayout::SparseRow,
+            },
             ..SolveLimits::default()
         };
         if self.config.objective == Objective::Feasible {

@@ -1,0 +1,115 @@
+//! End-to-end layout-equivalence property tests: the whole rate-optimal
+//! driver — IMS incumbents, the unified ILP (with its sparse pivot),
+//! verification, and the T-sweep — must make bit-identical decisions
+//! under [`DataLayout::Legacy`] and [`DataLayout::Flat`]: same schedule,
+//! same optimality claim, same per-period attempt log (nodes, simplex
+//! iterations, verdicts), same aggregated solver effort.
+//!
+//! Replay a failing stream with `SWP_PROPTEST_SEED=<seed>`.
+
+use proptest::prelude::*;
+use swp_core::{RateOptimalScheduler, ScheduleResult, SchedulerConfig, SolverStats};
+use swp_ddg::{Ddg, OpClass};
+use swp_machine::{DataLayout, Machine};
+
+/// Random well-formed loop against the 3-class example machines.
+fn arb_loop() -> impl Strategy<Value = Ddg> {
+    (2usize..7).prop_flat_map(|n| {
+        let classes = proptest::collection::vec(0usize..3, n);
+        let fwd = proptest::collection::vec((any::<u16>(), any::<u16>()), n - 1);
+        let carried = proptest::option::of((0..n, 1u32..3));
+        (classes, fwd, carried).prop_map(move |(classes, fwd, carried)| {
+            let mut g = Ddg::new();
+            let lat = [1u32, 2, 3];
+            let ids: Vec<_> = classes
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| g.add_node(format!("n{i}"), OpClass::new(c), lat[c]))
+                .collect();
+            for (i, &(a, b)) in fwd.iter().enumerate() {
+                let src = (a as usize) % (i + 1);
+                g.add_edge(ids[src], ids[i + 1], 0).expect("valid");
+                if b % 3 == 0 && i >= 1 {
+                    let src2 = (b as usize) % i;
+                    g.add_edge(ids[src2], ids[i + 1], 0).expect("valid");
+                }
+            }
+            if let Some((k, d)) = carried {
+                g.add_edge(ids[k], ids[k], d).expect("valid");
+            }
+            g
+        })
+    })
+}
+
+/// Schedules `g` with every wall-clock limit off, so the search is a
+/// deterministic function of the input and the layout is the only
+/// varying input.
+fn run(machine: &Machine, g: &Ddg, layout: DataLayout, heuristic: bool) -> ScheduleResult {
+    RateOptimalScheduler::new(
+        machine.clone(),
+        SchedulerConfig {
+            time_limit_per_t: None,
+            heuristic_incumbent: heuristic,
+            data_layout: layout,
+            ..Default::default()
+        },
+    )
+    .schedule(g)
+    .expect("small loops schedule")
+}
+
+fn assert_results_identical(a: &ScheduleResult, b: &ScheduleResult) {
+    prop_assert_eq!(a.schedule.start_times(), b.schedule.start_times());
+    prop_assert_eq!(a.schedule.assignment(), b.schedule.assignment());
+    prop_assert_eq!(
+        a.schedule.initiation_interval(),
+        b.schedule.initiation_interval()
+    );
+    prop_assert_eq!(a.t_dep, b.t_dep);
+    prop_assert_eq!(a.t_res, b.t_res);
+    prop_assert_eq!(&a.optimality, &b.optimality);
+    prop_assert_eq!(a.attempts.len(), b.attempts.len());
+    for (x, y) in a.attempts.iter().zip(&b.attempts) {
+        prop_assert_eq!(x.period, y.period);
+        prop_assert_eq!(&x.outcome, &y.outcome);
+        prop_assert_eq!(x.nodes, y.nodes, "bb nodes diverged at T={}", x.period);
+        prop_assert_eq!(
+            x.lp_iterations,
+            y.lp_iterations,
+            "simplex pivots diverged at T={}",
+            x.period
+        );
+        prop_assert_eq!(x.num_vars, y.num_vars);
+        prop_assert_eq!(x.num_constrs, y.num_constrs);
+    }
+    prop_assert_eq!(
+        SolverStats::from_attempts(&a.attempts),
+        SolverStats::from_attempts(&b.attempts)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Full pipeline (IMS incumbents on) is layout-invariant on both
+    /// example machines.
+    #[test]
+    fn driver_is_layout_invariant(g in arb_loop()) {
+        for machine in [Machine::example_pldi95(), Machine::example_non_pipelined()] {
+            let legacy = run(&machine, &g, DataLayout::Legacy, true);
+            let flat = run(&machine, &g, DataLayout::Flat, true);
+            assert_results_identical(&legacy, &flat);
+        }
+    }
+
+    /// Pure-ILP mode (no heuristic incumbent — every period settled by
+    /// branch-and-bound over the sparse/dense pivot) is layout-invariant.
+    #[test]
+    fn ilp_only_driver_is_layout_invariant(g in arb_loop()) {
+        let machine = Machine::example_pldi95();
+        let legacy = run(&machine, &g, DataLayout::Legacy, false);
+        let flat = run(&machine, &g, DataLayout::Flat, false);
+        assert_results_identical(&legacy, &flat);
+    }
+}

@@ -19,7 +19,7 @@
 
 use crate::json::{parse_object, ObjectWriter};
 use std::time::Duration;
-use swp_core::{ConflictOracleMode, Engine, ReuseStats, SolvedBy};
+use swp_core::{ConflictOracleMode, DataLayout, Engine, ReuseStats, SolvedBy};
 use swp_loops::fingerprint::{from_hex, to_hex, Fnv64};
 
 /// Schema version stamped into every artifact line. v2 added the
@@ -63,6 +63,11 @@ pub struct SuiteRunConfig {
     /// cold sweep — warm facts are hints re-validated before use — but
     /// fingerprinted anyway so warm-vs-cold A/B records never mix.
     pub warm: bool,
+    /// Reservation-table cell layout for the IMS MRT and the collision
+    /// checker (`SchedulerConfig::data_layout`). Decision-identical
+    /// across layouts but fingerprinted, like the oracle and engine, so
+    /// layout A/B records never mix.
+    pub layout: DataLayout,
 }
 
 impl Default for SuiteRunConfig {
@@ -76,6 +81,7 @@ impl Default for SuiteRunConfig {
             conflict_oracle: ConflictOracleMode::default(),
             engine: Engine::default(),
             warm: true,
+            layout: DataLayout::default(),
         }
     }
 }
@@ -104,6 +110,10 @@ impl SuiteRunConfig {
             Engine::Portfolio => 2,
         });
         h.write_u64(u64::from(self.warm));
+        h.write_u64(match self.layout {
+            DataLayout::Legacy => 0,
+            DataLayout::Flat => 1,
+        });
         h.finish()
     }
 }
@@ -522,6 +532,10 @@ mod tests {
             },
             SuiteRunConfig {
                 warm: false,
+                ..base.clone()
+            },
+            SuiteRunConfig {
+                layout: DataLayout::Legacy,
                 ..base.clone()
             },
         ];

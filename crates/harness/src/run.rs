@@ -231,6 +231,7 @@ impl Harness {
                 conflict_oracle: self.solve.conflict_oracle,
                 engine: self.solve.engine,
                 warm_sweep: self.solve.warm,
+                data_layout: self.solve.layout,
                 ..Default::default()
             },
         );
@@ -435,6 +436,7 @@ mod tests {
             conflict_oracle: Default::default(),
             engine: Default::default(),
             warm: true,
+            layout: Default::default(),
         }
     }
 

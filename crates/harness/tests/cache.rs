@@ -27,6 +27,7 @@ fn solve_cfg() -> SuiteRunConfig {
         conflict_oracle: Default::default(),
         engine: Default::default(),
         warm: true,
+        layout: Default::default(),
     }
 }
 

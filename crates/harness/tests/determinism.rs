@@ -34,6 +34,7 @@ fn deterministic_solve() -> SuiteRunConfig {
         conflict_oracle: ConflictOracleMode::Scan,
         engine: Default::default(),
         warm: true,
+        layout: Default::default(),
     }
 }
 

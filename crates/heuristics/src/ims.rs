@@ -5,8 +5,8 @@ use crate::mrt::ModuloReservationTable;
 use std::error::Error;
 use std::fmt;
 use swp_ddg::{Ddg, NodeId};
-use swp_machine::Machine;
 use swp_machine::PipelinedSchedule;
+use swp_machine::{DataLayout, Machine};
 use swp_milp::budget::{Budget, Exhaustion};
 
 /// Why a heuristic gave up.
@@ -104,6 +104,8 @@ pub struct IterativeModuloScheduler {
     ii_span: u32,
     /// Probe MRT slots through the memoized hazard automaton.
     use_automaton: bool,
+    /// Cell layout of the MRT and of the final self-audit.
+    layout: DataLayout,
 }
 
 impl IterativeModuloScheduler {
@@ -115,6 +117,7 @@ impl IterativeModuloScheduler {
             budget_ratio: 6,
             ii_span: 32,
             use_automaton: false,
+            layout: DataLayout::default(),
         }
     }
 
@@ -138,6 +141,13 @@ impl IterativeModuloScheduler {
     /// [`HazardAutomaton`]: swp_automata::HazardAutomaton
     pub fn with_automaton(mut self, enabled: bool) -> Self {
         self.use_automaton = enabled;
+        self
+    }
+
+    /// Selects the MRT cell layout ([`DataLayout::Flat`] by default).
+    /// Schedules are bit-identical either way; only probe cost changes.
+    pub fn with_layout(mut self, layout: DataLayout) -> Self {
+        self.layout = layout;
         self
     }
 
@@ -171,6 +181,7 @@ impl IterativeModuloScheduler {
             Some(self.budget_ratio),
             budget,
             self.use_automaton,
+            self.layout,
         )
     }
 
@@ -200,6 +211,7 @@ impl IterativeModuloScheduler {
         budget: &Budget,
     ) -> Result<Option<PipelinedSchedule>, HeuristicError> {
         let mut evictions = 0;
+        let mut scratch = ImsScratch::default();
         try_ii(
             &self.machine,
             ddg,
@@ -208,6 +220,8 @@ impl IterativeModuloScheduler {
             &mut evictions,
             budget,
             self.use_automaton,
+            self.layout,
+            &mut scratch,
         )
         .map_err(HeuristicError::from)
     }
@@ -236,7 +250,8 @@ impl IterativeModuloScheduler {
         if let Some(h) = hint {
             if h.initiation_interval() == ii
                 && h.num_ops() == ddg.num_nodes()
-                && h.validate(ddg, &self.machine).is_ok()
+                && h.validate_layout(ddg, &self.machine, None, self.layout)
+                    .is_ok()
             {
                 return Ok(Some(h.clone()));
             }
@@ -252,6 +267,7 @@ pub struct ListModuloScheduler {
     machine: Machine,
     ii_span: u32,
     use_automaton: bool,
+    layout: DataLayout,
 }
 
 impl ListModuloScheduler {
@@ -261,6 +277,7 @@ impl ListModuloScheduler {
             machine,
             ii_span: 32,
             use_automaton: false,
+            layout: DataLayout::default(),
         }
     }
 
@@ -268,6 +285,13 @@ impl ListModuloScheduler {
     /// see [`IterativeModuloScheduler::with_automaton`].
     pub fn with_automaton(mut self, enabled: bool) -> Self {
         self.use_automaton = enabled;
+        self
+    }
+
+    /// Selects the MRT cell layout; see
+    /// [`IterativeModuloScheduler::with_layout`].
+    pub fn with_layout(mut self, layout: DataLayout) -> Self {
+        self.layout = layout;
         self
     }
 
@@ -297,6 +321,7 @@ impl ListModuloScheduler {
             None,
             budget,
             self.use_automaton,
+            self.layout,
         )
     }
 }
@@ -305,9 +330,10 @@ impl ListModuloScheduler {
 /// loop-carried edges discounted by `II·distance`. Computed by fixed
 /// point (bounded passes, cycles contribute only via their discounted
 /// edges, which cannot diverge when `II ≥ RecMII`).
-fn heights(ddg: &Ddg, ii: u32) -> Vec<i64> {
+fn heights_into(ddg: &Ddg, ii: u32, h: &mut Vec<i64>) {
     let n = ddg.num_nodes();
-    let mut h: Vec<i64> = ddg.nodes().map(|(_, nd)| nd.latency as i64).collect();
+    h.clear();
+    h.extend(ddg.nodes().map(|(_, nd)| nd.latency as i64));
     for _ in 0..n.max(1) {
         let mut changed = false;
         for e in ddg.edges() {
@@ -322,9 +348,30 @@ fn heights(ddg: &Ddg, ii: u32) -> Vec<i64> {
             break;
         }
     }
+}
+
+#[cfg(test)]
+fn heights(ddg: &Ddg, ii: u32) -> Vec<i64> {
+    let mut h = Vec::new();
+    heights_into(ddg, ii, &mut h);
     h
 }
 
+/// Reusable buffers for [`try_ii`]: allocated once per search, so the
+/// steady place/evict loop runs allocation-free across candidate IIs.
+#[derive(Debug, Default)]
+struct ImsScratch {
+    heights: Vec<i64>,
+    order: Vec<usize>,
+    time: Vec<Option<u32>>,
+    unit: Vec<u32>,
+    prev_time: Vec<Option<u32>>,
+    pending: Vec<usize>,
+    evict_probe: Vec<usize>,
+    evict_victims: Vec<usize>,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run(
     machine: &Machine,
     ddg: &Ddg,
@@ -332,6 +379,7 @@ fn run(
     budget_ratio: Option<u32>,
     budget: &Budget,
     use_automaton: bool,
+    layout: DataLayout,
 ) -> Result<HeuristicResult, HeuristicError> {
     let t_dep = ddg.t_dep().ok_or(HeuristicError::NoFinitePeriod)?;
     let map_err = |e| match e {
@@ -350,6 +398,7 @@ fn run(
     let mii = t_dep.max(t_res);
     let mut tried = Vec::new();
     let mut evictions = 0u64;
+    let mut scratch = ImsScratch::default();
     for ii in mii..=mii + ii_span {
         budget.check()?;
         tried.push(ii);
@@ -361,6 +410,8 @@ fn run(
             &mut evictions,
             budget,
             use_automaton,
+            layout,
+            &mut scratch,
         )? {
             return Ok(HeuristicResult {
                 schedule,
@@ -385,6 +436,8 @@ fn try_ii(
     evictions: &mut u64,
     budget: &Budget,
     use_automaton: bool,
+    layout: DataLayout,
+    scratch: &mut ImsScratch,
 ) -> Result<Option<PipelinedSchedule>, Exhaustion> {
     let n = ddg.num_nodes();
     if n == 0 {
@@ -404,26 +457,41 @@ fn try_ii(
         Ok(true) => {}
         Ok(false) | Err(_) => return Ok(None),
     }
-    let h = heights(ddg, ii);
-    let mut order: Vec<usize> = (0..n).collect();
+    let ImsScratch {
+        heights: h,
+        order,
+        time,
+        unit,
+        prev_time,
+        pending,
+        evict_probe,
+        evict_victims,
+    } = scratch;
+    heights_into(ddg, ii, h);
+    order.clear();
+    order.extend(0..n);
     order.sort_by_key(|&i| std::cmp::Reverse(h[i]));
 
     let mut mrt = if use_automaton {
         let automaton = swp_automata::HazardAutomaton::for_machine(machine, ii);
-        ModuloReservationTable::with_automaton(machine, ii, automaton)
+        ModuloReservationTable::with_automaton_layout(machine, ii, automaton, layout)
     } else {
-        ModuloReservationTable::new(machine, ii)
+        ModuloReservationTable::with_layout(machine, ii, layout)
     };
-    let mut time: Vec<Option<u32>> = vec![None; n];
-    let mut unit: Vec<u32> = vec![0; n];
-    let mut prev_time: Vec<Option<u32>> = vec![None; n];
+    time.clear();
+    time.resize(n, None);
+    unit.clear();
+    unit.resize(n, 0);
+    prev_time.clear();
+    prev_time.resize(n, None);
     let mut evict_budget: i64 = match budget_ratio {
         Some(r) => (r as i64) * n as i64,
         None => n as i64, // list mode: exactly one placement per op
     };
     // Worklist stack of ops to (re)place; `pop` must yield the highest
     // priority first, so push in ascending-priority order.
-    let mut pending: Vec<usize> = order.iter().rev().copied().collect();
+    pending.clear();
+    pending.extend(order.iter().rev().copied());
 
     while let Some(i) = pending.pop() {
         // One solve-budget tick per placement bounds backtracking work
@@ -474,13 +542,16 @@ fn try_ii(
                 let Ok(fu_type) = machine.fu_type(node.class) else {
                     return Ok(None);
                 };
-                let Some(fu) = (0..fu_type.count)
-                    .min_by_key(|&fu| mrt.conflicting_ops(machine, node.class, fu, t).len())
-                else {
+                let Some(fu) = (0..fu_type.count).min_by_key(|&fu| {
+                    mrt.conflicting_ops_into(machine, node.class, fu, t, evict_probe);
+                    evict_probe.len()
+                }) else {
                     // A class with zero units can never be placed.
                     return Ok(None);
                 };
-                for victim in mrt.conflicting_ops(machine, node.class, fu, t) {
+                mrt.conflicting_ops_into(machine, node.class, fu, t, evict_victims);
+                for k in 0..evict_victims.len() {
+                    let victim = evict_victims[k];
                     let vid = NodeId::from_index(victim);
                     // Conflicting ops are scheduled by construction; if the
                     // MRT ever disagrees, skip the victim rather than panic.
@@ -518,17 +589,20 @@ fn try_ii(
     // Every op must have been placed once the worklist drained; if the
     // invariant ever breaks, fail the II rather than panic.
     let mut starts: Vec<u32> = Vec::with_capacity(n);
-    for t in time {
+    for t in time.iter() {
         match t {
-            Some(t) => starts.push(t),
+            Some(t) => starts.push(*t),
             None => return Ok(None),
         }
     }
-    let assignment: Vec<Option<u32>> = unit.into_iter().map(Some).collect();
+    let assignment: Vec<Option<u32>> = unit.iter().map(|&u| Some(u)).collect();
     let schedule = PipelinedSchedule::new(ii, starts, assignment);
     // The eviction loop guarantees dependences w.r.t. scheduled ops, but a
     // final audit keeps the heuristic honest (and catches budget races).
-    if schedule.validate(ddg, machine).is_err() {
+    if schedule
+        .validate_layout(ddg, machine, None, layout)
+        .is_err()
+    {
         return Ok(None);
     }
     Ok(Some(schedule))
@@ -648,6 +722,60 @@ mod tests {
                 .schedule(&g)
                 .expect("automaton list");
             assert_eq!(plain_list.schedule, fast_list.schedule);
+        }
+    }
+
+    #[test]
+    fn layout_choice_yields_identical_schedules() {
+        // Flat and Legacy MRT layouts must agree on every decision: same
+        // schedule, same tried list, same eviction count, for both the
+        // backtracking and the list scheduler, on all example machines.
+        for machine in [
+            Machine::example_pldi95(),
+            Machine::example_clean(),
+            Machine::example_non_pipelined(),
+            Machine::ppc604(),
+        ] {
+            let g = fp_loop();
+            let legacy = IterativeModuloScheduler::new(machine.clone())
+                .with_layout(DataLayout::Legacy)
+                .schedule(&g)
+                .expect("legacy");
+            let flat = IterativeModuloScheduler::new(machine.clone())
+                .with_layout(DataLayout::Flat)
+                .schedule(&g)
+                .expect("flat");
+            assert_eq!(legacy.schedule, flat.schedule);
+            assert_eq!(legacy.mii, flat.mii);
+            assert_eq!(legacy.tried, flat.tried);
+            assert_eq!(legacy.evictions, flat.evictions);
+
+            // A starved eviction budget forces the backtracking path so
+            // both layouts exercise forced placement, not just probing.
+            let legacy_tight = IterativeModuloScheduler::new(machine.clone())
+                .with_budget_ratio(1)
+                .with_layout(DataLayout::Legacy)
+                .schedule(&g)
+                .expect("legacy tight");
+            let flat_tight = IterativeModuloScheduler::new(machine.clone())
+                .with_budget_ratio(1)
+                .with_layout(DataLayout::Flat)
+                .schedule(&g)
+                .expect("flat tight");
+            assert_eq!(legacy_tight.schedule, flat_tight.schedule);
+            assert_eq!(legacy_tight.tried, flat_tight.tried);
+            assert_eq!(legacy_tight.evictions, flat_tight.evictions);
+
+            let legacy_list = ListModuloScheduler::new(machine.clone())
+                .with_layout(DataLayout::Legacy)
+                .schedule(&g)
+                .expect("legacy list");
+            let flat_list = ListModuloScheduler::new(machine)
+                .with_layout(DataLayout::Flat)
+                .schedule(&g)
+                .expect("flat list");
+            assert_eq!(legacy_list.schedule, flat_list.schedule);
+            assert_eq!(legacy_list.tried, flat_list.tried);
         }
     }
 

@@ -1,0 +1,141 @@
+//! Layout-equivalence property tests for the heuristics: the flat MRT
+//! arenas and the IMS scratch-buffer path must be decision-identical to
+//! the legacy nested-`Vec` layout — same schedules, same eviction
+//! counts, same probe answers — on random loops and probe sequences.
+//!
+//! Replay a failing stream with `SWP_PROPTEST_SEED=<seed>`.
+
+use proptest::prelude::*;
+use swp_ddg::{Ddg, OpClass};
+use swp_heuristics::{IterativeModuloScheduler, ListModuloScheduler, ModuloReservationTable};
+use swp_machine::{DataLayout, Machine};
+
+fn arb_loop() -> impl Strategy<Value = Ddg> {
+    (2usize..8).prop_flat_map(|n| {
+        let classes = proptest::collection::vec(0usize..3, n);
+        let preds = proptest::collection::vec(any::<u16>(), n - 1);
+        let carried = proptest::option::of((0..n, 1u32..3));
+        (classes, preds, carried).prop_map(move |(classes, preds, carried)| {
+            let mut g = Ddg::new();
+            let lat = [1u32, 2, 3];
+            let ids: Vec<_> = classes
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| g.add_node(format!("n{i}"), OpClass::new(c), lat[c]))
+                .collect();
+            for (i, &p) in preds.iter().enumerate() {
+                let src = (p as usize) % (i + 1);
+                g.add_edge(ids[src], ids[i + 1], 0).expect("valid");
+            }
+            if let Some((k, d)) = carried {
+                g.add_edge(ids[k], ids[k], d).expect("valid");
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// IMS produces the identical result under both layouts: same start
+    /// times, same unit assignment, same MII, same ii trajectory, same
+    /// eviction count.
+    #[test]
+    fn ims_is_layout_invariant(g in arb_loop()) {
+        for machine in [Machine::example_pldi95(), Machine::example_non_pipelined()] {
+            let legacy = IterativeModuloScheduler::new(machine.clone())
+                .with_layout(DataLayout::Legacy)
+                .schedule(&g);
+            let flat = IterativeModuloScheduler::new(machine.clone())
+                .with_layout(DataLayout::Flat)
+                .schedule(&g);
+            match (legacy, flat) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a.schedule.start_times(), b.schedule.start_times());
+                    prop_assert_eq!(a.schedule.assignment(), b.schedule.assignment());
+                    prop_assert_eq!(
+                        a.schedule.initiation_interval(),
+                        b.schedule.initiation_interval()
+                    );
+                    prop_assert_eq!(a.mii, b.mii);
+                    prop_assert_eq!(a.tried, b.tried);
+                    prop_assert_eq!(a.evictions, b.evictions);
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert!(false, "verdicts diverge: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    /// The no-backtracking list scheduler is likewise layout-invariant.
+    #[test]
+    fn list_scheduler_is_layout_invariant(g in arb_loop()) {
+        let machine = Machine::example_pldi95();
+        let legacy = ListModuloScheduler::new(machine.clone())
+            .with_layout(DataLayout::Legacy)
+            .schedule(&g);
+        let flat = ListModuloScheduler::new(machine)
+            .with_layout(DataLayout::Flat)
+            .schedule(&g);
+        match (legacy, flat) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.schedule.start_times(), b.schedule.start_times());
+                prop_assert_eq!(a.schedule.assignment(), b.schedule.assignment());
+                prop_assert_eq!(a.tried, b.tried);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "verdicts diverge: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Driving two MRTs (one per layout) through the same random
+    /// place/remove/probe sequence keeps every observable identical:
+    /// `find_free_unit` answers and `conflicting_ops` owner sequences.
+    #[test]
+    fn mrt_probes_are_layout_invariant(
+        period in 1u32..=8,
+        steps in proptest::collection::vec(
+            (0usize..3, 0u32..16, any::<bool>()),
+            1..24,
+        ),
+    ) {
+        let machine = Machine::example_pldi95();
+        let mut legacy = ModuloReservationTable::with_layout(&machine, period, DataLayout::Legacy);
+        let mut flat = ModuloReservationTable::with_layout(&machine, period, DataLayout::Flat);
+        // (op id, class, fu, time) of live placements, for removals.
+        let mut live: Vec<(usize, OpClass, u32, u32)> = Vec::new();
+        for (op, &(c, time, remove)) in steps.iter().enumerate() {
+            let class = OpClass::new(c);
+            if remove && !live.is_empty() {
+                let (id, rc, rfu, rt) = live.swap_remove(op % live.len());
+                legacy.remove(&machine, rc, rfu, rt, id);
+                flat.remove(&machine, rc, rfu, rt, id);
+                continue;
+            }
+            let a = legacy.find_free_unit(&machine, class, time);
+            let b = flat.find_free_unit(&machine, class, time);
+            prop_assert_eq!(a, b, "probe diverged at step {}", op);
+            let count = machine.fu_type(class).expect("known").count;
+            let fu = a.unwrap_or(op as u32 % count);
+            prop_assert_eq!(
+                legacy.conflicting_ops(&machine, class, fu, time),
+                flat.conflicting_ops(&machine, class, fu, time),
+                "eviction sets diverged at step {}", op
+            );
+            // Like the IMS, only place where the class is modulo-feasible
+            // at this period: the cell scan's "free" verdict ignores an
+            // op's self-collisions, which `place` would then reject.
+            let feasible = machine
+                .fu_type(class)
+                .expect("known")
+                .reservation
+                .modulo_feasible(period);
+            if let (Some(fu), true) = (a, feasible) {
+                legacy.place(&machine, class, fu, time, op);
+                flat.place(&machine, class, fu, time, op);
+                live.push((op, class, fu, time));
+            }
+        }
+    }
+}

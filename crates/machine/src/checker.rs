@@ -7,6 +7,7 @@
 //! time step.
 
 use crate::machine::{Machine, MachineError};
+use crate::DataLayout;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -202,7 +203,7 @@ pub fn check_fixed_assignment(
         }
         let rt = &fu_type.reservation;
         for s in 0..rt.stages() {
-            for l in rt.stage_offsets(s) {
+            for l in rt.stage_offset_iter(s) {
                 let residue = (op.offset + l as u32) % period;
                 let key = (op.class.index(), fu, s, residue);
                 if let Some(&other) = usage.get(&key) {
@@ -219,6 +220,143 @@ pub fn check_fixed_assignment(
         }
     }
     Ok(())
+}
+
+/// Per-class modulo tables shared by the flat checker paths: for each
+/// unit class, the word-parallel claimed-cell masks and the claimed-cell
+/// lists in exact legacy scan order (stage-major, offsets ascending).
+struct FlatTables {
+    masks: Vec<Vec<Vec<u64>>>,
+    lists: Vec<Vec<Vec<usize>>>,
+    /// u64 words per per-unit occupancy run, per class.
+    words: Vec<usize>,
+    /// `stages * period` flat cells per unit, per class.
+    cells: Vec<usize>,
+    /// Whether one op of the class repeats without self-collision.
+    self_ok: Vec<bool>,
+}
+
+impl FlatTables {
+    fn new(machine: &Machine, period: u32) -> Self {
+        let t = period as usize;
+        let mut ft = FlatTables {
+            masks: Vec::with_capacity(machine.num_classes()),
+            lists: Vec::with_capacity(machine.num_classes()),
+            words: Vec::with_capacity(machine.num_classes()),
+            cells: Vec::with_capacity(machine.num_classes()),
+            self_ok: Vec::with_capacity(machine.num_classes()),
+        };
+        for fu_type in machine.types() {
+            let rt = &fu_type.reservation;
+            ft.masks.push(rt.modulo_cell_masks(period));
+            ft.lists.push(rt.modulo_cell_lists(period));
+            ft.words.push(rt.cell_mask_words(period));
+            ft.cells.push(rt.stages() * t);
+            ft.self_ok.push(rt.modulo_feasible(period));
+        }
+        ft
+    }
+}
+
+/// The flat-layout twin of [`check_fixed_assignment`]: per-(class, fu)
+/// u64 occupancy words probed with one AND per word, plus a flat owner
+/// array used only to reconstruct the exact legacy error. Byte-identical
+/// results — same first error in the naive checker's scan order.
+fn check_fixed_assignment_flat(
+    machine: &Machine,
+    period: u32,
+    ops: &[PlacedOp],
+) -> Result<(), ConflictError> {
+    assert!(period > 0, "period must be positive");
+    let t = period as usize;
+    let ft = FlatTables::new(machine, period);
+    let mut occ: Vec<Vec<u64>> = machine
+        .types()
+        .iter()
+        .enumerate()
+        .map(|(c, fu_type)| vec![0u64; fu_type.count as usize * ft.words[c]])
+        .collect();
+    let mut owner: Vec<Vec<usize>> = machine
+        .types()
+        .iter()
+        .enumerate()
+        .map(|(c, fu_type)| vec![usize::MAX; fu_type.count as usize * ft.cells[c]])
+        .collect();
+    for (i, op) in ops.iter().enumerate() {
+        let fu_type = machine
+            .fu_type(op.class)
+            .map_err(|_| ConflictError::UnknownClass { op: i })?;
+        let fu = op.fu.ok_or(ConflictError::MissingAssignment { op: i })?;
+        if fu >= fu_type.count {
+            return Err(ConflictError::FuOutOfRange {
+                op: i,
+                fu,
+                available: fu_type.count,
+            });
+        }
+        if op.offset >= period {
+            return Err(ConflictError::OffsetOutOfRange {
+                op: i,
+                offset: op.offset,
+            });
+        }
+        let c = op.class.index();
+        let (w, cells, off) = (ft.words[c], ft.cells[c], op.offset as usize);
+        let unit_occ = &mut occ[c][fu as usize * w..(fu as usize + 1) * w];
+        let mask = &ft.masks[c][off];
+        let clean = ft.self_ok[c] && mask.iter().zip(unit_occ.iter()).all(|(m, o)| m & o == 0);
+        let unit_owner = &mut owner[c][fu as usize * cells..(fu as usize + 1) * cells];
+        if clean {
+            for (o, m) in unit_occ.iter_mut().zip(mask) {
+                *o |= m;
+            }
+            for &cell in &ft.lists[c][off] {
+                unit_owner[cell] = i;
+            }
+        } else {
+            // Word probe hit (or the class self-collides at this period):
+            // walk the claimed cells in legacy scan order so the first
+            // collision reported matches the naive checker exactly.
+            for &cell in &ft.lists[c][off] {
+                if unit_owner[cell] != usize::MAX {
+                    return Err(ConflictError::StageCollision {
+                        class: op.class,
+                        fu,
+                        stage: cell / t,
+                        residue: (cell % t) as u32,
+                        ops: (unit_owner[cell], i),
+                    });
+                }
+                unit_owner[cell] = i;
+            }
+            // Unreachable in practice (a probe hit implies an owned cell),
+            // but keep the occupancy invariant if we ever fall through.
+            for (o, m) in unit_occ.iter_mut().zip(mask) {
+                *o |= m;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`check_fixed_assignment`] dispatched on [`DataLayout`]: `Legacy`
+/// runs the original per-cell hash-map scan, `Flat` the word-parallel
+/// occupancy probe. Both return byte-identical results; the equivalence
+/// proptests enforce it.
+///
+/// # Errors
+///
+/// The first [`ConflictError`] found, scanning ops in order.
+pub fn check_fixed_assignment_layout(
+    machine: &Machine,
+    period: u32,
+    ops: &[PlacedOp],
+    layout: DataLayout,
+) -> Result<(), ConflictError> {
+    match layout {
+        DataLayout::Legacy => check_fixed_assignment(machine, period, ops),
+        DataLayout::Flat => check_fixed_assignment_flat(machine, period, ops),
+    }
 }
 
 /// [`check_fixed_assignment`] with an optional [`ConflictOracle`] fast
@@ -324,8 +462,15 @@ pub fn check_capacity_only(
     ops: &[PlacedOp],
 ) -> Result<(), ConflictError> {
     assert!(period > 0, "period must be positive");
-    // (class, stage, residue) -> demand
-    let mut demand: HashMap<(usize, usize, u32), u32> = HashMap::new();
+    let t = period as usize;
+    // Flat per-class demand counters indexed by `stage * period + residue`
+    // — same counts as the old (class, stage, residue) hash map, scanned
+    // in the same sorted order, without hashing or allocation per op.
+    let mut demand: Vec<Vec<u32>> = machine
+        .types()
+        .iter()
+        .map(|fu_type| vec![0u32; fu_type.reservation.stages() * t])
+        .collect();
     for (i, op) in ops.iter().enumerate() {
         let fu_type = machine
             .fu_type(op.class)
@@ -337,32 +482,30 @@ pub fn check_capacity_only(
             });
         }
         let rt = &fu_type.reservation;
+        let class_demand = &mut demand[op.class.index()];
         for s in 0..rt.stages() {
-            for l in rt.stage_offsets(s) {
+            for l in rt.stage_offset_iter(s) {
                 let residue = (op.offset + l as u32) % period;
-                *demand.entry((op.class.index(), s, residue)).or_insert(0) += 1;
+                class_demand[s * t + residue as usize] += 1;
             }
         }
     }
-    let mut keys: Vec<_> = demand.keys().copied().collect();
-    keys.sort_unstable();
-    for (class_idx, stage, residue) in keys {
-        let used = demand[&(class_idx, stage, residue)];
+    for (class_idx, class_demand) in demand.iter().enumerate() {
         let class = OpClass::new(class_idx);
-        // Every key came from an op whose class resolved above; if the
-        // lookup still fails, report it rather than crash the checker.
         let Ok(fu_type) = machine.fu_type(class) else {
             return Err(ConflictError::UnknownClass { op: usize::MAX });
         };
         let available = fu_type.count;
-        if used > available {
-            return Err(ConflictError::CapacityExceeded {
-                class,
-                stage,
-                residue,
-                used,
-                available,
-            });
+        for (cell, &used) in class_demand.iter().enumerate() {
+            if used > available {
+                return Err(ConflictError::CapacityExceeded {
+                    class,
+                    stage: cell / t,
+                    residue: (cell % t) as u32,
+                    used,
+                    available,
+                });
+            }
         }
     }
     Ok(())
@@ -376,30 +519,32 @@ pub fn check_capacity_only(
 /// admit none at all — but it is a useful baseline and a fast path.
 pub fn greedy_assignment(machine: &Machine, period: u32, ops: &[PlacedOp]) -> Option<Vec<u32>> {
     assert!(period > 0, "period must be positive");
-    let mut usage: HashMap<(usize, u32, usize, u32), usize> = HashMap::new();
+    // First-fit with word-parallel unit probes: a unit is free for the
+    // op iff its claimed-cell mask is disjoint from the unit's occupancy
+    // words — the same predicate the old per-cell hash scan computed.
+    let ft = FlatTables::new(machine, period);
+    let mut occ: Vec<Vec<u64>> = machine
+        .types()
+        .iter()
+        .enumerate()
+        .map(|(c, fu_type)| vec![0u64; fu_type.count as usize * ft.words[c]])
+        .collect();
     let mut out = Vec::with_capacity(ops.len());
-    for (i, op) in ops.iter().enumerate() {
+    for op in ops.iter() {
         let fu_type = machine.fu_type(op.class).ok()?;
-        let rt = &fu_type.reservation;
-        let mut chosen = None;
-        'fu: for fu in 0..fu_type.count {
-            for s in 0..rt.stages() {
-                for l in rt.stage_offsets(s) {
-                    let residue = (op.offset + l as u32) % period;
-                    if usage.contains_key(&(op.class.index(), fu, s, residue)) {
-                        continue 'fu;
-                    }
-                }
-            }
-            chosen = Some(fu);
-            break;
-        }
-        let fu = chosen?;
-        for s in 0..rt.stages() {
-            for l in rt.stage_offsets(s) {
-                let residue = (op.offset + l as u32) % period;
-                usage.insert((op.class.index(), fu, s, residue), i);
-            }
+        let c = op.class.index();
+        let w = ft.words[c];
+        // The old scan reduced offsets per cell, so oversized offsets are
+        // legal here (unlike the fixed-assignment checker).
+        let mask = &ft.masks[c][(op.offset % period) as usize];
+        let class_occ = &mut occ[c];
+        let fu = (0..fu_type.count).find(|&fu| {
+            let unit_occ = &class_occ[fu as usize * w..(fu as usize + 1) * w];
+            mask.iter().zip(unit_occ).all(|(m, o)| m & o == 0)
+        })?;
+        let unit_occ = &mut class_occ[fu as usize * w..(fu as usize + 1) * w];
+        for (o, m) in unit_occ.iter_mut().zip(mask) {
+            *o |= m;
         }
         out.push(fu);
     }
@@ -500,6 +645,74 @@ mod tests {
             }
             other => panic!("expected capacity error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn flat_checker_matches_naive_on_every_fixture() {
+        // Every fixture the naive checker is tested with, plus wraparound
+        // self-collision and mixed-class schedules: the flat layout must
+        // return the byte-identical result (same variant, same fields,
+        // same first error in scan order).
+        let machines = [
+            Machine::example_pldi95(),
+            Machine::example_clean(),
+            Machine::example_non_pipelined(),
+            Machine::ppc604(),
+        ];
+        let int = |offset, fu| PlacedOp {
+            class: OpClass::new(0),
+            offset,
+            fu,
+        };
+        let cases: Vec<Vec<PlacedOp>> = vec![
+            vec![fp(0, Some(0)), fp(0, Some(1))],
+            vec![fp(0, Some(0)), fp(1, Some(0))],
+            vec![fp(0, Some(0)), fp(1, Some(0)), fp(9, Some(0))],
+            vec![fp(0, None)],
+            vec![fp(9, Some(0))],
+            vec![fp(0, Some(7))],
+            vec![
+                fp(0, Some(0)),
+                int(0, Some(0)),
+                fp(2, Some(0)),
+                int(1, Some(0)),
+            ],
+            vec![
+                fp(0, Some(0)),
+                fp(2, Some(1)),
+                fp(3, Some(0)),
+                fp(1, Some(1)),
+            ],
+            vec![PlacedOp {
+                class: OpClass::new(9),
+                offset: 0,
+                fu: Some(0),
+            }],
+        ];
+        for m in &machines {
+            for period in 1u32..7 {
+                for ops in &cases {
+                    assert_eq!(
+                        check_fixed_assignment_layout(m, period, ops, DataLayout::Flat),
+                        check_fixed_assignment_layout(m, period, ops, DataLayout::Legacy),
+                        "period {period}, ops {ops:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_checker_reports_wraparound_self_collision_identically() {
+        let m = Machine::example_non_pipelined();
+        let ops = [fp(0, Some(0))];
+        let legacy = check_fixed_assignment_layout(&m, 1, &ops, DataLayout::Legacy);
+        let flat = check_fixed_assignment_layout(&m, 1, &ops, DataLayout::Flat);
+        assert!(matches!(
+            legacy,
+            Err(ConflictError::StageCollision { ops: (0, 0), .. })
+        ));
+        assert_eq!(flat, legacy);
     }
 
     #[test]

@@ -1,4 +1,9 @@
 //! Reservation tables (Kogge 1981).
+//!
+//! Marks are stored as u64 words (one padded word run per stage) so
+//! collision tests over rows and modulo cell sets are word-parallel
+//! AND/OR instead of per-cell boolean loops. Padding bits are always
+//! zero, so the derived `PartialEq`/`Hash` stay canonical.
 
 use std::fmt;
 
@@ -21,10 +26,30 @@ use std::fmt;
 pub struct ReservationTable {
     stages: usize,
     cols: usize,
-    marks: Vec<bool>, // row-major
+    /// Words per stage row: `cols.div_ceil(64)`.
+    words_per_row: usize,
+    /// Row-major bit marks, `words_per_row` words per stage; bit `l` of
+    /// the row's word run is set iff stage `s` is busy at offset `l`.
+    /// Bits at offsets `>= cols` are always zero.
+    marks: Vec<u64>,
 }
 
 impl ReservationTable {
+    fn empty(stages: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
+        ReservationTable {
+            stages,
+            cols,
+            words_per_row,
+            marks: vec![0u64; stages * words_per_row],
+        }
+    }
+
+    fn set(&mut self, s: usize, l: usize) {
+        debug_assert!(s < self.stages && l < self.cols);
+        self.marks[s * self.words_per_row + l / 64] |= 1u64 << (l % 64);
+    }
+
     /// A clean pipeline of execution time `d`: a single issue stage used
     /// only at offset 0, so a new operation can start every cycle.
     ///
@@ -33,14 +58,9 @@ impl ReservationTable {
     /// Panics if `d == 0`.
     pub fn clean(d: u32) -> Self {
         assert!(d > 0, "execution time must be positive");
-        let cols = d as usize;
-        let mut marks = vec![false; cols];
-        marks[0] = true;
-        ReservationTable {
-            stages: 1,
-            cols,
-            marks,
-        }
+        let mut rt = Self::empty(1, d as usize);
+        rt.set(0, 0);
+        rt
     }
 
     /// A non-pipelined unit of execution time `d`: one stage held for all
@@ -51,12 +71,11 @@ impl ReservationTable {
     /// Panics if `d == 0`.
     pub fn non_pipelined(d: u32) -> Self {
         assert!(d > 0, "execution time must be positive");
-        let cols = d as usize;
-        ReservationTable {
-            stages: 1,
-            cols,
-            marks: vec![true; cols],
+        let mut rt = Self::empty(1, d as usize);
+        for l in 0..d as usize {
+            rt.set(0, l);
         }
+        rt
     }
 
     /// Builds a table from explicit rows (one per stage).
@@ -72,12 +91,15 @@ impl ReservationTable {
         if !rows.iter().any(|r| r[0]) {
             return None;
         }
-        let marks = rows.iter().flat_map(|r| r.iter().copied()).collect();
-        Some(ReservationTable {
-            stages,
-            cols,
-            marks,
-        })
+        let mut rt = Self::empty(stages, cols);
+        for (s, row) in rows.iter().enumerate() {
+            for (l, &m) in row.iter().enumerate() {
+                if m {
+                    rt.set(s, l);
+                }
+            }
+        }
+        Some(rt)
     }
 
     /// Number of pipeline stages (rows).
@@ -94,12 +116,37 @@ impl ReservationTable {
     ///
     /// Out-of-range offsets return `false`.
     pub fn mark(&self, s: usize, l: usize) -> bool {
-        s < self.stages && l < self.cols && self.marks[s * self.cols + l]
+        s < self.stages
+            && l < self.cols
+            && (self.marks[s * self.words_per_row + l / 64] >> (l % 64)) & 1 == 1
+    }
+
+    /// The u64 bit-row for stage `s`: bit `l` is set iff the stage is
+    /// busy at offset `l`. Padding bits past [`Self::exec_time`] are zero,
+    /// so callers may AND/OR whole words without masking.
+    pub fn row_words(&self, s: usize) -> &[u64] {
+        &self.marks[s * self.words_per_row..(s + 1) * self.words_per_row]
+    }
+
+    /// Offsets at which stage `s` is occupied, ascending, without
+    /// allocating — the hot-loop form of [`Self::stage_offsets`].
+    pub fn stage_offset_iter(&self, s: usize) -> impl Iterator<Item = usize> + '_ {
+        self.row_words(s).iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let l = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w * 64 + l)
+            })
+        })
     }
 
     /// Offsets at which stage `s` is occupied.
     pub fn stage_offsets(&self, s: usize) -> Vec<usize> {
-        (0..self.cols).filter(|&l| self.mark(s, l)).collect()
+        self.stage_offset_iter(s).collect()
     }
 
     /// Number of marks in the fullest row — every operation holds some
@@ -107,7 +154,7 @@ impl ReservationTable {
     /// operation per `max_row_marks` cycles (the MAL lower bound).
     pub fn max_row_marks(&self) -> u32 {
         (0..self.stages)
-            .map(|s| self.stage_offsets(s).len() as u32)
+            .map(|s| self.row_words(s).iter().map(|w| w.count_ones()).sum())
             .max()
             .unwrap_or(0)
     }
@@ -124,7 +171,7 @@ impl ReservationTable {
     pub fn forbidden_latencies(&self) -> Vec<u32> {
         let mut forb = Vec::new();
         for s in 0..self.stages {
-            let offs = self.stage_offsets(s);
+            let offs: Vec<usize> = self.stage_offset_iter(s).collect();
             for (a, &x) in offs.iter().enumerate() {
                 for &y in &offs[a + 1..] {
                     let f = (y - x) as u32;
@@ -153,9 +200,8 @@ impl ReservationTable {
     pub fn modulo_feasible(&self, period: u32) -> bool {
         assert!(period > 0, "period must be positive");
         (0..self.stages).all(|s| {
-            let offs = self.stage_offsets(s);
             let mut seen = vec![false; period as usize];
-            offs.iter().all(|&l| {
+            self.stage_offset_iter(s).all(|l| {
                 let r = (l as u32 % period) as usize;
                 !std::mem::replace(&mut seen[r], true)
             })
@@ -171,6 +217,57 @@ impl ReservationTable {
             t += 1;
         }
         t
+    }
+
+    /// Number of u64 words in one per-period cell mask for `period`:
+    /// `(stages * period).div_ceil(64)`. See [`Self::modulo_cell_masks`].
+    pub fn cell_mask_words(&self, period: u32) -> usize {
+        (self.stages * period as usize).div_ceil(64)
+    }
+
+    /// Per-residue modulo cell masks for `period`: `masks[o]` has bit
+    /// `s * period + r` set iff an operation issued at residue `o`
+    /// claims stage `s` at residue `r = (o + l) % period` for some
+    /// marked offset `l`. Two issues at residues `a` and `b` collide on
+    /// one unit iff `masks[a] & masks[b] != 0` — one AND per word
+    /// instead of a per-cell scan. Each mask is
+    /// [`Self::cell_mask_words`] words long; padding bits are zero.
+    pub fn modulo_cell_masks(&self, period: u32) -> Vec<Vec<u64>> {
+        assert!(period > 0, "period must be positive");
+        let t = period as usize;
+        let words = self.cell_mask_words(period);
+        let mut cell_mask = vec![vec![0u64; words]; t];
+        for (o, mask) in cell_mask.iter_mut().enumerate() {
+            for s in 0..self.stages {
+                for l in self.stage_offset_iter(s) {
+                    let bit = s * t + (o + l) % t;
+                    mask[bit / 64] |= 1 << (bit % 64);
+                }
+            }
+        }
+        cell_mask
+    }
+
+    /// Per-residue modulo cell lists for `period`: `lists[o]` holds the
+    /// flat cell indices `s * period + (o + l) % period` claimed by an
+    /// issue at residue `o`, in exactly the scan order of the legacy
+    /// per-cell loops (stage-major, then marked offsets ascending).
+    /// Consumers that must report the *first* colliding cell in legacy
+    /// order walk this list.
+    pub fn modulo_cell_lists(&self, period: u32) -> Vec<Vec<usize>> {
+        assert!(period > 0, "period must be positive");
+        let t = period as usize;
+        (0..t)
+            .map(|o| {
+                let mut cells = Vec::new();
+                for s in 0..self.stages {
+                    for l in self.stage_offset_iter(s) {
+                        cells.push(s * t + (o + l) % t);
+                    }
+                }
+                cells
+            })
+            .collect()
     }
 
     /// The maximum number of operations with this table that one
@@ -191,17 +288,8 @@ impl ReservationTable {
             return 0;
         }
         let t = period as usize;
-        // Bitset of (stage, residue) cells per candidate offset.
-        let words = (self.stages * t).div_ceil(64);
-        let mut cell_mask = vec![vec![0u64; words]; t];
-        for (o, mask) in cell_mask.iter_mut().enumerate() {
-            for s in 0..self.stages {
-                for l in self.stage_offsets(s) {
-                    let bit = s * t + (o + l) % t;
-                    mask[bit / 64] |= 1 << (bit % 64);
-                }
-            }
-        }
+        let words = self.cell_mask_words(period);
+        let cell_mask = self.modulo_cell_masks(period);
         let disjoint = |a: &[u64], b: &[u64]| a.iter().zip(b).all(|(x, y)| x & y == 0);
         let or_into = |a: &mut [u64], b: &[u64]| {
             for (x, y) in a.iter_mut().zip(b) {
@@ -326,6 +414,45 @@ mod tests {
     #[should_panic(expected = "execution time must be positive")]
     fn zero_exec_time_panics() {
         let _ = ReservationTable::clean(0);
+    }
+
+    #[test]
+    fn row_words_match_marks() {
+        // A 70-column table exercises the multi-word row path.
+        let mut row = vec![false; 70];
+        row[0] = true;
+        row[63] = true;
+        row[64] = true;
+        row[69] = true;
+        let rt = ReservationTable::from_rows(&[&row]).expect("well formed");
+        assert_eq!(rt.row_words(0).len(), 2);
+        assert_eq!(rt.stage_offsets(0), vec![0, 63, 64, 69]);
+        for l in 0..70 {
+            assert_eq!(rt.mark(0, l), row[l], "offset {l}");
+        }
+        assert!(!rt.mark(0, 70));
+        assert_eq!(rt.max_row_marks(), 4);
+    }
+
+    #[test]
+    fn cell_masks_match_cell_lists() {
+        let rt = ReservationTable::from_rows(&[
+            &[true, false, false, false, true],
+            &[false, true, false, true, false],
+            &[false, false, true, false, false],
+        ])
+        .expect("well formed");
+        for t in 1u32..9 {
+            let masks = rt.modulo_cell_masks(t);
+            let lists = rt.modulo_cell_lists(t);
+            for o in 0..t as usize {
+                let mut from_list = vec![0u64; rt.cell_mask_words(t)];
+                for &cell in &lists[o] {
+                    from_list[cell / 64] |= 1 << (cell % 64);
+                }
+                assert_eq!(masks[o], from_list, "T = {t}, o = {o}");
+            }
+        }
     }
 
     #[test]

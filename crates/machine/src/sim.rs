@@ -156,14 +156,44 @@ pub fn simulate(
         + max_exec
         + 1;
 
-    // occupancy[class][fu][stage] = Vec<bool> over cycles.
-    let mut occupancy: Vec<Vec<Vec<Vec<bool>>>> = machine
+    // occupancy[class][fu][stage] = u64 bitset over cycles (one padding
+    // word so claims ending at the last cycle can spill a word write).
+    let words = (horizon as usize).div_ceil(64) + 1;
+    let mut occupancy: Vec<Vec<Vec<Vec<u64>>>> = machine
         .types()
         .iter()
-        .map(|f| {
-            vec![vec![vec![false; horizon as usize]; f.reservation.stages()]; f.count as usize]
-        })
+        .map(|f| vec![vec![vec![0u64; words]; f.reservation.stages()]; f.count as usize])
         .collect();
+    // A stage row placed at `start` overlaps the occupancy bitset iff any
+    // shifted row word ANDs a set bit — the word-parallel form of the old
+    // per-cell `Vec<bool>` scan.
+    let row_overlaps = |occ: &[u64], row: &[u64], start: u64| {
+        let (wo, bo) = ((start / 64) as usize, (start % 64) as u32);
+        row.iter().enumerate().any(|(k, &r)| {
+            if r == 0 {
+                return false;
+            }
+            let lo = occ.get(wo + k).copied().unwrap_or(0) >> bo;
+            let hi = if bo == 0 {
+                0
+            } else {
+                occ.get(wo + k + 1).copied().unwrap_or(0) << (64 - bo)
+            };
+            (lo | hi) & r != 0
+        })
+    };
+    let row_claim = |occ: &mut [u64], row: &[u64], start: u64| {
+        let (wo, bo) = ((start / 64) as usize, (start % 64) as u32);
+        for (k, &r) in row.iter().enumerate() {
+            if r == 0 {
+                continue;
+            }
+            occ[wo + k] |= r << bo;
+            if bo != 0 {
+                occ[wo + k + 1] |= r >> (64 - bo);
+            }
+        }
+    };
 
     // Issue events sorted by cycle (BTreeMap keeps dynamic first-fit
     // deterministic).
@@ -183,50 +213,51 @@ pub fn simulate(
             class: class.index(),
         })?;
         let rt = &fu_type.reservation;
-        let fits = |occ: &Vec<Vec<Vec<Vec<bool>>>>, fu: u32| {
-            (0..rt.stages()).all(|s| {
-                rt.stage_offsets(s)
-                    .iter()
-                    .all(|&l| !occ[class.index()][fu as usize][s][(cycle + l as u64) as usize])
-            })
+        let fits = |occ: &Vec<Vec<Vec<Vec<u64>>>>, fu: u32| {
+            (0..rt.stages())
+                .all(|s| !row_overlaps(&occ[class.index()][fu as usize][s], rt.row_words(s), cycle))
         };
-        let fu = match policy {
-            UnitPolicy::Fixed => {
-                let fu = schedule.fu(id).ok_or(SimError::NotMapped { node })?;
-                if !fits(&occupancy, fu) {
-                    // Find the exact colliding cell for the report.
-                    for s in 0..rt.stages() {
-                        for l in rt.stage_offsets(s) {
-                            if occupancy[class.index()][fu as usize][s][(cycle + l as u64) as usize]
-                            {
-                                return Err(SimError::Collision {
-                                    cycle: cycle + l as u64,
-                                    class: class.index(),
-                                    fu,
-                                    stage: s,
-                                });
+        let fu =
+            match policy {
+                UnitPolicy::Fixed => {
+                    let fu = schedule.fu(id).ok_or(SimError::NotMapped { node })?;
+                    if !fits(&occupancy, fu) {
+                        // Find the exact colliding cell for the report, in the
+                        // same stage-major scan order as the old per-cell loop.
+                        for s in 0..rt.stages() {
+                            for l in rt.stage_offset_iter(s) {
+                                let c = cycle + l as u64;
+                                if occupancy[class.index()][fu as usize][s][(c / 64) as usize]
+                                    >> (c % 64)
+                                    & 1
+                                    == 1
+                                {
+                                    return Err(SimError::Collision {
+                                        cycle: c,
+                                        class: class.index(),
+                                        fu,
+                                        stage: s,
+                                    });
+                                }
                             }
                         }
+                        unreachable!("fits() said no but no cell found");
                     }
-                    unreachable!("fits() said no but no cell found");
+                    fu
                 }
-                fu
-            }
-            UnitPolicy::Dynamic => {
-                (0..fu_type.count)
-                    .find(|&fu| fits(&occupancy, fu))
-                    .ok_or(SimError::NoFreeUnit {
+                UnitPolicy::Dynamic => (0..fu_type.count).find(|&fu| fits(&occupancy, fu)).ok_or(
+                    SimError::NoFreeUnit {
                         cycle,
                         node,
                         iteration,
-                    })?
-            }
-        };
+                    },
+                )?,
+            };
         for s in 0..rt.stages() {
-            for l in rt.stage_offsets(s) {
-                let c = cycle + l as u64;
-                occupancy[class.index()][fu as usize][s][c as usize] = true;
-                makespan = makespan.max(c + 1);
+            let row = rt.row_words(s);
+            row_claim(&mut occupancy[class.index()][fu as usize][s], row, cycle);
+            if let Some(last) = rt.stage_offset_iter(s).last() {
+                makespan = makespan.max(cycle + last as u64 + 1);
             }
         }
     }
@@ -240,7 +271,7 @@ pub fn simulate(
                 .map(|stages| {
                     stages
                         .iter()
-                        .map(|cells| cells.iter().filter(|&&b| b).count() as u64)
+                        .map(|cells| cells.iter().map(|w| w.count_ones() as u64).sum::<u64>())
                         .max()
                         .unwrap_or(0)
                 })

@@ -1,0 +1,340 @@
+//! Exact rationals with an `i128` fast path.
+//!
+//! Scheduling LPs have tiny integer coefficients, and even their pivoted
+//! tableaus rarely leave machine-word range — yet the dense audit solver
+//! pays [`BigRat`] allocation on every add. [`SmallRat`] keeps values as
+//! `i128` numerator/denominator pairs and promotes to a heap-allocated
+//! [`BigRat`] only on checked-arithmetic overflow, demoting back as soon
+//! as a result fits. Every operation is exact in both representations,
+//! so swapping `SmallRat` for `BigRat` can never change a comparison —
+//! and therefore never a simplex pivot.
+
+use super::{BigInt, BigRat};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// An exact rational: `num / den` in `i128` when it fits, [`BigRat`]
+/// otherwise.
+///
+/// Canonical form is an invariant: `Small` is always normalized
+/// (`den > 0`, `gcd(|num|, den) == 1`, zero is `0/1`) and `Big` is only
+/// used for values whose reduced numerator or denominator does not fit
+/// `i128`. Equality can therefore be derived structurally.
+#[derive(Clone, PartialEq, Eq)]
+pub enum SmallRat {
+    /// `num / den`, normalized, both in machine range.
+    Small {
+        /// Sign-carrying numerator.
+        num: i128,
+        /// Denominator, always positive.
+        den: i128,
+    },
+    /// Overflow escape; never holds a value that fits `Small`.
+    Big(BigRat),
+}
+
+impl SmallRat {
+    /// Zero.
+    pub fn zero() -> Self {
+        SmallRat::Small { num: 0, den: 1 }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        SmallRat::Small { num: 1, den: 1 }
+    }
+
+    /// Normalizes `num / den` into `Small`; `None` when a step (sign
+    /// flip of `i128::MIN`) would overflow.
+    fn small(num: i128, den: i128) -> Option<SmallRat> {
+        assert!(den != 0, "zero denominator");
+        if num == 0 {
+            return Some(SmallRat::zero());
+        }
+        let g = gcd_u128(num.unsigned_abs(), den.unsigned_abs());
+        if g > i128::MAX as u128 {
+            return None; // gcd of two i128::MIN-magnitude values
+        }
+        let g = g as i128;
+        let (mut num, mut den) = (num / g, den / g);
+        if den < 0 {
+            num = num.checked_neg()?;
+            den = den.checked_neg()?;
+        }
+        Some(SmallRat::Small { num, den })
+    }
+
+    /// Wraps a [`BigRat`], demoting to `Small` when it fits (the
+    /// canonical-form invariant).
+    fn big(r: BigRat) -> SmallRat {
+        match (r.numer().to_i128(), r.denom().to_i128()) {
+            // BigRat is already reduced with a positive denominator.
+            (Some(num), Some(den)) => SmallRat::Small { num, den },
+            _ => SmallRat::Big(r),
+        }
+    }
+
+    /// Exact conversion from a [`BigRat`].
+    pub fn from_bigrat(r: &BigRat) -> SmallRat {
+        SmallRat::big(r.clone())
+    }
+
+    /// Exact conversion to a [`BigRat`].
+    pub fn to_bigrat(&self) -> BigRat {
+        match self {
+            SmallRat::Small { num, den } => BigRat::new(BigInt::from(*num), BigInt::from(*den)),
+            SmallRat::Big(r) => r.clone(),
+        }
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        match self {
+            SmallRat::Small { num, .. } => *num == 0,
+            SmallRat::Big(r) => r.is_zero(),
+        }
+    }
+
+    /// Whether the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        match self {
+            SmallRat::Small { num, .. } => *num < 0,
+            SmallRat::Big(r) => r.is_negative(),
+        }
+    }
+
+    /// Whether the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        match self {
+            SmallRat::Small { num, .. } => *num > 0,
+            SmallRat::Big(r) => r.is_positive(),
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> SmallRat {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        match self {
+            SmallRat::Small { num, den } => {
+                // Already coprime; only the sign swap can overflow.
+                match SmallRat::small(*den, *num) {
+                    Some(v) => v,
+                    None => SmallRat::big(self.to_bigrat().recip()),
+                }
+            }
+            SmallRat::Big(r) => SmallRat::big(r.recip()),
+        }
+    }
+}
+
+impl From<i64> for SmallRat {
+    fn from(v: i64) -> Self {
+        SmallRat::Small {
+            num: v as i128,
+            den: 1,
+        }
+    }
+}
+
+impl Default for SmallRat {
+    fn default() -> Self {
+        SmallRat::zero()
+    }
+}
+
+impl Add for &SmallRat {
+    type Output = SmallRat;
+    fn add(self, rhs: &SmallRat) -> SmallRat {
+        if let (SmallRat::Small { num: a, den: b }, SmallRat::Small { num: c, den: d }) =
+            (self, rhs)
+        {
+            let fast = || {
+                let n = a.checked_mul(*d)?.checked_add(c.checked_mul(*b)?)?;
+                SmallRat::small(n, b.checked_mul(*d)?)
+            };
+            if let Some(v) = fast() {
+                return v;
+            }
+        }
+        SmallRat::big(&self.to_bigrat() + &rhs.to_bigrat())
+    }
+}
+
+impl Neg for &SmallRat {
+    type Output = SmallRat;
+    fn neg(self) -> SmallRat {
+        match self {
+            SmallRat::Small { num, den } => match num.checked_neg() {
+                Some(n) => SmallRat::Small { num: n, den: *den },
+                None => SmallRat::big(-self.to_bigrat()),
+            },
+            SmallRat::Big(r) => SmallRat::big(-r.clone()),
+        }
+    }
+}
+
+impl Sub for &SmallRat {
+    type Output = SmallRat;
+    fn sub(self, rhs: &SmallRat) -> SmallRat {
+        if let (SmallRat::Small { num: a, den: b }, SmallRat::Small { num: c, den: d }) =
+            (self, rhs)
+        {
+            let fast = || {
+                let n = a.checked_mul(*d)?.checked_sub(c.checked_mul(*b)?)?;
+                SmallRat::small(n, b.checked_mul(*d)?)
+            };
+            if let Some(v) = fast() {
+                return v;
+            }
+        }
+        SmallRat::big(&self.to_bigrat() - &rhs.to_bigrat())
+    }
+}
+
+impl Mul for &SmallRat {
+    type Output = SmallRat;
+    fn mul(self, rhs: &SmallRat) -> SmallRat {
+        if self.is_zero() || rhs.is_zero() {
+            return SmallRat::zero();
+        }
+        if let (SmallRat::Small { num: a, den: b }, SmallRat::Small { num: c, den: d }) =
+            (self, rhs)
+        {
+            // Cross-reduce before multiplying to keep products in range.
+            let g1 = gcd_u128(a.unsigned_abs(), d.unsigned_abs());
+            let g2 = gcd_u128(c.unsigned_abs(), b.unsigned_abs());
+            if g1 <= i128::MAX as u128 && g2 <= i128::MAX as u128 {
+                let (g1, g2) = (g1 as i128, g2 as i128);
+                let fast = || {
+                    SmallRat::small((a / g1).checked_mul(c / g2)?, (b / g2).checked_mul(d / g1)?)
+                };
+                if let Some(v) = fast() {
+                    return v;
+                }
+            }
+        }
+        SmallRat::big(&self.to_bigrat() * &rhs.to_bigrat())
+    }
+}
+
+impl Div for &SmallRat {
+    type Output = SmallRat;
+    fn div(self, rhs: &SmallRat) -> SmallRat {
+        self * &rhs.recip()
+    }
+}
+
+impl PartialOrd for SmallRat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SmallRat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if let (SmallRat::Small { num: a, den: b }, SmallRat::Small { num: c, den: d }) =
+            (self, other)
+        {
+            // a/b vs c/d (b,d > 0): compare a*d with c*b.
+            if let (Some(l), Some(r)) = (a.checked_mul(*d), c.checked_mul(*b)) {
+                return l.cmp(&r);
+            }
+        }
+        self.to_bigrat().cmp(&other.to_bigrat())
+    }
+}
+
+impl fmt::Display for SmallRat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmallRat::Small { num, den: 1 } => write!(f, "{num}"),
+            SmallRat::Small { num, den } => write!(f, "{num}/{den}"),
+            SmallRat::Big(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl fmt::Debug for SmallRat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SmallRat({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: i64, d: i64) -> SmallRat {
+        SmallRat::from_bigrat(&BigRat::from_ratio(n, d))
+    }
+
+    #[test]
+    fn small_arithmetic_matches_bigrat() {
+        let cases = [(3, 7), (-2, 5), (0, 1), (10, 4), (-9, -6)];
+        for &(an, ad) in &cases {
+            for &(bn, bd) in &cases {
+                let (a, b) = (s(an, ad), s(bn, bd));
+                let (ra, rb) = (BigRat::from_ratio(an, ad), BigRat::from_ratio(bn, bd));
+                assert_eq!((&a + &b).to_bigrat(), &ra + &rb);
+                assert_eq!((&a - &b).to_bigrat(), &ra - &rb);
+                assert_eq!((-&a).to_bigrat(), -ra.clone());
+                assert_eq!((&a * &b).to_bigrat(), &ra * &rb);
+                assert_eq!(a.cmp(&b), ra.cmp(&rb));
+                if !b.is_zero() {
+                    assert_eq!((&a / &b).to_bigrat(), &ra / &rb);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_promotes_and_demotes() {
+        let huge = SmallRat::Small {
+            num: i128::MAX / 2,
+            den: 1,
+        };
+        let three = s(3, 1);
+        // (i128::MAX/2) * 3 overflows i128: must promote, not wrap.
+        let prod = &huge * &three;
+        assert!(matches!(prod, SmallRat::Big(_)));
+        assert_eq!(
+            prod.to_bigrat(),
+            &huge.to_bigrat() * &BigRat::from_ratio(3, 1)
+        );
+        // Dividing back demotes to Small (canonical form).
+        let back = &prod / &three;
+        assert!(matches!(back, SmallRat::Small { .. }));
+        assert_eq!(back, huge);
+    }
+
+    #[test]
+    fn canonical_form_makes_equality_structural() {
+        assert_eq!(s(2, 4), s(1, 2));
+        assert_eq!(s(-2, -4), s(1, 2));
+        let promoted = SmallRat::from_bigrat(&BigRat::from_ratio(1, 2));
+        assert!(matches!(promoted, SmallRat::Small { .. }));
+    }
+
+    #[test]
+    fn recip_and_signs() {
+        assert_eq!(s(3, 4).recip(), s(4, 3));
+        assert_eq!(s(-3, 4).recip(), s(-4, 3));
+        assert!(s(-1, 2).is_negative());
+        assert!(s(1, 2).is_positive());
+        assert!(SmallRat::zero().is_zero());
+    }
+}

@@ -48,7 +48,7 @@ pub mod simplex;
 pub use branch::{BranchBound, MipSolution, NodePruner, SearchStats, SolveLimits, StopReason};
 pub use budget::{Budget, CancelToken, Exhaustion};
 pub use model::{ConstrId, LinExpr, Model, Sense, VarId, VarKind};
-pub use simplex::{LpBasis, LpOutcome, LpSolution, WarmLpResult};
+pub use simplex::{LpBasis, LpOutcome, LpSolution, PivotLayout, WarmLpResult};
 
 use std::error::Error;
 use std::fmt;

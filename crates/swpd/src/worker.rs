@@ -85,6 +85,7 @@ fn process(shared: &Shared, job: &Job) -> Reply {
         // warm-sweep mode; fingerprint accordingly so daemon records
         // stay interchangeable with the harness's warm records.
         warm: true,
+        layout: Default::default(),
     };
     let key = CacheKey {
         ddg: ddg_fingerprint(&ddg),
