@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Scenario-diversity smoke: fixed-seed differential campaigns over the
+# two extended machine-model families — VLIW issue bundles
+# (--machine-family vliw: every machine carries a width + slot-group
+# bundle) and register pressure (--machine-family regpressure: every
+# case draws a max_live cap) — followed by the golden cross-engine
+# scenario matrix, the family property suite, and the committed
+# regression-corpus replay. Campaigns use tick budgets, so a same-seed
+# run is deterministic; --budget-ms only bounds how many cases start.
+#
+# Usage: ci/scenario-smoke.sh [seed] [cases] [budget-ms]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${1:-3}"
+CASES="${2:-200}"
+BUDGET_MS="${3:-60000}"
+
+cargo build --release -p swp-fuzz
+
+echo "== VLIW issue-bundle campaign (seed $SEED, $CASES cases) =="
+./target/release/fuzz --seed "$SEED" --cases "$CASES" --workers 4 \
+  --machine-family vliw --ticks 500000 --budget-ms "$BUDGET_MS" --shrink
+
+# Lower tick budget: adversarial cap-infeasible cases exhaust every
+# config's budget by construction (the oracle outcome is identical at
+# any tick count), so ticks set the wall-clock price, not the coverage.
+echo "== register-pressure campaign (seed $((SEED + 1)), $CASES cases) =="
+./target/release/fuzz --seed "$((SEED + 1))" --cases "$CASES" --workers 4 \
+  --machine-family regpressure --ticks 100000 --budget-ms "$BUDGET_MS" --shrink
+
+echo "== golden scenario matrix (ILP vs CP, portfolio agreement) =="
+cargo test -q --release -p swp-bench --test golden_scenarios
+
+echo "== family property suite (pressure + bundle oracles) =="
+cargo test -q --release -p swp-fuzz --test properties
+
+echo "== committed regression corpus replays clean =="
+cargo test -q --release -p swp-fuzz --test regressions

@@ -353,4 +353,31 @@ mod tests {
         assert_eq!(oracle.same_unit_collides(fp, fp, 2), Some(false));
         assert_eq!(oracle.self_collides(fp), Some(false));
     }
+
+    #[test]
+    fn registry_never_aliases_distinct_bundle_widths() {
+        // Regression: the registry memoizes per (machine fingerprint, T).
+        // Two machines that differ only in their VLIW issue width must
+        // hash differently, or the second would be served the first's
+        // automaton (and, worse, the harness result cache built on the
+        // same fingerprint would serve the wrong cached verdicts).
+        use swp_machine::BundleSpec;
+        let w2 = Machine::example_clean()
+            .with_bundle(BundleSpec::width(2))
+            .unwrap();
+        let w3 = Machine::example_clean()
+            .with_bundle(BundleSpec::width(3))
+            .unwrap();
+        let a2 = HazardAutomaton::for_machine(&w2, 4);
+        let a3 = HazardAutomaton::for_machine(&w3, 4);
+        assert_ne!(
+            a2.machine_fingerprint(),
+            a3.machine_fingerprint(),
+            "widths 2 and 3 alias at T=4"
+        );
+        assert!(!Arc::ptr_eq(&a2, &a3), "registry interned one automaton");
+        // Same width at the same T still shares one entry.
+        let again = HazardAutomaton::for_machine(&w2, 4);
+        assert!(Arc::ptr_eq(&a2, &again));
+    }
 }

@@ -113,6 +113,7 @@ fn run_ab(machine: &Machine, num_loops: usize, oracle: ConflictOracleMode) -> Ab
             engine: Default::default(),
             warm: true,
             layout: Default::default(),
+            max_live: None,
         },
         HarnessConfig {
             workers: 1,

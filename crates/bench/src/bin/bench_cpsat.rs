@@ -54,6 +54,7 @@ fn run_engine(machine: &Machine, loops: &[GeneratedLoop], engine: Engine, ticks:
             engine,
             warm: true,
             layout: Default::default(),
+            max_live: None,
         },
         HarnessConfig {
             workers: 1,

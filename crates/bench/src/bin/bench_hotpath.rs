@@ -298,6 +298,7 @@ fn run_layout(
             engine: Default::default(),
             warm: true,
             layout,
+            max_live: None,
         },
         HarnessConfig {
             workers: 1,

@@ -24,7 +24,7 @@
 //! classes with `R_r ≥ 2` and at least two ops whose tables are unclean.
 
 use crate::ScheduleError;
-use swp_ddg::{Ddg, NodeId};
+use swp_ddg::{Ddg, NodeId, OpClass};
 use swp_machine::Machine;
 use swp_milp::{Budget, Exhaustion, LinExpr, Model, Sense, VarId, VarKind};
 
@@ -83,6 +83,11 @@ pub struct FormulationOptions {
     /// them (eq. (5)), instead of inlining the `a`-sums. Mathematically
     /// equivalent; kept for fidelity and used in equivalence tests.
     pub explicit_usage: bool,
+    /// Register-pressure cap: bound the number of simultaneously live
+    /// values (counted per pattern residue, exactly as
+    /// [`swp_machine::PipelinedSchedule::live_per_residue`]) by this
+    /// limit. `None` leaves pressure unconstrained.
+    pub max_live: Option<u32>,
 }
 
 impl FormulationOptions {
@@ -95,6 +100,7 @@ impl FormulationOptions {
             symmetry_breaking: true,
             packing_bound: true,
             explicit_usage: false,
+            max_live: None,
         }
     }
 }
@@ -168,6 +174,7 @@ pub fn build_with(
         symmetry_breaking,
         packing_bound,
         explicit_usage,
+        max_live,
     } = options;
     let n = ddg.num_nodes();
     let t_f = period as f64;
@@ -317,6 +324,108 @@ pub fn build_with(
                     model.add_constr(expr, Sense::Le, fu.count as f64);
                 }
             }
+        }
+    }
+
+    // --- Issue bundle: per-residue width and slot-group rows ---
+    // Steady-state cycle `c` issues exactly the ops with `t_i ≡ c (mod
+    // T)`, so a per-cycle issue-width limit becomes `Σ_i a_{ρ,i} ≤ W`
+    // for every residue `ρ`, and a slot-group cap the same sum over the
+    // group's classes. Offset-based, so mapping mode is irrelevant.
+    if let Some(bundle) = machine.bundle() {
+        bail()?;
+        if packing_bound {
+            // Root pigeonholes, mirrored verbatim by the CP backend.
+            // `Machine::bundle_bound` folds them into T_res, but the
+            // formulation can be probed below T_res directly.
+            if n as u64 > u64::from(bundle.width) * u64::from(period) {
+                return Err(ScheduleError::PeriodInfeasible { period });
+            }
+            for g in &bundle.groups {
+                let members: u64 = g
+                    .classes
+                    .iter()
+                    .map(|&c| ddg.nodes_of_class(OpClass::new(c)).len() as u64)
+                    .sum();
+                if members > u64::from(g.cap) * u64::from(period) {
+                    return Err(ScheduleError::PeriodInfeasible { period });
+                }
+            }
+        }
+        for rho in 0..period as usize {
+            let expr: Vec<(VarId, f64)> = (0..n).map(|i| (a[i][rho], 1.0)).collect();
+            model.add_constr(expr, Sense::Le, f64::from(bundle.width));
+        }
+        for g in &bundle.groups {
+            bail()?;
+            let members: Vec<usize> = g
+                .classes
+                .iter()
+                .flat_map(|&c| ddg.nodes_of_class(OpClass::new(c)))
+                .map(|id| id.index())
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            for rho in 0..period as usize {
+                let expr: Vec<(VarId, f64)> = members.iter().map(|&i| (a[i][rho], 1.0)).collect();
+                model.add_constr(expr, Sense::Le, f64::from(g.cap));
+            }
+        }
+    }
+
+    // --- Register pressure: live-value census per residue (§7) ---
+    // For node `i` with an out-edge to `j`, the value is live for
+    // `L_i = max_j (t_j + T·m_ij) − t_i` cycles, and contributes
+    // `⌈(L_i − δ)/T⌉` live instances at residue `ρ`, where
+    // `δ = (ρ − t_i) mod T`. An integer `live_{i,ρ} ≥ 0` bounded below
+    // per out-edge by `T·live ≥ t_j + T·m_ij − t_i − δ_{i,ρ}` (with
+    // `δ_{i,ρ} = Σ_r ((ρ−r) mod T)·a_{r,i}`, linear in the issue row)
+    // takes exactly that ceiling at any feasible point that tightens it,
+    // so `Σ_i live_{i,ρ} ≤ max_live` is feasible iff some schedule meets
+    // the cap. Integrality of `live` is what makes the ceiling exact —
+    // mirrors the `MinBuffers` B_ij pattern.
+    if let Some(ml) = max_live {
+        let live_ub = (horizon / t_f).ceil() + 2.0;
+        let mut outs: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+        for e in ddg.edges() {
+            outs[e.src.index()].push((e.dst.index(), e.distance));
+        }
+        let mut live_vars: Vec<Vec<VarId>> = vec![Vec::new(); period as usize];
+        for (i, out_edges) in outs.iter().enumerate() {
+            bail()?;
+            if out_edges.is_empty() {
+                continue; // no consumer: never live, exactly as the checker counts
+            }
+            for rho in 0..period {
+                let c = model.add_var(VarKind::Integer, 0.0, live_ub, format!("live[{i},{rho}]"));
+                for &(j, m) in out_edges {
+                    let mut expr = LinExpr::term(c, t_f);
+                    if j != i {
+                        // Self-loop: t_i cancels against t_j.
+                        expr.add_term(t_vars[i], 1.0);
+                        expr.add_term(t_vars[j], -1.0);
+                    }
+                    for (r, &v) in a[i].iter().enumerate() {
+                        let delta = (rho as i64 - r as i64).rem_euclid(period as i64) as f64;
+                        if delta != 0.0 {
+                            expr.add_term(v, delta);
+                        }
+                    }
+                    model.add_constr(expr, Sense::Ge, t_f * f64::from(m));
+                }
+                live_vars[rho as usize].push(c);
+            }
+        }
+        for per_rho in &live_vars {
+            if per_rho.is_empty() {
+                continue;
+            }
+            model.add_constr(
+                per_rho.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+                Sense::Le,
+                f64::from(ml),
+            );
         }
     }
 

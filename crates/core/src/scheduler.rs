@@ -164,6 +164,14 @@ pub struct SchedulerConfig {
     /// [`DataLayout::Legacy`] for the seed's per-cell scan, e.g. for A/B
     /// timing.
     pub data_layout: DataLayout,
+    /// Register-pressure cap (default: none). When set, every engine —
+    /// ILP rows, CP propagation, the IMS incumbent probe — bounds the
+    /// number of simultaneously live values per pattern residue by this
+    /// limit, and the independent checker re-verifies it
+    /// ([`PipelinedSchedule::validate_pressure`]). Refutations at a
+    /// period are then refutations *under the cap*: a tighter cap can
+    /// only raise the proven-optimal `T`.
+    pub max_live: Option<u32>,
     /// Test-only fault injection; leave at `Default::default()`.
     #[doc(hidden)]
     pub faults: FaultPlan,
@@ -184,6 +192,7 @@ impl Default for SchedulerConfig {
             engine: Engine::default(),
             warm_sweep: true,
             data_layout: DataLayout::default(),
+            max_live: None,
             faults: FaultPlan::default(),
         }
     }
@@ -614,6 +623,7 @@ impl RateOptimalScheduler {
         IterativeModuloScheduler::new(self.machine.clone())
             .with_automaton(self.use_automaton())
             .with_layout(self.config.data_layout)
+            .with_max_live(self.config.max_live)
     }
 
     /// Finds a schedule at the smallest feasible period `≥ T_lb`, under a
@@ -713,6 +723,7 @@ impl RateOptimalScheduler {
         .map_err(|e| match e {
             swp_machine::MachineError::UnknownClass(c) => ScheduleError::UnknownClass(c),
             swp_machine::MachineError::NoUnits(n) => ScheduleError::BadMachine(n),
+            swp_machine::MachineError::BadBundle(why) => ScheduleError::BadMachine(why),
         })?;
         let t_lb = t_dep.max(t_res);
         let t_max = t_lb + self.config.max_t_above_lb;
@@ -889,7 +900,11 @@ impl RateOptimalScheduler {
             &self.machine,
             oracle.map(|o| o as &dyn swp_machine::ConflictOracle),
             self.config.data_layout,
-        )
+        )?;
+        if let Some(limit) = self.config.max_live {
+            schedule.validate_pressure(ddg, limit)?;
+        }
+        Ok(())
     }
 
     /// Attempts exactly one period under a per-period slice of `budget`.
@@ -1094,6 +1109,7 @@ impl RateOptimalScheduler {
                 objective: self.config.objective,
                 symmetry_breaking: self.config.symmetry_breaking,
                 packing_bound: self.config.packing_bound,
+                max_live: self.config.max_live,
                 ..FormulationOptions::standard()
             },
             period_budget,
@@ -1197,6 +1213,7 @@ impl RateOptimalScheduler {
         let opts = CpOptions {
             symmetry_breaking: self.config.symmetry_breaking,
             packing_bound: self.config.packing_bound,
+            max_live: self.config.max_live,
         };
         // Race arms run with a throwaway store: which clauses a loser
         // learned depends on wall-clock interleaving, and persisting them
@@ -1770,6 +1787,67 @@ mod tests {
             Some(PeriodOutcome::Feasible(e)) => assert_eq!(s.solved_by(), e),
             other => panic!("last attempt not feasible: {other:?}"),
         }
+    }
+
+    #[test]
+    fn vliw_bundle_agrees_across_exact_engines() {
+        // example_vliw: issue width 2, "mem" slot (class 2) capped at 1
+        // per cycle. fp_loop has two mem ops, so any period must keep
+        // them at distinct residues; both exact engines must agree on
+        // the proven-optimal T and their witnesses must validate.
+        let machine = Machine::example_vliw();
+        let g = fp_loop();
+        let mut proven = Vec::new();
+        for engine in [Engine::Ilp, Engine::Cp] {
+            let cfg = SchedulerConfig {
+                engine,
+                ..Default::default()
+            };
+            let s = RateOptimalScheduler::new(machine.clone(), cfg)
+                .schedule(&g)
+                .expect("schedulable on the VLIW machine");
+            assert!(s.is_proven_optimal(), "{engine:?} should prove optimality");
+            assert_eq!(s.schedule.validate(&g, &machine), Ok(()));
+            proven.push(s.schedule.initiation_interval());
+        }
+        assert_eq!(proven[0], proven[1], "ILP and CP disagree on VLIW T");
+    }
+
+    #[test]
+    fn pressure_cap_agrees_across_exact_engines() {
+        // a (latency 3, FP) -> b: uncapped the chain schedules at T=1,
+        // where the value of `a` spans 3 periods (pressure 3). A cap of
+        // 1 forces T up to 3 with b exactly one period after a. Both
+        // exact engines must land on the same proven T and emit
+        // cap-compliant witnesses.
+        let machine = Machine::example_clean();
+        let mut g = Ddg::new();
+        let a = g.add_node("a", OpClass::new(1), 3);
+        let b = g.add_node("b", OpClass::new(1), 1);
+        g.add_edge(a, b, 0).unwrap();
+        let uncapped = RateOptimalScheduler::new(machine.clone(), SchedulerConfig::default())
+            .schedule(&g)
+            .expect("uncapped");
+        assert!(uncapped.schedule.max_live(&g) > 1);
+        let mut proven = Vec::new();
+        for engine in [Engine::Ilp, Engine::Cp] {
+            let cfg = SchedulerConfig {
+                engine,
+                max_live: Some(1),
+                ..Default::default()
+            };
+            let s = RateOptimalScheduler::new(machine.clone(), cfg)
+                .schedule(&g)
+                .expect("schedulable under the cap");
+            assert!(s.is_proven_optimal());
+            assert_eq!(s.schedule.validate_pressure(&g, 1), Ok(()));
+            assert!(
+                s.schedule.initiation_interval() > uncapped.schedule.initiation_interval(),
+                "the cap must cost some period"
+            );
+            proven.push(s.schedule.initiation_interval());
+        }
+        assert_eq!(proven[0], proven[1], "ILP and CP disagree under the cap");
     }
 
     #[test]

@@ -96,6 +96,13 @@ pub struct CpOptions {
     /// Apply the pigeonhole packing pre-check at the root and the
     /// per-unit packing bound inside the coloring propagator.
     pub packing_bound: bool,
+    /// Register-pressure cap, mirroring the ILP's per-residue live rows
+    /// (`SchedulerConfig::max_live`). When set, a fifth propagator
+    /// lower-bounds the live census from the current boxes, and — since
+    /// pressure depends on actual start *times*, not just residues — a
+    /// third branching tier fixes the time of every edge-incident node
+    /// before a leaf is accepted, so the verdict is exact.
+    pub max_live: Option<u32>,
 }
 
 impl Default for CpOptions {
@@ -103,6 +110,7 @@ impl Default for CpOptions {
         CpOptions {
             symmetry_breaking: true,
             packing_bound: true,
+            max_live: None,
         }
     }
 }
@@ -205,6 +213,14 @@ struct ClassInfo {
     members: Vec<usize>,
 }
 
+/// Issue-bundle limits as the propagator sees them: the width row over
+/// every node, plus one `(cap, members)` row per slot group.
+struct CpBundle {
+    width: u32,
+    all: Vec<usize>,
+    groups: Vec<(u32, Vec<usize>)>,
+}
+
 /// The immutable model: graph, classes, automaton, options.
 struct CpModel {
     period: u32,
@@ -215,6 +231,16 @@ struct CpModel {
     edges: Vec<(usize, usize, i64)>,
     automaton: Arc<HazardAutomaton>,
     colored: Vec<bool>,
+    /// Issue-bundle limits, when the machine declares them.
+    bundle: Option<CpBundle>,
+    /// Out-edges `(dst, T·m)` per node — self-loops *included* (their
+    /// `t` terms cancel, leaving the constant `T·m`). Populated only
+    /// when `opts.max_live` is set.
+    outs: Vec<Vec<(usize, i64)>>,
+    /// Nodes whose exact start time can move the pressure census (an
+    /// endpoint of some non-self edge); only these get the time
+    /// branching tier.
+    time_relevant: Vec<bool>,
     opts: CpOptions,
 }
 
@@ -494,6 +520,130 @@ impl CpModel {
         }
         Ok(changed)
     }
+
+    /// Propagator 5: issue-bundle width and slot-group caps. Counts
+    /// fixed offsets per residue against each row's cap (the CP
+    /// analogue of the ILP's `Σ_i a_{ρ,i} ≤ W` rows), then prunes
+    /// saturated residues from the still-open members.
+    fn bundle_pass(&self, s: &mut CpState) -> Result<bool, bool> {
+        let Some(b) = &self.bundle else {
+            return Ok(false);
+        };
+        let mut changed = self.bundle_row(s, b.width, &b.all)?;
+        for (cap, members) in &b.groups {
+            changed |= self.bundle_row(s, *cap, members)?;
+        }
+        Ok(changed)
+    }
+
+    fn bundle_row(&self, s: &mut CpState, cap: u32, members: &[usize]) -> Result<bool, bool> {
+        let mut counts = vec![0u32; self.period as usize];
+        let mut changed = false;
+        for &i in members {
+            if let Some(r) = self.dom_fixed(s, i) {
+                let c = &mut counts[r as usize];
+                *c += 1;
+                if *c > cap {
+                    return Err(false);
+                }
+            }
+        }
+        for &i in members {
+            if self.dom_fixed(s, i).is_some() {
+                continue;
+            }
+            let mut pruned = false;
+            for r in 0..self.period {
+                if counts[r as usize] >= cap && self.dom_test(s, i, r) {
+                    self.dom_clear(s, i, r);
+                    pruned = true;
+                }
+            }
+            if pruned {
+                changed = true;
+                if self.dom_count(s, i) == 0 {
+                    return Err(false);
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Propagator 6: register-pressure census. For each node with a
+    /// fixed offset, a sound lower bound on its live range from the
+    /// current boxes is `max_j (lo_j + T·m − hi_i)` (the `t` terms
+    /// cancel on self-loops, leaving `T·m`); summing each node's
+    /// `⌈(L_lb − δ)/T⌉` contribution per residue and comparing against
+    /// the cap detects dead ends early. Pure conflict detection — it
+    /// never narrows a domain, so it reports no change. Exactness comes
+    /// from the time branching tier: at a leaf every edge-incident time
+    /// is pinned (`lo == hi`), making the bound the true census.
+    fn pressure_pass(&self, s: &CpState) -> Result<bool, bool> {
+        let Some(ml) = self.opts.max_live else {
+            return Ok(false);
+        };
+        let t = self.period as i64;
+        let mut per_rho = vec![0u64; self.period as usize];
+        for (i, outs) in self.outs.iter().enumerate() {
+            if outs.is_empty() {
+                continue;
+            }
+            let Some(r) = self.dom_fixed(s, i) else {
+                continue;
+            };
+            let mut l = 0i64;
+            for &(j, tm) in outs {
+                let lb = if j == i { tm } else { s.lo[j] + tm - s.hi[i] };
+                l = l.max(lb);
+            }
+            if l <= 0 {
+                continue;
+            }
+            for rho in 0..t {
+                let delta = (rho - i64::from(r)).rem_euclid(t);
+                let instances = (l - delta + t - 1).div_euclid(t).max(0);
+                per_rho[rho as usize] += instances as u64;
+            }
+        }
+        if per_rho.iter().any(|&c| c > u64::from(ml)) {
+            return Err(false);
+        }
+        Ok(false)
+    }
+}
+
+/// Exact pressure census of the witness `t = lo` at a search leaf.
+/// Sound to decide here: with the time tier exhausted, every
+/// edge-incident node has exactly one residue-consistent time left in
+/// its box, so `lo` *is* the only extension — mirror of
+/// [`swp_machine::PipelinedSchedule::live_per_residue`].
+fn leaf_pressure_ok(m: &CpModel, s: &CpState) -> bool {
+    let Some(ml) = m.opts.max_live else {
+        return true;
+    };
+    let t = m.period as i64;
+    let mut per_rho = vec![0u64; m.period as usize];
+    for (i, outs) in m.outs.iter().enumerate() {
+        if outs.is_empty() {
+            continue;
+        }
+        let ti = s.lo[i];
+        let mut l = 0i64;
+        for &(j, tm) in outs {
+            let span = if j == i { tm } else { s.lo[j] + tm - ti };
+            l = l.max(span);
+        }
+        if l <= 0 {
+            continue;
+        }
+        let off = ti.rem_euclid(t);
+        for rho in 0..t {
+            let delta = (rho - off).rem_euclid(t);
+            let instances = (l - delta + t - 1).div_euclid(t).max(0);
+            per_rho[rho as usize] += instances as u64;
+        }
+    }
+    per_rho.iter().all(|&c| c <= u64::from(ml))
 }
 
 /// Runs all propagators to a fixpoint. `Ok(true)` means consistent,
@@ -517,7 +667,15 @@ fn propagate(
             Ok(c) => changed |= c,
             Err(_) => return Ok(false),
         }
+        match m.bundle_pass(s) {
+            Ok(c) => changed |= c,
+            Err(_) => return Ok(false),
+        }
         match m.coloring_pass(s, &mut scratch) {
+            Ok(c) => changed |= c,
+            Err(_) => return Ok(false),
+        }
+        match m.pressure_pass(s) {
             Ok(c) => changed |= c,
             Err(_) => return Ok(false),
         }
@@ -527,24 +685,29 @@ fn propagate(
     }
 }
 
-/// A branching variable: an offset domain or a color mask.
+/// A branching variable: an offset domain, a color mask, or — only
+/// under a pressure cap — an exact start time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Var {
     Off(usize),
     Col(usize),
+    Time(usize),
 }
 
 const COL_TAG: u32 = 1 << 31;
+const TIME_TAG: u32 = 1 << 30;
 
 fn encode(v: Var) -> u32 {
     match v {
         Var::Off(i) => i as u32,
         Var::Col(i) => i as u32 | COL_TAG,
+        Var::Time(i) => i as u32 | TIME_TAG,
     }
 }
 
-/// Smallest-domain-first over offsets, then colors; ties break on the
-/// lowest node index so the search is deterministic.
+/// Smallest-domain-first over offsets, then colors, then (under a
+/// pressure cap) start times; ties break on the lowest node index so
+/// the search is deterministic.
 fn pick_var(m: &CpModel, s: &CpState) -> Option<Var> {
     let mut best: Option<(u32, usize)> = None;
     for i in 0..m.n {
@@ -566,13 +729,39 @@ fn pick_var(m: &CpModel, s: &CpState) -> Option<Var> {
             best = Some((c, i));
         }
     }
-    best.map(|(_, i)| Var::Col(i))
+    if let Some((_, i)) = best {
+        return Some(Var::Col(i));
+    }
+    if m.opts.max_live.is_some() {
+        // All offsets are singletons here, and bounds_pass has rounded
+        // `lo`/`hi` onto the allowed residue, so the residue-consistent
+        // times left in a box are exactly lo, lo+T, …, hi.
+        let t = i64::from(m.period);
+        let mut best: Option<(i64, usize)> = None;
+        for i in 0..m.n {
+            if !m.time_relevant[i] {
+                continue;
+            }
+            let c = (s.hi[i] - s.lo[i]) / t + 1;
+            if c >= 2 && best.is_none_or(|(bc, _)| c < bc) {
+                best = Some((c, i));
+            }
+        }
+        if let Some((_, i)) = best {
+            return Some(Var::Time(i));
+        }
+    }
+    None
 }
 
 fn candidate_values(m: &CpModel, s: &CpState, v: Var) -> Vec<u32> {
     match v {
         Var::Off(i) => (0..m.period).filter(|&r| m.dom_test(s, i, r)).collect(),
         Var::Col(i) => (0..64).filter(|&u| s.col[i] >> u & 1 != 0).collect(),
+        Var::Time(i) => (s.lo[i]..=s.hi[i])
+            .step_by(m.period as usize)
+            .map(|t| t as u32)
+            .collect(),
     }
 }
 
@@ -584,6 +773,10 @@ fn assign(m: &CpModel, s: &mut CpState, v: Var, val: u32) {
             dom[(val / 64) as usize] = 1u64 << (val % 64);
         }
         Var::Col(i) => s.col[i] = 1u64 << val,
+        Var::Time(i) => {
+            s.lo[i] = i64::from(val);
+            s.hi[i] = i64::from(val);
+        }
     }
 }
 
@@ -699,6 +892,10 @@ fn search(
     spend(budget)?;
     stats.nodes += 1;
     let Some(var) = pick_var(m, s) else {
+        if !leaf_pressure_ok(m, s) {
+            stats.conflicts += 1;
+            return Ok(None);
+        }
         return Ok(Some(extract(m, s)));
     };
     for val in candidate_values(m, s, var) {
@@ -869,6 +1066,45 @@ pub fn solve_at_warm(
         });
     }
 
+    // Bundle root pigeonholes, in the ILP's position (after the
+    // per-class rejections) and order (width first, then each group).
+    let group_members = |g: &swp_machine::SlotGroup| -> Vec<usize> {
+        g.classes
+            .iter()
+            .flat_map(|&c| ddg.nodes_of_class(OpClass::new(c)))
+            .map(|id| id.index())
+            .collect()
+    };
+    if let Some(b) = machine.bundle() {
+        if options.packing_bound {
+            if n as u64 > u64::from(b.width) * u64::from(period) {
+                return Ok((CpOutcome::Infeasible, stats));
+            }
+            for g in &b.groups {
+                if group_members(g).len() as u64 > u64::from(g.cap) * u64::from(period) {
+                    return Ok((CpOutcome::Infeasible, stats));
+                }
+            }
+        }
+    }
+    let bundle = machine.bundle().map(|b| CpBundle {
+        width: b.width,
+        all: (0..n).collect(),
+        groups: b.groups.iter().map(|g| (g.cap, group_members(g))).collect(),
+    });
+
+    let mut outs: Vec<Vec<(usize, i64)>> = vec![Vec::new(); n];
+    let mut time_relevant = vec![false; n];
+    if options.max_live.is_some() {
+        for e in ddg.edges() {
+            outs[e.src.index()].push((e.dst.index(), i64::from(period) * i64::from(e.distance)));
+            if e.src != e.dst {
+                time_relevant[e.src.index()] = true;
+                time_relevant[e.dst.index()] = true;
+            }
+        }
+    }
+
     let words = words_for(period);
     let horizon = (ddg.total_latency() + 2 * period) as i64;
     let model = CpModel {
@@ -879,6 +1115,9 @@ pub fn solve_at_warm(
         edges,
         automaton,
         colored: colored.clone(),
+        bundle,
+        outs,
+        time_relevant,
         opts: options,
     };
 
@@ -1172,6 +1411,7 @@ mod tests {
         let plain = CpOptions {
             symmetry_breaking: false,
             packing_bound: false,
+            max_live: None,
         };
         for t in 2..=8 {
             let with = solve(&ddg, &machine, t).expect("unlimited budget").0;
@@ -1184,6 +1424,80 @@ mod tests {
                 "symmetry/packing must be feasibility-preserving at T={t}"
             );
         }
+    }
+
+    #[test]
+    fn bundle_width_bounds_the_period() {
+        use swp_machine::BundleSpec;
+        // Width-1 bundle: one issue per cycle, so 2 ops need T >= 2
+        // regardless of unit counts.
+        let machine = Machine::example_clean()
+            .with_bundle(BundleSpec::width(1))
+            .expect("bundle");
+        let mut ddg = Ddg::new();
+        ddg.add_node("a", OpClass::new(0), 1);
+        ddg.add_node("b", OpClass::new(0), 1);
+        let (outcome, _) = solve(&ddg, &machine, 1).expect("unlimited budget");
+        assert_eq!(outcome, CpOutcome::Infeasible, "T=1 overflows the bundle");
+        let (outcome, _) = solve(&ddg, &machine, 2).expect("unlimited budget");
+        let CpOutcome::Feasible { starts, .. } = outcome else {
+            panic!("T=2 must be feasible");
+        };
+        assert_ne!(starts[0] % 2, starts[1] % 2, "issues must split residues");
+        // The pigeonhole pre-check off: the propagator must still refute.
+        let plain = CpOptions {
+            packing_bound: false,
+            ..CpOptions::default()
+        };
+        let (outcome, _) =
+            solve_at(&ddg, &machine, 1, plain, &Budget::unlimited()).expect("unlimited budget");
+        assert_eq!(outcome, CpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn slot_group_cap_bounds_the_period() {
+        // example_vliw: width 2, "mem" slot (class 2) capped at 1.
+        let machine = Machine::example_vliw();
+        let mut ddg = Ddg::new();
+        ddg.add_node("ld1", OpClass::new(2), 3);
+        ddg.add_node("ld2", OpClass::new(2), 3);
+        let (outcome, _) = solve(&ddg, &machine, 1).expect("unlimited budget");
+        assert_eq!(outcome, CpOutcome::Infeasible, "two mem ops, one mem slot");
+        let (outcome, _) = solve(&ddg, &machine, 2).expect("unlimited budget");
+        assert!(matches!(outcome, CpOutcome::Feasible { .. }));
+    }
+
+    #[test]
+    fn pressure_cap_forces_a_longer_period() {
+        // a (latency 3) -> b: the value of `a` is live >= 3 cycles, so
+        // at T=2 it overlaps itself (2 instances at a's residue) and a
+        // cap of 1 refutes; at T=3 placing b exactly T cycles after a
+        // keeps one instance per residue — that needs both ops at the
+        // same residue, hence the 2-unit FP class.
+        let machine = Machine::example_clean();
+        let mut ddg = Ddg::new();
+        let a = ddg.add_node("a", OpClass::new(1), 3);
+        let b = ddg.add_node("b", OpClass::new(1), 1);
+        ddg.add_edge(a, b, 0).expect("edge");
+        let capped = CpOptions {
+            max_live: Some(1),
+            ..CpOptions::default()
+        };
+        let (outcome, _) =
+            solve_at(&ddg, &machine, 2, capped, &Budget::unlimited()).expect("unlimited budget");
+        assert_eq!(outcome, CpOutcome::Infeasible, "T=2 needs 2 live instances");
+        // Without the cap T=2 is fine — the refutation is pressure-only.
+        let (outcome, _) = solve(&ddg, &machine, 2).expect("unlimited budget");
+        assert!(matches!(outcome, CpOutcome::Feasible { .. }));
+        let (outcome, _) =
+            solve_at(&ddg, &machine, 3, capped, &Budget::unlimited()).expect("unlimited budget");
+        let CpOutcome::Feasible { starts, .. } = outcome else {
+            panic!("T=3 must be feasible under the cap");
+        };
+        let sched = swp_machine::PipelinedSchedule::new(3, starts, vec![None; 2]);
+        sched
+            .validate_pressure(&ddg, 1)
+            .expect("CP witness must meet the cap it was solved under");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //!     [--artifact fuzz.jsonl] [--out DIR] [--adversarial 0.6] \
 //!     [--max-nodes 8] [--ticks 2000000] [--no-metamorphic] \
 //!     [--engine ilp|cp|portfolio] \
+//!     [--machine-family classic|vliw|regpressure] \
 //!     [--inject-fault reject-schedules|fail-ilp|fail-heuristic] \
 //!     [--incremental [--edits 4]]
 //! ```
@@ -38,7 +39,7 @@ use std::time::{Duration, Instant};
 use swp_core::{Engine, FaultPlan};
 use swp_fuzz::{
     gen_case, run_case, run_incr_case, shrink, to_json_line, write_regression, CaseReport,
-    DiffOptions, FuzzCase, GenConfig, IncrOptions, IncrReport,
+    DiffOptions, FuzzCase, GenConfig, IncrOptions, IncrReport, MachineFamily,
 };
 use swp_harness::{executor, Flags};
 use swp_loops::fingerprint::{ddg_fingerprint, machine_fingerprint};
@@ -97,11 +98,18 @@ fn run() -> Result<ExitCode, String> {
     let max_nodes: usize = flags.get_or("max-nodes", 8)?;
     let ticks: u64 = flags.get_or("ticks", 2_000_000)?;
     let do_shrink = flags.has("shrink");
+    let family = match flags.get("machine-family") {
+        None => MachineFamily::Classic,
+        Some(s) => MachineFamily::parse(s).ok_or_else(|| {
+            format!("unknown machine family `{s}` (use classic, vliw, or regpressure)")
+        })?,
+    };
 
     let gen_config = GenConfig {
         seed,
         max_nodes,
         adversarial_fraction: adversarial,
+        family,
         ..GenConfig::default()
     };
 
@@ -139,7 +147,9 @@ fn run() -> Result<ExitCode, String> {
     let deadline = (budget_ms > 0).then(|| Instant::now() + Duration::from_millis(budget_ms));
     let started = Instant::now();
     println!(
-        "== swp-fuzz: seed {seed}, {cases} cases, {workers} worker(s), {ticks} ticks/config =="
+        "== swp-fuzz: seed {seed}, {cases} cases ({} family), {workers} worker(s), \
+         {ticks} ticks/config ==",
+        family.as_str()
     );
 
     let gen_ref = &gen_config;

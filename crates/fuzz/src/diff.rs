@@ -55,7 +55,9 @@ use swp_core::{
 use swp_ddg::{Ddg, OpClass};
 use swp_harness::ConflictOracleMode;
 use swp_heuristics::{HeuristicError, IterativeModuloScheduler};
-use swp_machine::{simulate, DataLayout, FuType, Machine, PipelinedSchedule, UnitPolicy};
+use swp_machine::{
+    simulate, BundleSpec, DataLayout, FuType, Machine, PipelinedSchedule, SlotGroup, UnitPolicy,
+};
 use swp_milp::Budget;
 
 /// What went wrong, as a stable label usable for dedup and shrinking.
@@ -336,6 +338,7 @@ fn scheduler_config(
     engine: Engine,
     layout: DataLayout,
     faults: FaultPlan,
+    max_live: Option<u32>,
 ) -> SchedulerConfig {
     SchedulerConfig {
         // Wall-clock limits off: ticks are the only budget, so outcomes
@@ -347,6 +350,7 @@ fn scheduler_config(
         engine,
         data_layout: layout,
         faults,
+        max_live,
         ..SchedulerConfig::default()
     }
 }
@@ -427,6 +431,7 @@ pub(crate) fn check_schedule(
     schedule: &PipelinedSchedule,
     ddg: &Ddg,
     machine: &Machine,
+    max_live: Option<u32>,
     sim_iterations: u32,
     violations: &mut Vec<Violation>,
 ) {
@@ -437,6 +442,16 @@ pub(crate) fn check_schedule(
             details: format!("checker rejected accepted schedule: {e}"),
         });
         return;
+    }
+    if let Some(limit) = max_live {
+        if let Err(e) = schedule.validate_pressure(ddg, limit) {
+            violations.push(Violation {
+                kind: ViolationKind::CheckerReject,
+                config: config.to_string(),
+                details: format!("accepted schedule breaks the pressure cap: {e}"),
+            });
+            return;
+        }
     }
     let policy = if schedule.is_mapped() {
         UnitPolicy::Fixed
@@ -491,7 +506,7 @@ pub fn run_case(case: &FuzzCase, opts: &DiffOptions) -> CaseReport {
         };
         let outcome = run_driver(
             case,
-            scheduler_config(*incumbent, *oracle, *engine, *layout, faults),
+            scheduler_config(*incumbent, *oracle, *engine, *layout, faults, case.max_live),
             opts.ticks_per_config,
         );
         let (period, proven, timed_out) = match &outcome {
@@ -556,6 +571,7 @@ pub fn run_case(case: &FuzzCase, opts: &DiffOptions) -> CaseReport {
                     &r.schedule,
                     &case.ddg,
                     &case.machine,
+                    case.max_live,
                     opts.sim_iterations,
                     &mut violations,
                 );
@@ -677,7 +693,9 @@ pub fn run_case(case: &FuzzCase, opts: &DiffOptions) -> CaseReport {
     let mut ims_schedules: Vec<Option<PipelinedSchedule>> = Vec::new();
     for (name, automaton) in [("ims/scan", false), ("ims/auto", true)] {
         let budget = Budget::with_tick_limit(opts.ticks_per_config);
-        let ims = IterativeModuloScheduler::new(case.machine.clone()).with_automaton(automaton);
+        let ims = IterativeModuloScheduler::new(case.machine.clone())
+            .with_automaton(automaton)
+            .with_max_live(case.max_live);
         match ims.schedule_with(&case.ddg, &budget) {
             Ok(hr) => {
                 let ii = hr.schedule.initiation_interval();
@@ -686,6 +704,7 @@ pub fn run_case(case: &FuzzCase, opts: &DiffOptions) -> CaseReport {
                     &hr.schedule,
                     &case.ddg,
                     &case.machine,
+                    case.max_live,
                     opts.sim_iterations,
                     &mut violations,
                 );
@@ -851,6 +870,7 @@ fn rerun_baseline(case: &FuzzCase, opts: &DiffOptions) -> DriverOutcome {
             Engine::Ilp,
             DataLayout::Flat,
             FaultPlan::default(),
+            case.max_live,
         ),
         opts.ticks_per_config,
     )
@@ -922,7 +942,23 @@ fn metamorphic_permute_classes(
         t.name = format!("R{slot}");
         types.push(t);
     }
-    let machine = Machine::new(types).expect("counts preserved");
+    let mut machine = Machine::new(types).expect("counts preserved");
+    if let Some(b) = case.machine.bundle() {
+        // Slot groups name classes by index, so they rotate with them.
+        let rotated = BundleSpec {
+            width: b.width,
+            groups: b
+                .groups
+                .iter()
+                .map(|gr| SlotGroup {
+                    name: gr.name.clone(),
+                    cap: gr.cap,
+                    classes: gr.classes.iter().map(|&c| (c + 1) % k).collect(),
+                })
+                .collect(),
+        };
+        machine = machine.with_bundle(rotated).expect("caps preserved");
+    }
     let mut g = Ddg::new();
     let ids: Vec<_> = case
         .ddg
@@ -987,7 +1023,10 @@ fn metamorphic_scale(
             ..t.clone()
         })
         .collect();
-    let machine = Machine::new(types).expect("counts preserved");
+    let mut machine = Machine::new(types).expect("counts preserved");
+    if let Some(b) = case.machine.bundle() {
+        machine = machine.with_bundle(b.clone()).expect("caps preserved");
+    }
     let mut g = Ddg::new();
     let ids: Vec<_> = case
         .ddg
@@ -1041,7 +1080,7 @@ fn metamorphic_t_plus_one(
     }
     let t1 = base.schedule.initiation_interval() + 1;
     let budget = Budget::with_tick_limit(opts.ticks_per_config);
-    let ims = IterativeModuloScheduler::new(case.machine.clone());
+    let ims = IterativeModuloScheduler::new(case.machine.clone()).with_max_live(case.max_live);
     match ims.schedule_at_with(&case.ddg, t1, &budget) {
         Ok(Some(s)) => {
             if s.initiation_interval() != t1 {
@@ -1057,6 +1096,7 @@ fn metamorphic_t_plus_one(
                     &s,
                     &case.ddg,
                     &case.machine,
+                    case.max_live,
                     opts.sim_iterations,
                     violations,
                 );
@@ -1075,7 +1115,7 @@ fn metamorphic_t_plus_one(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gen::{gen_cases, GenConfig};
+    use crate::gen::{gen_cases, GenConfig, MachineFamily};
 
     #[test]
     fn clean_pipeline_runs_clean() {
@@ -1119,6 +1159,48 @@ mod tests {
             );
             assert!(report.passed(), "{}: {:?}", case.name, report.violations);
         }
+    }
+
+    #[test]
+    fn vliw_family_runs_clean() {
+        let cfg = GenConfig {
+            seed: 21,
+            max_nodes: 5,
+            family: MachineFamily::Vliw,
+            ..GenConfig::default()
+        };
+        // Tight ticks keep this debug-build smoke cheap; budget trips
+        // just mark outcomes inconclusive. The full-scale campaign runs
+        // in release via `ci/scenario-smoke.sh`.
+        let opts = DiffOptions {
+            ticks_per_config: 200_000,
+            ..DiffOptions::default()
+        };
+        for case in gen_cases(&cfg, 10) {
+            let report = run_case(&case, &opts);
+            assert!(report.passed(), "{}: {:?}", case.name, report.violations);
+        }
+    }
+
+    #[test]
+    fn regpressure_family_runs_clean() {
+        let cfg = GenConfig {
+            seed: 23,
+            max_nodes: 5,
+            family: MachineFamily::RegPressure,
+            ..GenConfig::default()
+        };
+        let opts = DiffOptions {
+            ticks_per_config: 200_000,
+            ..DiffOptions::default()
+        };
+        let mut capped = 0;
+        for case in gen_cases(&cfg, 10) {
+            capped += usize::from(case.max_live.is_some());
+            let report = run_case(&case, &opts);
+            assert!(report.passed(), "{}: {:?}", case.name, report.violations);
+        }
+        assert!(capped > 0, "campaign exercised no pressure caps");
     }
 
     #[test]

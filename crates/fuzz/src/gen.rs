@@ -24,7 +24,52 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use swp_ddg::{Ddg, NodeId, OpClass};
-use swp_machine::{FuType, Machine, ReservationTable};
+use swp_heuristics::IterativeModuloScheduler;
+use swp_machine::{BundleSpec, FuType, Machine, ReservationTable, SlotGroup};
+use swp_milp::Budget;
+
+/// Which machine-model family a campaign draws its cases from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MachineFamily {
+    /// Scalar machines described by reservation tables only — the seed
+    /// behaviour, and the world of the source paper.
+    #[default]
+    Classic,
+    /// VLIW issue bundles: every machine additionally carries a
+    /// per-cycle issue width, and usually a slot-class group with a
+    /// tighter cap. Guaranteed-schedulable cases stay guaranteed: the
+    /// witness at `T = max(T_lb, n)` issues at most one operation per
+    /// cycle, which satisfies any width/cap ≥ 1, and
+    /// [`Machine::bundle_bound`] is folded into `T_res` so the sweep
+    /// window still covers the witness.
+    Vliw,
+    /// Register-pressure caps: classic machines plus a `max_live`
+    /// bound. Guaranteed cases derive the cap from an actual IMS
+    /// schedule (which then *is* the witness); adversarial cases draw
+    /// a small arbitrary cap with no schedulability promise.
+    RegPressure,
+}
+
+impl MachineFamily {
+    /// Stable label (CLI flag values, JSONL records).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MachineFamily::Classic => "classic",
+            MachineFamily::Vliw => "vliw",
+            MachineFamily::RegPressure => "regpressure",
+        }
+    }
+
+    /// Parses a label written by [`as_str`](Self::as_str).
+    pub fn parse(s: &str) -> Option<MachineFamily> {
+        match s {
+            "classic" => Some(MachineFamily::Classic),
+            "vliw" => Some(MachineFamily::Vliw),
+            "regpressure" => Some(MachineFamily::RegPressure),
+            _ => None,
+        }
+    }
+}
 
 /// Knobs for the generators. The defaults keep cases small enough that
 /// the exact ILP settles every period in milliseconds, which is what
@@ -46,6 +91,8 @@ pub struct GenConfig {
     /// Fraction of cases generated in adversarial mode (the rest are
     /// guaranteed-schedulable).
     pub adversarial_fraction: f64,
+    /// Machine-model family every case of the campaign draws from.
+    pub family: MachineFamily,
 }
 
 impl Default for GenConfig {
@@ -58,6 +105,7 @@ impl Default for GenConfig {
             max_latency: 4,
             max_distance: 3,
             adversarial_fraction: 0.6,
+            family: MachineFamily::Classic,
         }
     }
 }
@@ -75,6 +123,8 @@ pub struct FuzzCase {
     pub machine: Machine,
     /// The dependence graph.
     pub ddg: Ddg,
+    /// Register-pressure cap the engines must honor, if any.
+    pub max_live: Option<u32>,
 }
 
 /// splitmix64: decorrelates the per-case seed from the campaign seed so
@@ -90,15 +140,84 @@ fn mix(seed: u64, index: u64) -> u64 {
 pub fn gen_case(config: &GenConfig, index: usize) -> FuzzCase {
     let mut rng = SmallRng::seed_from_u64(mix(config.seed, index as u64));
     let adversarial = rng.gen_bool(config.adversarial_fraction.clamp(0.0, 1.0));
-    let machine = gen_machine(&mut rng, config, adversarial);
+    let mut machine = gen_machine(&mut rng, config, adversarial);
+    if config.family == MachineFamily::Vliw {
+        machine = attach_bundle(&mut rng, machine);
+    }
     let ddg = gen_ddg(&mut rng, config, &machine, adversarial);
     debug_assert_eq!(ddg.validate(), Ok(()));
+    let (max_live, guaranteed) = if config.family == MachineFamily::RegPressure {
+        gen_max_live(&mut rng, &machine, &ddg, adversarial)
+    } else {
+        (None, !adversarial)
+    };
     FuzzCase {
         index,
         name: format!("case{index:04}"),
-        guaranteed: !adversarial,
+        guaranteed,
         machine,
         ddg,
+        max_live,
+    }
+}
+
+/// Attaches a random issue bundle: width 1–3, and usually one slot
+/// group over a random class subset with a cap below the width. Caps
+/// are always ≥ 1, so a one-op-per-cycle schedule satisfies every
+/// bundle this produces — the guaranteed-schedulable argument carries
+/// over unchanged.
+fn attach_bundle(rng: &mut SmallRng, machine: Machine) -> Machine {
+    let width = rng.gen_range(1..=3u32);
+    let mut groups = Vec::new();
+    if rng.gen_bool(0.6) {
+        let k = machine.num_classes();
+        let mut classes: Vec<usize> = (0..k).filter(|_| rng.gen_bool(0.5)).collect();
+        if classes.is_empty() {
+            classes.push(rng.gen_range(0..k));
+        }
+        groups.push(SlotGroup {
+            name: "g0".into(),
+            cap: rng.gen_range(1..=width),
+            classes,
+        });
+    }
+    machine
+        .with_bundle(BundleSpec { width, groups })
+        .expect("width and caps are positive")
+}
+
+/// Draws the register-pressure cap for a [`MachineFamily::RegPressure`]
+/// case, returning `(max_live, guaranteed)`.
+///
+/// Guaranteed cases take the live census of an actual IMS schedule as
+/// the cap: that schedule *is* the feasibility witness, and its II lies
+/// inside the driver's default sweep window (`T_lb + 16`) by the same
+/// argument that guarantees the classic cases — otherwise the case
+/// degrades to an uncapped guaranteed one. Adversarial cases draw a
+/// small arbitrary cap with no promise attached.
+fn gen_max_live(
+    rng: &mut SmallRng,
+    machine: &Machine,
+    ddg: &Ddg,
+    adversarial: bool,
+) -> (Option<u32>, bool) {
+    if adversarial {
+        return (Some(rng.gen_range(1..=4)), false);
+    }
+    let budget = Budget::with_tick_limit(2_000_000);
+    let witness = IterativeModuloScheduler::new(machine.clone())
+        .schedule_with(ddg, &budget)
+        .ok()
+        .filter(|hr| {
+            let t_lb = ddg
+                .t_dep()
+                .unwrap_or(0)
+                .max(machine.t_res(ddg).unwrap_or(0));
+            hr.schedule.initiation_interval() <= t_lb + 16
+        });
+    match witness {
+        Some(hr) => (Some(hr.schedule.max_live(ddg).max(1)), true),
+        None => (None, true),
     }
 }
 
@@ -262,6 +381,70 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn vliw_family_always_bundles() {
+        let cfg = GenConfig {
+            seed: 13,
+            family: MachineFamily::Vliw,
+            ..GenConfig::default()
+        };
+        let cases = gen_cases(&cfg, 60);
+        for case in &cases {
+            let b = case.machine.bundle().expect("vliw case without a bundle");
+            assert!(b.width >= 1);
+            for g in &b.groups {
+                assert!(g.cap >= 1 && g.cap <= b.width);
+                assert!(g.classes.iter().all(|&c| c < case.machine.num_classes()));
+            }
+            assert_eq!(case.max_live, None);
+            if case.guaranteed {
+                assert!(case
+                    .machine
+                    .types()
+                    .iter()
+                    .all(|t| t.reservation.is_clean()));
+            }
+        }
+        // Tight slot groups actually appear.
+        assert!(cases
+            .iter()
+            .any(|c| !c.machine.bundle().unwrap().groups.is_empty()));
+    }
+
+    #[test]
+    fn regpressure_family_draws_caps() {
+        let cfg = GenConfig {
+            seed: 17,
+            family: MachineFamily::RegPressure,
+            ..GenConfig::default()
+        };
+        let cases = gen_cases(&cfg, 60);
+        // Every adversarial case gets a small cap; guaranteed cases get a
+        // witness-derived one (or degrade to uncapped, still guaranteed).
+        for case in &cases {
+            assert!(case.machine.bundle().is_none());
+            if !case.guaranteed {
+                assert!(matches!(case.max_live, Some(1..=4)), "{}", case.name);
+            }
+        }
+        assert!(
+            cases.iter().any(|c| c.guaranteed && c.max_live.is_some()),
+            "no guaranteed case derived a witness cap"
+        );
+    }
+
+    #[test]
+    fn family_labels_round_trip() {
+        for f in [
+            MachineFamily::Classic,
+            MachineFamily::Vliw,
+            MachineFamily::RegPressure,
+        ] {
+            assert_eq!(MachineFamily::parse(f.as_str()), Some(f));
+        }
+        assert_eq!(MachineFamily::parse("scalar"), None);
     }
 
     #[test]

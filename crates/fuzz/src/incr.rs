@@ -196,6 +196,7 @@ pub fn run_incr_case(case: &FuzzCase, opts: &IncrOptions) -> IncrReport {
     let config = SchedulerConfig {
         time_limit_per_t: None,
         time_limit_total: None,
+        max_live: case.max_live,
         ..SchedulerConfig::default()
     };
     let cold_config = SchedulerConfig {
@@ -238,6 +239,7 @@ pub fn run_incr_case(case: &FuzzCase, opts: &IncrOptions) -> IncrReport {
                 &res.schedule,
                 session.ddg(),
                 &case.machine,
+                case.max_live,
                 opts.sim_iterations,
                 &mut violations,
             );

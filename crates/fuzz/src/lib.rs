@@ -42,7 +42,7 @@ pub mod regression;
 pub mod shrink;
 
 pub use diff::{run_case, CaseReport, DiffOptions, Violation, ViolationKind};
-pub use gen::{gen_case, gen_cases, FuzzCase, GenConfig};
+pub use gen::{gen_case, gen_cases, FuzzCase, GenConfig, MachineFamily};
 pub use incr::{run_incr_case, IncrOptions, IncrReport};
 pub use record::{check_json_line, to_json_line, FUZZ_SCHEMA_VERSION};
 pub use regression::{parse_regression, write_regression, RegressionCase};

@@ -44,6 +44,9 @@ pub fn write_regression(case: &FuzzCase, kind: Option<ViolationKind>) -> String 
     if let Some(k) = kind {
         out.push_str(&format!("# kind: {}\n", k.as_str()));
     }
+    if let Some(ml) = case.max_live {
+        out.push_str(&format!("# max_live: {ml}\n"));
+    }
     out.push_str(&write_machine("m", &case.machine));
     out.push_str("ddg {\n");
     for (_, n) in case.ddg.nodes() {
@@ -73,6 +76,7 @@ pub fn write_regression(case: &FuzzCase, kind: Option<ViolationKind>) -> String 
 /// A human-readable message naming the offending line.
 pub fn parse_regression(name: &str, source: &str) -> Result<RegressionCase, String> {
     let mut kind = None;
+    let mut max_live = None;
     let mut machine_text = String::new();
     let mut in_machine = false;
     let mut in_ddg = false;
@@ -85,6 +89,14 @@ pub fn parse_regression(name: &str, source: &str) -> Result<RegressionCase, Stri
         let line = raw.trim();
         if let Some(rest) = line.strip_prefix("# kind:") {
             kind = ViolationKind::parse(rest.trim());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# max_live:") {
+            max_live = Some(
+                rest.trim()
+                    .parse::<u32>()
+                    .map_err(|_| format!("{name}:{line_no}: bad max_live `{}`", rest.trim()))?,
+            );
             continue;
         }
         if line.starts_with('#') || line.is_empty() {
@@ -190,6 +202,7 @@ pub fn parse_regression(name: &str, source: &str) -> Result<RegressionCase, Stri
             guaranteed: false,
             machine,
             ddg,
+            max_live,
         },
     })
 }
@@ -220,6 +233,26 @@ mod tests {
             for (a, b) in parsed.case.ddg.edges().zip(case.ddg.edges()) {
                 assert_eq!((a.src, a.dst, a.distance), (b.src, b.dst, b.distance));
             }
+        }
+    }
+
+    #[test]
+    fn round_trips_bundles_and_caps() {
+        let cfg = GenConfig {
+            seed: 31,
+            family: crate::gen::MachineFamily::Vliw,
+            ..GenConfig::default()
+        };
+        for mut case in gen_cases(&cfg, 20) {
+            case.max_live = Some(u32::try_from(case.index).unwrap_or(0) + 1);
+            let text = write_regression(&case, None);
+            let parsed =
+                parse_regression(&case.name, &text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            assert_eq!(
+                parsed.case.machine, case.machine,
+                "bundle lost in round trip"
+            );
+            assert_eq!(parsed.case.max_live, case.max_live);
         }
     }
 

@@ -9,7 +9,9 @@
 
 use std::fs;
 use std::path::PathBuf;
-use swp_fuzz::{parse_regression, run_case, DiffOptions};
+use swp_fuzz::{
+    gen_cases, parse_regression, run_case, write_regression, DiffOptions, GenConfig, MachineFamily,
+};
 
 fn corpus_files() -> Vec<PathBuf> {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/regressions");
@@ -20,6 +22,65 @@ fn corpus_files() -> Vec<PathBuf> {
         .collect();
     files.sort();
     files
+}
+
+/// The corpus's fixed-seed family cases: the first two
+/// guaranteed-schedulable cases of a VLIW and a register-pressure
+/// campaign, promoted so both machine-model families stay permanently
+/// represented in the replayed corpus. Regenerate with
+/// `REGRESSION_WRITE=1 cargo test -p swp-fuzz --test regressions`.
+fn family_cases() -> Vec<(String, swp_fuzz::FuzzCase)> {
+    let mut out = Vec::new();
+    for (family, seed) in [
+        (MachineFamily::Vliw, 101u64),
+        (MachineFamily::RegPressure, 202),
+    ] {
+        let config = GenConfig {
+            seed,
+            max_nodes: 6,
+            family,
+            ..GenConfig::default()
+        };
+        for case in gen_cases(&config, 40)
+            .into_iter()
+            .filter(|c| c.guaranteed)
+            .take(2)
+        {
+            out.push((format!("{}-family-{}", family.as_str(), case.name), case));
+        }
+    }
+    out
+}
+
+/// Writes the promoted family cases. A no-op unless `REGRESSION_WRITE=1`.
+#[test]
+fn promote_family_cases() {
+    if std::env::var("REGRESSION_WRITE").is_err() {
+        return;
+    }
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/regressions");
+    for (name, case) in family_cases() {
+        let path = dir.join(format!("{name}.txt"));
+        fs::write(&path, write_regression(&case, None)).expect("write corpus file");
+        println!("wrote {}", path.display());
+    }
+}
+
+#[test]
+fn family_cases_are_committed_and_current() {
+    for (name, case) in family_cases() {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/regressions")
+            .join(format!("{name}.txt"));
+        let on_disk = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{name}: missing committed family case ({e})"));
+        assert_eq!(
+            on_disk,
+            write_regression(&case, None),
+            "{name}: committed case diverged from the generator; \
+             rerun with REGRESSION_WRITE=1"
+        );
+    }
 }
 
 #[test]

@@ -68,6 +68,10 @@ pub struct SuiteRunConfig {
     /// across layouts but fingerprinted, like the oracle and engine, so
     /// layout A/B records never mix.
     pub layout: DataLayout,
+    /// Register-pressure cap (`SchedulerConfig::max_live`). Changes
+    /// which periods are feasible, so it is part of the fingerprint:
+    /// capped and uncapped sweeps never share cached records.
+    pub max_live: Option<u32>,
 }
 
 impl Default for SuiteRunConfig {
@@ -82,6 +86,7 @@ impl Default for SuiteRunConfig {
             engine: Engine::default(),
             warm: true,
             layout: DataLayout::default(),
+            max_live: None,
         }
     }
 }
@@ -114,6 +119,7 @@ impl SuiteRunConfig {
             DataLayout::Legacy => 0,
             DataLayout::Flat => 1,
         });
+        h.write_u64(self.max_live.map_or(u64::MAX, u64::from));
         h.finish()
     }
 }
@@ -536,6 +542,10 @@ mod tests {
             },
             SuiteRunConfig {
                 layout: DataLayout::Legacy,
+                ..base.clone()
+            },
+            SuiteRunConfig {
+                max_live: Some(4),
                 ..base.clone()
             },
         ];

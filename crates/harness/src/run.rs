@@ -232,6 +232,7 @@ impl Harness {
                 engine: self.solve.engine,
                 warm_sweep: self.solve.warm,
                 data_layout: self.solve.layout,
+                max_live: self.solve.max_live,
                 ..Default::default()
             },
         );
@@ -437,6 +438,7 @@ mod tests {
             engine: Default::default(),
             warm: true,
             layout: Default::default(),
+            max_live: None,
         }
     }
 

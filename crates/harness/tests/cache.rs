@@ -28,6 +28,7 @@ fn solve_cfg() -> SuiteRunConfig {
         engine: Default::default(),
         warm: true,
         layout: Default::default(),
+        max_live: None,
     }
 }
 

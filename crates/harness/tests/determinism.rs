@@ -35,6 +35,7 @@ fn deterministic_solve() -> SuiteRunConfig {
         engine: Default::default(),
         warm: true,
         layout: Default::default(),
+        max_live: None,
     }
 }
 

@@ -106,6 +106,8 @@ pub struct IterativeModuloScheduler {
     use_automaton: bool,
     /// Cell layout of the MRT and of the final self-audit.
     layout: DataLayout,
+    /// Register-pressure cap audited on every produced schedule.
+    max_live: Option<u32>,
 }
 
 impl IterativeModuloScheduler {
@@ -118,6 +120,7 @@ impl IterativeModuloScheduler {
             ii_span: 32,
             use_automaton: false,
             layout: DataLayout::default(),
+            max_live: None,
         }
     }
 
@@ -148,6 +151,15 @@ impl IterativeModuloScheduler {
     /// Schedules are bit-identical either way; only probe cost changes.
     pub fn with_layout(mut self, layout: DataLayout) -> Self {
         self.layout = layout;
+        self
+    }
+
+    /// Caps register pressure: any candidate schedule whose per-residue
+    /// live census ([`PipelinedSchedule::max_live`]) exceeds the limit
+    /// is discarded, failing that II over to the next one (or to the
+    /// exact engines). `None` (the default) disables the audit.
+    pub fn with_max_live(mut self, limit: Option<u32>) -> Self {
+        self.max_live = limit;
         self
     }
 
@@ -182,6 +194,7 @@ impl IterativeModuloScheduler {
             budget,
             self.use_automaton,
             self.layout,
+            self.max_live,
         )
     }
 
@@ -221,6 +234,7 @@ impl IterativeModuloScheduler {
             budget,
             self.use_automaton,
             self.layout,
+            self.max_live,
             &mut scratch,
         )
         .map_err(HeuristicError::from)
@@ -252,6 +266,7 @@ impl IterativeModuloScheduler {
                 && h.num_ops() == ddg.num_nodes()
                 && h.validate_layout(ddg, &self.machine, None, self.layout)
                     .is_ok()
+                && self.max_live.map_or(true, |ml| h.max_live(ddg) <= ml)
             {
                 return Ok(Some(h.clone()));
             }
@@ -322,6 +337,7 @@ impl ListModuloScheduler {
             budget,
             self.use_automaton,
             self.layout,
+            None,
         )
     }
 }
@@ -380,11 +396,14 @@ fn run(
     budget: &Budget,
     use_automaton: bool,
     layout: DataLayout,
+    max_live: Option<u32>,
 ) -> Result<HeuristicResult, HeuristicError> {
     let t_dep = ddg.t_dep().ok_or(HeuristicError::NoFinitePeriod)?;
     let map_err = |e| match e {
         swp_machine::MachineError::UnknownClass(c) => HeuristicError::UnknownClass(c),
-        swp_machine::MachineError::NoUnits(_) => HeuristicError::NoFinitePeriod,
+        // Construction-time errors (NoUnits, BadBundle) cannot reach a
+        // built Machine; fold them into the generic no-period error.
+        _ => HeuristicError::NoFinitePeriod,
     };
     let t_res = if use_automaton {
         // The automaton's ResMII mirrors `Machine::t_res` exactly (same
@@ -411,6 +430,7 @@ fn run(
             budget,
             use_automaton,
             layout,
+            max_live,
             &mut scratch,
         )? {
             return Ok(HeuristicResult {
@@ -437,6 +457,7 @@ fn try_ii(
     budget: &Budget,
     use_automaton: bool,
     layout: DataLayout,
+    max_live: Option<u32>,
     scratch: &mut ImsScratch,
 ) -> Result<Option<PipelinedSchedule>, Exhaustion> {
     let n = ddg.num_nodes();
@@ -605,6 +626,14 @@ fn try_ii(
     {
         return Ok(None);
     }
+    // Pressure audit: IMS places by resources and dependences only, so
+    // a capped run simply discards over-pressure schedules and lets the
+    // II sweep (or the exact engines) find a compliant one.
+    if let Some(ml) = max_live {
+        if schedule.max_live(ddg) > ml {
+            return Ok(None);
+        }
+    }
     Ok(Some(schedule))
 }
 
@@ -648,6 +677,47 @@ mod tests {
             .schedule(&g)
             .expect("list");
         assert!(ims.schedule.initiation_interval() <= list.schedule.initiation_interval());
+    }
+
+    #[test]
+    fn vliw_bundle_machine_schedules_validate() {
+        let machine = Machine::example_vliw();
+        let g = fp_loop();
+        let res = IterativeModuloScheduler::new(machine.clone())
+            .schedule(&g)
+            .expect("schedulable on bundle machine");
+        assert!(res.schedule.validate(&g, &machine).is_ok());
+    }
+
+    #[test]
+    fn max_live_cap_is_respected_or_refused() {
+        let machine = Machine::example_clean();
+        let g = fp_loop();
+        let uncapped = IterativeModuloScheduler::new(machine.clone())
+            .schedule(&g)
+            .expect("uncapped");
+        let pressure = uncapped.schedule.max_live(&g);
+        assert!(pressure > 0);
+        // Capping at the observed pressure must still succeed, and the
+        // produced schedule must honor the cap.
+        let capped = IterativeModuloScheduler::new(machine.clone())
+            .with_max_live(Some(pressure))
+            .schedule(&g)
+            .expect("capped at observed pressure");
+        assert!(capped.schedule.max_live(&g) <= pressure);
+        assert!(capped.schedule.validate_pressure(&g, pressure).is_ok());
+        // An impossible cap (0 with real cross-iteration flow) must make
+        // every II fail rather than emit a violating schedule.
+        let res = IterativeModuloScheduler::new(machine)
+            .with_max_live(Some(0))
+            .schedule(&g);
+        match res {
+            Ok(r) => panic!("cap 0 produced II {}", r.schedule.initiation_interval()),
+            Err(e) => assert!(matches!(
+                e,
+                HeuristicError::NotFound { .. } | HeuristicError::BudgetExhausted
+            )),
+        }
     }
 
     #[test]

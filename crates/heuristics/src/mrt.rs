@@ -32,6 +32,58 @@ pub struct ModuloReservationTable {
     cells: MrtCells,
     /// Optional hazard-automaton acceleration, shadowing the cells.
     fast: Option<FastState>,
+    /// Issue-bundle counters, present when the machine declares bundle
+    /// limits.
+    bundle: Option<BundleState>,
+}
+
+/// Per-residue issue counters for a machine with VLIW bundle limits:
+/// the steady state issues the ops of residue `r` together each cycle,
+/// so per-cycle width/slot caps are per-residue counts here. The cells
+/// cannot answer "who issued at `r`" (wrapping stages smear claims), so
+/// an explicit ledger backs the eviction sets.
+#[derive(Debug, Clone)]
+struct BundleState {
+    width: u32,
+    /// Slot-group caps, indexed by group.
+    caps: Vec<u32>,
+    /// Groups each machine class belongs to.
+    groups_of: Vec<Vec<usize>>,
+    /// Issues per residue.
+    total: Vec<u32>,
+    /// Issues per `(group, residue)`, flattened `g * period + r`.
+    group_counts: Vec<u32>,
+    /// `(op, class index)` issued at each residue, in placement order —
+    /// kept in order so eviction lists are layout-independent.
+    issued: Vec<Vec<(usize, usize)>>,
+}
+
+impl BundleState {
+    fn new(machine: &Machine, period: u32) -> Option<Self> {
+        let b = machine.bundle()?;
+        let mut groups_of = vec![Vec::new(); machine.num_classes()];
+        for (g, group) in b.groups.iter().enumerate() {
+            for &c in &group.classes {
+                groups_of[c].push(g);
+            }
+        }
+        Some(BundleState {
+            width: b.width,
+            caps: b.groups.iter().map(|g| g.cap).collect(),
+            groups_of,
+            total: vec![0; period as usize],
+            group_counts: vec![0; b.groups.len() * period as usize],
+            issued: vec![Vec::new(); period as usize],
+        })
+    }
+
+    /// Whether one more issue of `class` fits at residue `r`.
+    fn has_headroom(&self, class: OpClass, r: usize, period: u32) -> bool {
+        self.total[r] < self.width
+            && self.groups_of[class.index()]
+                .iter()
+                .all(|&g| self.group_counts[g * period as usize + r] < self.caps[g])
+    }
 }
 
 /// The cell store behind the MRT, one variant per [`DataLayout`].
@@ -158,6 +210,7 @@ impl ModuloReservationTable {
             period,
             cells,
             fast: None,
+            bundle: BundleState::new(machine, period),
         }
     }
 
@@ -235,6 +288,13 @@ impl ModuloReservationTable {
     /// issued at `time` (first fit). Returns the unit index.
     pub fn find_free_unit(&self, machine: &Machine, class: OpClass, time: u32) -> Option<u32> {
         let fu_type = machine.fu_type(class).ok()?;
+        if let Some(b) = &self.bundle {
+            // Bundle limits are unit-independent: a full residue rejects
+            // every unit at once.
+            if !b.has_headroom(class, (time % self.period) as usize, self.period) {
+                return None;
+            }
+        }
         let rt = &fu_type.reservation;
         let Some(fast) = &self.fast else {
             return (0..fu_type.count).find(|&fu| self.cells_free(rt, class, fu, time));
@@ -346,6 +406,18 @@ impl ModuloReservationTable {
                 }
             }
         }
+        if let Some(b) = &mut self.bundle {
+            let r = (time % period) as usize;
+            debug_assert!(
+                b.has_headroom(class, r, period),
+                "bundle overflow: callers must probe or evict first"
+            );
+            b.total[r] += 1;
+            for &g in &b.groups_of[class.index()] {
+                b.group_counts[g * period as usize + r] += 1;
+            }
+            b.issued[r].push((op, class.index()));
+        }
     }
 
     /// Releases the cells of `op` issued at `time` on `fu`.
@@ -397,6 +469,18 @@ impl ModuloReservationTable {
                         .iter()
                         .fold(HazardFsa::START, |s, &q| fsa.issue(s, q));
                 }
+            }
+        }
+        if let Some(b) = &mut self.bundle {
+            let r = (time % period) as usize;
+            b.total[r] -= 1;
+            for &g in &b.groups_of[class.index()] {
+                b.group_counts[g * period as usize + r] -= 1;
+            }
+            // Ordered removal keeps the ledger in placement order, so
+            // later eviction lists stay deterministic.
+            if let Some(pos) = b.issued[r].iter().position(|&(o, _)| o == op) {
+                b.issued[r].remove(pos);
             }
         }
     }
@@ -451,6 +535,29 @@ impl ModuloReservationTable {
                     let op = owner[cell];
                     if op != NONE && !out.contains(&op) {
                         out.push(op);
+                    }
+                }
+            }
+        }
+        if let Some(b) = &self.bundle {
+            // Bundle evictees, appended after the cell conflicts in
+            // ledger (placement) order. A full residue frees the whole
+            // cycle; a full slot group frees only its members.
+            let r = (time % self.period) as usize;
+            if b.total[r] >= b.width {
+                for &(op, _) in &b.issued[r] {
+                    if !out.contains(&op) {
+                        out.push(op);
+                    }
+                }
+            } else {
+                for &g in &b.groups_of[class.index()] {
+                    if b.group_counts[g * self.period as usize + r] >= b.caps[g] {
+                        for &(op, c) in &b.issued[r] {
+                            if b.groups_of[c].contains(&g) && !out.contains(&op) {
+                                out.push(op);
+                            }
+                        }
                     }
                 }
             }
@@ -640,6 +747,48 @@ mod tests {
         let _ = mrt.find_free_unit(&machine, FP, 0);
         let after = swp_automata::stats::snapshot();
         assert!(after.fsa_queries + after.matrix_queries >= 1);
+    }
+
+    #[test]
+    fn bundle_width_gates_probes_and_lists_evictees() {
+        // example_vliw: width 2, "mem" slot (class 2) capped at 1.
+        let m = Machine::example_vliw();
+        let int = OpClass::new(0);
+        let mem = OpClass::new(2);
+        let mut mrt = ModuloReservationTable::new(&m, 4);
+        mrt.place(&m, int, 0, 0, 1);
+        mrt.place(&m, mem, 0, 0, 2);
+        // Residue 0 is issue-full: every class is refused there...
+        assert_eq!(mrt.find_free_unit(&m, int, 0), None);
+        assert_eq!(
+            mrt.find_free_unit(&m, int, 4),
+            None,
+            "t=4 wraps to residue 0"
+        );
+        // ...but residue 1 still has room.
+        assert!(mrt.find_free_unit(&m, int, 1).is_some());
+        // A forced placement at residue 0 must evict the whole cycle.
+        let evict = mrt.conflicting_ops(&m, int, 0, 4);
+        assert!(
+            evict.contains(&1) && evict.contains(&2),
+            "evictees: {evict:?}"
+        );
+    }
+
+    #[test]
+    fn slot_group_cap_gates_probes_per_class() {
+        let m = Machine::example_vliw();
+        let int = OpClass::new(0);
+        let mem = OpClass::new(2);
+        let mut mrt = ModuloReservationTable::new(&m, 4);
+        mrt.place(&m, mem, 0, 1, 5);
+        // The mem slot at residue 1 is taken: more mem is refused, but
+        // the bundle still has width for an int op.
+        assert_eq!(mrt.find_free_unit(&m, mem, 1), None);
+        assert!(mrt.find_free_unit(&m, int, 1).is_some());
+        assert!(mrt.conflicting_ops(&m, mem, 0, 1).contains(&5));
+        mrt.remove(&m, mem, 0, 1, 5);
+        assert!(mrt.find_free_unit(&m, mem, 1).is_some());
     }
 
     #[test]

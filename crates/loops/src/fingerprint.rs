@@ -113,7 +113,11 @@ pub fn ddg_fingerprint(ddg: &Ddg) -> u64 {
 }
 
 /// Stable fingerprint of a machine description: covers every unit type's
-/// name, copy count, latency, and full reservation-table mark pattern.
+/// name, copy count, latency, and full reservation-table mark pattern,
+/// plus the issue-bundle constraints (width and every slot group) —
+/// machines differing only in bundle limits must never alias, or the
+/// hazard-automaton registry and the harness result cache would serve
+/// one machine's answers for the other.
 pub fn machine_fingerprint(machine: &Machine) -> u64 {
     let mut h = Fnv64::new();
     h.write_u64(machine.num_classes() as u64);
@@ -128,6 +132,22 @@ pub fn machine_fingerprint(machine: &Machine) -> u64 {
             h.write_u64(offs.len() as u64);
             for l in offs {
                 h.write_u64(l as u64);
+            }
+        }
+    }
+    match machine.bundle() {
+        None => h.write_u64(0),
+        Some(b) => {
+            h.write_u64(1);
+            h.write_u64(u64::from(b.width));
+            h.write_u64(b.groups.len() as u64);
+            for g in &b.groups {
+                h.write_str(&g.name);
+                h.write_u64(u64::from(g.cap));
+                h.write_u64(g.classes.len() as u64);
+                for &c in &g.classes {
+                    h.write_u64(c as u64);
+                }
             }
         }
     }
@@ -220,5 +240,49 @@ mod tests {
         assert_ne!(fps[0], fps[2]);
         assert_ne!(fps[1], fps[2]);
         assert_eq!(fps[0], machine_fingerprint(&Machine::example_pldi95()));
+    }
+
+    #[test]
+    fn machine_fingerprints_cover_bundle_fields() {
+        use swp_machine::{BundleSpec, SlotGroup};
+        let base = Machine::example_clean();
+        let width = |w| {
+            Machine::example_clean()
+                .with_bundle(BundleSpec::width(w))
+                .unwrap()
+        };
+        // No-bundle vs bundle, and distinct widths, must never alias:
+        // these keys drive the hazard-automaton registry and the harness
+        // result cache.
+        assert_ne!(machine_fingerprint(&base), machine_fingerprint(&width(2)));
+        assert_ne!(
+            machine_fingerprint(&width(2)),
+            machine_fingerprint(&width(3))
+        );
+        // Slot groups are covered too: cap, member set, and name.
+        let grouped = |cap, classes: Vec<usize>| {
+            Machine::example_clean()
+                .with_bundle(BundleSpec {
+                    width: 2,
+                    groups: vec![SlotGroup {
+                        name: "g".into(),
+                        cap,
+                        classes,
+                    }],
+                })
+                .unwrap()
+        };
+        assert_ne!(
+            machine_fingerprint(&width(2)),
+            machine_fingerprint(&grouped(1, vec![1]))
+        );
+        assert_ne!(
+            machine_fingerprint(&grouped(1, vec![1])),
+            machine_fingerprint(&grouped(2, vec![1]))
+        );
+        assert_ne!(
+            machine_fingerprint(&grouped(1, vec![1])),
+            machine_fingerprint(&grouped(1, vec![2]))
+        );
     }
 }

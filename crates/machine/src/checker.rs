@@ -67,6 +67,18 @@ pub enum ConflictError {
         /// The two colliding operations (may be equal for self-collision).
         ops: (usize, usize),
     },
+    /// More operations issue in one cycle (pattern residue) than the
+    /// machine's VLIW issue bundle allows.
+    BundleExceeded {
+        /// Slot-group name, or `None` when the total width overflowed.
+        group: Option<String>,
+        /// Time step (mod period) of the overflow.
+        residue: u32,
+        /// Operations issuing there.
+        used: u32,
+        /// The bundle's cap for this limit.
+        cap: u32,
+    },
     /// More operations need a stage of some class at a residue than there
     /// are physical units (run-time-choice checking).
     CapacityExceeded {
@@ -107,6 +119,18 @@ impl fmt::Display for ConflictError {
                 "ops {} and {} collide on {class} unit {fu} stage {stage} at t={residue}",
                 ops.0, ops.1
             ),
+            ConflictError::BundleExceeded {
+                group,
+                residue,
+                used,
+                cap,
+            } => match group {
+                Some(g) => write!(
+                    f,
+                    "{used} ops issue in slot group `{g}` at t={residue}, cap {cap}"
+                ),
+                None => write!(f, "{used} ops issue at t={residue}, bundle width {cap}"),
+            },
             ConflictError::CapacityExceeded {
                 class,
                 stage,
@@ -167,10 +191,54 @@ pub trait ConflictOracle: Sync {
     fn record_fallback(&self) {}
 }
 
+/// Issue-bundle pre-pass shared by every checker entry point: in steady
+/// state the issues of one cycle are the ops at one pattern residue, so
+/// the per-cycle width and slot-group caps become per-residue counts.
+/// Offsets are reduced mod `period`; class indices outside the machine
+/// count toward the total width only (the per-op scans report them).
+/// Running this identically before every entry point keeps all checker
+/// paths byte-identical to each other on bundle machines.
+fn check_bundle(machine: &Machine, period: u32, ops: &[PlacedOp]) -> Result<(), ConflictError> {
+    let Some(bundle) = machine.bundle() else {
+        return Ok(());
+    };
+    let mut counts = vec![0u32; period as usize];
+    for op in ops {
+        counts[(op.offset % period) as usize] += 1;
+    }
+    if let Some((rho, &used)) = counts.iter().enumerate().find(|&(_, &u)| u > bundle.width) {
+        return Err(ConflictError::BundleExceeded {
+            group: None,
+            residue: rho as u32,
+            used,
+            cap: bundle.width,
+        });
+    }
+    for g in &bundle.groups {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for op in ops {
+            if g.classes.contains(&op.class.index()) {
+                counts[(op.offset % period) as usize] += 1;
+            }
+        }
+        if let Some((rho, &used)) = counts.iter().enumerate().find(|&(_, &u)| u > g.cap) {
+            return Err(ConflictError::BundleExceeded {
+                group: Some(g.name.clone()),
+                residue: rho as u32,
+                used,
+                cap: g.cap,
+            });
+        }
+    }
+    Ok(())
+}
+
 /// Verifies a *mapped* schedule: every operation carries a physical unit,
 /// and no stage of any unit is claimed twice at the same time step mod
 /// `period`. Self-collision of a wrapping operation (the modulo
-/// scheduling constraint) is caught too.
+/// scheduling constraint) is caught too. Machines with a
+/// [`crate::BundleSpec`] additionally get the per-residue issue-width
+/// and slot-group checks, before any per-op scan.
 ///
 /// # Errors
 ///
@@ -181,6 +249,7 @@ pub fn check_fixed_assignment(
     ops: &[PlacedOp],
 ) -> Result<(), ConflictError> {
     assert!(period > 0, "period must be positive");
+    check_bundle(machine, period, ops)?;
     // (class, fu, stage, residue) -> op index that holds it
     let mut usage: HashMap<(usize, u32, usize, u32), usize> = HashMap::new();
     for (i, op) in ops.iter().enumerate() {
@@ -268,6 +337,7 @@ fn check_fixed_assignment_flat(
     ops: &[PlacedOp],
 ) -> Result<(), ConflictError> {
     assert!(period > 0, "period must be positive");
+    check_bundle(machine, period, ops)?;
     let t = period as usize;
     let ft = FlatTables::new(machine, period);
     let mut occ: Vec<Vec<u64>> = machine
@@ -387,6 +457,7 @@ pub fn check_fixed_assignment_with(
         return check_fixed_assignment(machine, period, ops);
     };
     assert!(period > 0, "period must be positive");
+    check_bundle(machine, period, ops)?;
     if oracle.period() != period {
         oracle.record_fallback();
         return check_fixed_assignment(machine, period, ops);
@@ -462,6 +533,7 @@ pub fn check_capacity_only(
     ops: &[PlacedOp],
 ) -> Result<(), ConflictError> {
     assert!(period > 0, "period must be positive");
+    check_bundle(machine, period, ops)?;
     let t = period as usize;
     // Flat per-class demand counters indexed by `stage * period + residue`
     // — same counts as the old (class, stage, residue) hash map, scanned
@@ -713,6 +785,69 @@ mod tests {
             Err(ConflictError::StageCollision { ops: (0, 0), .. })
         ));
         assert_eq!(flat, legacy);
+    }
+
+    #[test]
+    fn bundle_width_enforced_by_every_entry_point() {
+        use crate::machine::BundleSpec;
+        let m = Machine::example_clean()
+            .with_bundle(BundleSpec::width(1))
+            .unwrap();
+        // Two ops issuing at the same residue on different units: clean
+        // for the tables, rejected by the width-1 bundle.
+        let ops = [fp(0, Some(0)), fp(0, Some(1))];
+        let expected = Err(ConflictError::BundleExceeded {
+            group: None,
+            residue: 0,
+            used: 2,
+            cap: 1,
+        });
+        assert_eq!(check_fixed_assignment(&m, 4, &ops), expected);
+        assert_eq!(
+            check_fixed_assignment_layout(&m, 4, &ops, DataLayout::Flat),
+            expected
+        );
+        assert_eq!(check_fixed_assignment_with(&m, 4, &ops, None), expected);
+        let unmapped = [fp(0, None), fp(0, None)];
+        assert_eq!(check_capacity_only(&m, 4, &unmapped), expected);
+        // Staggered issues pass everywhere.
+        let ok = [fp(0, Some(0)), fp(1, Some(1))];
+        assert_eq!(check_fixed_assignment(&m, 4, &ok), Ok(()));
+        assert_eq!(
+            check_fixed_assignment_layout(&m, 4, &ok, DataLayout::Flat),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn slot_group_cap_enforced() {
+        let m = Machine::example_vliw(); // width 2, mem (class 2) cap 1
+        let mem = |offset, fu| PlacedOp {
+            class: OpClass::new(2),
+            offset,
+            fu,
+        };
+        // Two memory issues in one cycle: inside width 2, outside mem cap 1.
+        let ops = [mem(0, None), mem(0, None)];
+        match check_capacity_only(&m, 4, &ops) {
+            Err(ConflictError::BundleExceeded {
+                group: Some(g),
+                residue: 0,
+                used: 2,
+                cap: 1,
+            }) => assert_eq!(g, "mem"),
+            other => panic!("expected mem-group overflow, got {other:?}"),
+        }
+        // One memory + one int in the same cycle is fine.
+        let ops = [
+            mem(0, Some(0)),
+            PlacedOp {
+                class: OpClass::new(0),
+                offset: 0,
+                fu: Some(0),
+            },
+        ];
+        assert_eq!(check_fixed_assignment(&m, 4, &ops), Ok(()));
     }
 
     #[test]

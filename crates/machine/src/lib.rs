@@ -36,7 +36,7 @@ pub use checker::{
     check_fixed_assignment_with, ConflictError, ConflictOracle, PlacedOp,
 };
 pub use collision::CollisionInfo;
-pub use machine::{FuType, Machine, MachineError};
+pub use machine::{BundleSpec, FuType, Machine, MachineError, SlotGroup};
 pub use parse::{parse_machine, write_machine, MachineParseError};
 pub use restable::ReservationTable;
 pub use schedule::{Matrices, PipelinedSchedule, ValidationError};

@@ -26,6 +26,9 @@ pub enum MachineError {
     UnknownClass(OpClass),
     /// A function-unit type was declared with zero copies.
     NoUnits(String),
+    /// An issue-bundle specification is malformed (zero width, empty or
+    /// out-of-range slot group, zero cap).
+    BadBundle(String),
 }
 
 impl fmt::Display for MachineError {
@@ -33,17 +36,66 @@ impl fmt::Display for MachineError {
         match self {
             MachineError::UnknownClass(c) => write!(f, "machine has no unit type for {c}"),
             MachineError::NoUnits(n) => write!(f, "unit type `{n}` has zero copies"),
+            MachineError::BadBundle(why) => write!(f, "bad issue bundle: {why}"),
         }
     }
 }
 
 impl Error for MachineError {}
 
+/// One named slot group of a VLIW issue bundle: at most `cap`
+/// operations whose class is in `classes` may issue in any one cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotGroup {
+    /// Human-readable name ("mem", "fp", …).
+    pub name: String,
+    /// Per-cycle issue cap for member classes combined.
+    pub cap: u32,
+    /// Member class indices (into [`Machine::types`]).
+    pub classes: Vec<usize>,
+}
+
+/// Per-cycle issue-bundle constraints of a VLIW-style target: a total
+/// issue width plus optional slot-class groups. In a modulo schedule
+/// with period `T` the steady-state issues of cycle `c` are exactly the
+/// operations with `t_i ≡ c (mod T)`, so the bundle constrains the
+/// number of start times per residue — a synthetic shared resource next
+/// to the per-unit reservation tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BundleSpec {
+    /// Total operations that may issue in one cycle.
+    pub width: u32,
+    /// Slot-class groups, each capping a subset of classes.
+    pub groups: Vec<SlotGroup>,
+}
+
+impl BundleSpec {
+    /// A bundle with only a total width, no slot groups.
+    pub fn width(width: u32) -> Self {
+        BundleSpec {
+            width,
+            groups: Vec::new(),
+        }
+    }
+
+    /// The per-cycle issue limits as `(cap, member-filter)` rows: the
+    /// total width over all classes, then each slot group. `None`
+    /// means "every class counts".
+    pub fn limits(&self) -> impl Iterator<Item = (u32, Option<&[usize]>)> {
+        std::iter::once((self.width, None)).chain(
+            self.groups
+                .iter()
+                .map(|g| (g.cap, Some(g.classes.as_slice()))),
+        )
+    }
+}
+
 /// A target machine: an indexed list of function-unit types.
 /// [`OpClass::index`] of a DDG node selects into this list.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Machine {
     types: Vec<FuType>,
+    bundle: Option<BundleSpec>,
 }
 
 impl Machine {
@@ -58,7 +110,61 @@ impl Machine {
                 return Err(MachineError::NoUnits(t.name.clone()));
             }
         }
-        Ok(Machine { types })
+        Ok(Machine {
+            types,
+            bundle: None,
+        })
+    }
+
+    /// Attaches VLIW issue-bundle constraints to this machine.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::BadBundle`] if the width or any slot-group cap is
+    /// zero, a group has no member classes or a duplicate member, or a
+    /// member class index is out of range.
+    pub fn with_bundle(mut self, bundle: BundleSpec) -> Result<Self, MachineError> {
+        if bundle.width == 0 {
+            return Err(MachineError::BadBundle("issue width is zero".into()));
+        }
+        for g in &bundle.groups {
+            if g.cap == 0 {
+                return Err(MachineError::BadBundle(format!(
+                    "slot group `{}` has cap zero",
+                    g.name
+                )));
+            }
+            if g.classes.is_empty() {
+                return Err(MachineError::BadBundle(format!(
+                    "slot group `{}` has no member classes",
+                    g.name
+                )));
+            }
+            let mut seen = vec![false; self.types.len()];
+            for &c in &g.classes {
+                if c >= self.types.len() {
+                    return Err(MachineError::BadBundle(format!(
+                        "slot group `{}` references class {c} of {}",
+                        g.name,
+                        self.types.len()
+                    )));
+                }
+                if seen[c] {
+                    return Err(MachineError::BadBundle(format!(
+                        "slot group `{}` lists class {c} twice",
+                        g.name
+                    )));
+                }
+                seen[c] = true;
+            }
+        }
+        self.bundle = Some(bundle);
+        Ok(self)
+    }
+
+    /// The issue-bundle constraints, if this is a VLIW-style target.
+    pub fn bundle(&self) -> Option<&BundleSpec> {
+        self.bundle.as_ref()
     }
 
     /// Number of unit types (classes).
@@ -136,6 +242,34 @@ impl Machine {
             }
             bound = bound.max(fu.reservation.min_self_period());
         }
+        Ok(bound.max(self.bundle_bound(ddg)?))
+    }
+
+    /// The issue-bundle pigeonhole bound: every operation issues once
+    /// per iteration, at most `width` per cycle (and at most `cap` per
+    /// slot group), so `T ≥ ⌈N/width⌉` and `T ≥ ⌈N_g/cap_g⌉`. Returns
+    /// `1` for machines without a bundle.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::UnknownClass`] if the DDG uses an undefined class.
+    pub fn bundle_bound(&self, ddg: &Ddg) -> Result<u32, MachineError> {
+        let Some(bundle) = &self.bundle else {
+            return Ok(1);
+        };
+        let mut per_class = vec![0u32; self.types.len()];
+        let mut total = 0u32;
+        for class in ddg.classes() {
+            self.fu_type(class)?;
+            let n = ddg.nodes_of_class(class).len() as u32;
+            per_class[class.index()] = n;
+            total += n;
+        }
+        let mut bound = 1u32.max(total.div_ceil(bundle.width));
+        for g in &bundle.groups {
+            let members: u32 = g.classes.iter().map(|&c| per_class[c]).sum();
+            bound = bound.max(members.div_ceil(g.cap));
+        }
         Ok(bound)
     }
 
@@ -157,7 +291,7 @@ impl Machine {
                 bound = bound.max((n_ops * marks).div_ceil(fu.count));
             }
         }
-        Ok(bound)
+        Ok(bound.max(self.bundle_bound(ddg)?))
     }
 
     /// Whether every class's operations can, ignoring dependences, be
@@ -349,6 +483,22 @@ impl Machine {
         ])
         .expect("static machine")
     }
+
+    /// A VLIW flavour of the clean example machine: the same three unit
+    /// types behind a 2-wide issue bundle whose single slot group lets
+    /// only one memory operation (`Ld/St`) issue per cycle.
+    pub fn example_vliw() -> Machine {
+        Machine::example_clean()
+            .with_bundle(BundleSpec {
+                width: 2,
+                groups: vec![SlotGroup {
+                    name: "mem".into(),
+                    cap: 1,
+                    classes: vec![2],
+                }],
+            })
+            .expect("static bundle")
+    }
 }
 
 #[cfg(test)]
@@ -432,6 +582,58 @@ mod tests {
                 assert!(t.reservation.exec_time() > 0);
             }
         }
+    }
+
+    #[test]
+    fn bad_bundles_rejected() {
+        let zero_width = Machine::example_clean().with_bundle(BundleSpec::width(0));
+        assert!(matches!(zero_width, Err(MachineError::BadBundle(_))));
+        let out_of_range = Machine::example_clean().with_bundle(BundleSpec {
+            width: 2,
+            groups: vec![SlotGroup {
+                name: "g".into(),
+                cap: 1,
+                classes: vec![7],
+            }],
+        });
+        assert!(matches!(out_of_range, Err(MachineError::BadBundle(_))));
+        let dup = Machine::example_clean().with_bundle(BundleSpec {
+            width: 2,
+            groups: vec![SlotGroup {
+                name: "g".into(),
+                cap: 1,
+                classes: vec![0, 0],
+            }],
+        });
+        assert!(matches!(dup, Err(MachineError::BadBundle(_))));
+    }
+
+    #[test]
+    fn bundle_bound_tightens_t_res() {
+        // 2 FP ops on 2 clean FP units is T_res 1 without a bundle;
+        // a width-1 bundle forces one issue per cycle -> T_res 2.
+        let m = Machine::example_clean()
+            .with_bundle(BundleSpec::width(1))
+            .unwrap();
+        assert_eq!(m.bundle_bound(&two_fp_ddg()).unwrap(), 2);
+        assert_eq!(m.t_res(&two_fp_ddg()).unwrap(), 2);
+        assert_eq!(m.t_res_capacity(&two_fp_ddg()).unwrap(), 2);
+    }
+
+    #[test]
+    fn slot_group_bound_counts_members() {
+        // Group capping FP at 1/cycle: 2 FP ops -> T >= 2 even at width 4.
+        let m = Machine::example_clean()
+            .with_bundle(BundleSpec {
+                width: 4,
+                groups: vec![SlotGroup {
+                    name: "fp".into(),
+                    cap: 1,
+                    classes: vec![1],
+                }],
+            })
+            .unwrap();
+        assert_eq!(m.bundle_bound(&two_fp_ddg()).unwrap(), 2);
     }
 
     #[test]

@@ -14,8 +14,18 @@
 //! rows separated by `/`; `clean` takes the latency as execution time
 //! with a single issue-slot stage; `nonpipelined` holds one stage for
 //! the full latency.
+//!
+//! VLIW issue-bundle constraints are optional trailing lines:
+//!
+//! ```text
+//!     bundle width=2
+//!     slot mem cap=1 classes=2
+//! ```
+//!
+//! `bundle` caps total issues per cycle; each `slot` line names a group
+//! capping the listed classes (comma-separated declaration indices).
 
-use crate::machine::{FuType, Machine};
+use crate::machine::{BundleSpec, FuType, Machine, SlotGroup};
 use crate::restable::ReservationTable;
 use std::error::Error;
 use std::fmt;
@@ -54,6 +64,8 @@ fn err(line: usize, message: impl Into<String>) -> MachineParseError {
 pub fn parse_machine(source: &str) -> Result<(String, Machine), MachineParseError> {
     let mut name = None;
     let mut units: Vec<FuType> = Vec::new();
+    let mut width: Option<(u32, usize)> = None;
+    let mut groups: Vec<SlotGroup> = Vec::new();
     let mut in_body = false;
     let mut closed = false;
     for (ln, raw) in source.lines().enumerate() {
@@ -81,6 +93,13 @@ pub fn parse_machine(source: &str) -> Result<(String, Machine), MachineParseErro
             in_body = false;
         } else if closed {
             return Err(err(line_no, "content after closing `}`"));
+        } else if line.starts_with("bundle") {
+            if width.is_some() {
+                return Err(err(line_no, "duplicate `bundle` line"));
+            }
+            width = Some((parse_bundle(line, line_no)?, line_no));
+        } else if line.starts_with("slot") {
+            groups.push(parse_slot(line, line_no)?);
         } else {
             units.push(parse_unit(line, line_no)?);
         }
@@ -92,8 +111,67 @@ pub fn parse_machine(source: &str) -> Result<(String, Machine), MachineParseErro
     if units.is_empty() {
         return Err(err(1, "machine has no units"));
     }
-    let machine = Machine::new(units).map_err(|e| err(1, format!("invalid machine: {e}")))?;
+    let mut machine = Machine::new(units).map_err(|e| err(1, format!("invalid machine: {e}")))?;
+    match width {
+        Some((w, bundle_line)) => {
+            machine = machine
+                .with_bundle(BundleSpec { width: w, groups })
+                .map_err(|e| err(bundle_line, format!("invalid bundle: {e}")))?;
+        }
+        None if !groups.is_empty() => {
+            return Err(err(1, "`slot` lines need a `bundle width=` line"));
+        }
+        None => {}
+    }
     Ok((name, machine))
+}
+
+fn parse_bundle(line: &str, line_no: usize) -> Result<u32, MachineParseError> {
+    let rest = line
+        .strip_prefix("bundle")
+        .expect("caller checked the prefix")
+        .trim();
+    let spec = rest
+        .strip_prefix("width=")
+        .ok_or_else(|| err(line_no, "expected `bundle width=<n>`"))?;
+    spec.parse::<u32>()
+        .map_err(|_| err(line_no, format!("bad bundle width `{spec}`")))
+}
+
+fn parse_slot(line: &str, line_no: usize) -> Result<SlotGroup, MachineParseError> {
+    let rest = line
+        .strip_prefix("slot")
+        .expect("caller checked the prefix")
+        .trim();
+    let mut name = None;
+    let mut cap = None;
+    let mut classes = None;
+    for tok in rest.split_whitespace() {
+        if let Some(v) = tok.strip_prefix("cap=") {
+            cap = Some(
+                v.parse::<u32>()
+                    .map_err(|_| err(line_no, format!("bad slot cap `{v}`")))?,
+            );
+        } else if let Some(v) = tok.strip_prefix("classes=") {
+            classes = Some(
+                v.split(',')
+                    .map(|c| {
+                        c.parse::<usize>()
+                            .map_err(|_| err(line_no, format!("bad slot class `{c}`")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            );
+        } else if name.is_none() {
+            name = Some(tok.to_string());
+        } else {
+            return Err(err(line_no, format!("unexpected token `{tok}`")));
+        }
+    }
+    Ok(SlotGroup {
+        name: name.ok_or_else(|| err(line_no, "slot needs a name"))?,
+        cap: cap.ok_or_else(|| err(line_no, "slot needs `cap=`"))?,
+        classes: classes.ok_or_else(|| err(line_no, "slot needs `classes=`"))?,
+    })
 }
 
 /// Serializes `machine` back into the textual format accepted by
@@ -132,6 +210,18 @@ pub fn write_machine(name: &str, machine: &Machine) -> String {
             t.latency,
             shape
         ));
+    }
+    if let Some(b) = machine.bundle() {
+        out.push_str(&format!("    bundle width={}\n", b.width));
+        for g in &b.groups {
+            let classes: Vec<String> = g.classes.iter().map(ToString::to_string).collect();
+            out.push_str(&format!(
+                "    slot {} cap={} classes={}\n",
+                safe(&g.name),
+                g.cap,
+                classes.join(",")
+            ));
+        }
     }
     out.push_str("}\n");
     out
@@ -297,6 +387,7 @@ mod tests {
             ("clean", Machine::example_clean()),
             ("nonpipe", Machine::example_non_pipelined()),
             ("ppc604", Machine::ppc604()),
+            ("vliw", Machine::example_vliw()),
         ] {
             let text = write_machine(name, &machine);
             let (parsed_name, parsed) = parse_machine(&text)
@@ -321,6 +412,36 @@ mod tests {
         assert!(text.contains("table["), "{text}");
         let (_, parsed) = parse_machine(&text).expect("parses");
         assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn bundle_lines_parse_and_report_errors() {
+        let (_, m) = parse_machine(
+            "machine v {\n unit A count=2 latency=1 clean\n unit B count=1 latency=2 clean\n \
+             bundle width=2\n slot mem cap=1 classes=1\n}",
+        )
+        .expect("parses");
+        let b = m.bundle().expect("has bundle");
+        assert_eq!(b.width, 2);
+        assert_eq!(b.groups.len(), 1);
+        assert_eq!(b.groups[0].classes, vec![1]);
+
+        let e = parse_machine("machine v {\n unit A count=1 latency=1 clean\n bundle width=0\n}")
+            .unwrap_err();
+        assert!(e.message.contains("invalid bundle"), "{e}");
+        let e = parse_machine("machine v {\n unit A count=1 latency=1 clean\n bundle w=2\n}")
+            .unwrap_err();
+        assert!(e.message.contains("bundle width"), "{e}");
+        let e = parse_machine(
+            "machine v {\n unit A count=1 latency=1 clean\n slot mem cap=1 classes=0\n}",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("bundle width"), "{e}");
+        let e = parse_machine(
+            "machine v {\n unit A count=1 latency=1 clean\n bundle width=2\n bundle width=2\n}",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
     }
 
     #[test]

@@ -68,6 +68,15 @@ pub enum ValidationError {
     },
     /// The machine checker found a structural conflict.
     Conflict(ConflictError),
+    /// Register pressure exceeds the configured `max_live` bound.
+    PressureExceeded {
+        /// Pattern residue where the peak occurs.
+        residue: u32,
+        /// Values live at that residue.
+        live: u32,
+        /// The configured bound.
+        limit: u32,
+    },
 }
 
 impl fmt::Display for ValidationError {
@@ -88,6 +97,14 @@ impl fmt::Display for ValidationError {
                 dst.index()
             ),
             ValidationError::Conflict(c) => write!(f, "resource conflict: {c}"),
+            ValidationError::PressureExceeded {
+                residue,
+                live,
+                limit,
+            } => write!(
+                f,
+                "register pressure {live} at residue {residue} exceeds max_live {limit}"
+            ),
         }
     }
 }
@@ -312,6 +329,72 @@ impl PipelinedSchedule {
         (per_edge, total)
     }
 
+    /// The live range `L_i` of each node's value, in node order: from
+    /// issue to the last consuming *issue* across iteration distance,
+    /// `max_j (t_j + T·m_ij) − t_i` over out-edges of `i` (clamped at 0;
+    /// 0 for values never consumed). Issue-based — deliberately free of
+    /// latencies — so that uniformly scaling latencies cannot manufacture
+    /// pressure a scaled schedule did not already have.
+    pub fn live_ranges(&self, ddg: &Ddg) -> Vec<i64> {
+        let t = self.period as i64;
+        let mut live = vec![0i64; self.start_times.len()];
+        for e in ddg.edges() {
+            let span = self.start_times[e.dst.index()] as i64 + t * e.distance as i64
+                - self.start_times[e.src.index()] as i64;
+            let l = &mut live[e.src.index()];
+            *l = (*l).max(span);
+        }
+        live
+    }
+
+    /// Values simultaneously live at each pattern residue `ρ` of the
+    /// steady state. A value with live range `L_i` contributes
+    /// `⌈(L_i − δ)/T⌉` overlapping iteration instances at residue `ρ`,
+    /// where `δ = (ρ − t_i) mod T` — the modulo analogue of the
+    /// Ning–Gao buffer count, per residue instead of per edge.
+    pub fn live_per_residue(&self, ddg: &Ddg) -> Vec<u32> {
+        let t = self.period as i64;
+        let mut per_residue = vec![0u32; self.period as usize];
+        for (i, l) in self.live_ranges(ddg).into_iter().enumerate() {
+            if l <= 0 {
+                continue;
+            }
+            let off = (self.start_times[i] % self.period) as i64;
+            for (rho, slot) in per_residue.iter_mut().enumerate() {
+                let delta = (rho as i64 - off).rem_euclid(t);
+                let instances = (l - delta + t - 1).div_euclid(t).max(0);
+                *slot += instances as u32;
+            }
+        }
+        per_residue
+    }
+
+    /// Peak register pressure: the maximum of
+    /// [`PipelinedSchedule::live_per_residue`].
+    pub fn max_live(&self, ddg: &Ddg) -> u32 {
+        self.live_per_residue(ddg).into_iter().max().unwrap_or(0)
+    }
+
+    /// Checks the schedule against a register-pressure bound: no more
+    /// than `limit` values live at any pattern residue.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidationError::PressureExceeded`] at the first offending
+    /// residue.
+    pub fn validate_pressure(&self, ddg: &Ddg, limit: u32) -> Result<(), ValidationError> {
+        for (rho, live) in self.live_per_residue(ddg).into_iter().enumerate() {
+            if live > limit {
+                return Err(ValidationError::PressureExceeded {
+                    residue: rho as u32,
+                    live,
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Length of one iteration's schedule (makespan of iteration 0).
     pub fn span(&self, ddg: &Ddg) -> u32 {
         ddg.nodes()
@@ -422,6 +505,50 @@ mod tests {
         assert!(s1.validate(&g, &machine).is_err());
         let s2 = PipelinedSchedule::new(2, vec![0], vec![Some(0)]);
         assert_eq!(s2.validate(&g, &machine), Ok(()));
+    }
+
+    #[test]
+    fn live_counts_follow_the_ceiling_formula() {
+        let mut g = Ddg::new();
+        let a = g.add_node("a", OpClass::new(0), 1);
+        let b = g.add_node("b", OpClass::new(0), 1);
+        g.add_edge(a, b, 0).unwrap();
+        // T=2, t=[0,1]: L_a = 1 -> live only at residue 0; b unread.
+        let s = PipelinedSchedule::new(2, vec![0, 1], vec![None, None]);
+        assert_eq!(s.live_ranges(&g), vec![1, 0]);
+        assert_eq!(s.live_per_residue(&g), vec![1, 0]);
+        assert_eq!(s.max_live(&g), 1);
+        assert_eq!(s.validate_pressure(&g, 1), Ok(()));
+        assert!(matches!(
+            s.validate_pressure(&g, 0),
+            Err(ValidationError::PressureExceeded {
+                residue: 0,
+                live: 1,
+                limit: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn live_range_of_a_full_period_covers_every_residue_once() {
+        // Self-loop at distance 1: L = T, exactly one instance live at
+        // every residue; L = T+1 overlaps two instances at the issue
+        // residue.
+        let mut g = Ddg::new();
+        let a = g.add_node("a", OpClass::new(0), 1);
+        g.add_edge(a, a, 1).unwrap();
+        let s = PipelinedSchedule::new(3, vec![0], vec![None]);
+        assert_eq!(s.live_ranges(&g), vec![3]);
+        assert_eq!(s.live_per_residue(&g), vec![1, 1, 1]);
+
+        let mut g2 = Ddg::new();
+        let a = g2.add_node("a", OpClass::new(0), 1);
+        let b = g2.add_node("b", OpClass::new(0), 1);
+        g2.add_edge(a, b, 1).unwrap(); // L_a = 1 + 3 - 0 = 4 = T+1
+        let s2 = PipelinedSchedule::new(3, vec![0, 1], vec![None, None]);
+        assert_eq!(s2.live_ranges(&g2), vec![4, 0]);
+        assert_eq!(s2.live_per_residue(&g2), vec![2, 1, 1]);
+        assert_eq!(s2.max_live(&g2), 2);
     }
 
     #[test]

@@ -64,6 +64,17 @@ pub enum SimError {
         /// Iteration of the instance.
         iteration: u32,
     },
+    /// More instances issued in one cycle than the VLIW bundle allows.
+    BundleExceeded {
+        /// Absolute cycle of the overflow.
+        cycle: u64,
+        /// Slot-group name, or `None` when the total width overflowed.
+        group: Option<String>,
+        /// Instances issued in that cycle (at the point of overflow).
+        used: u32,
+        /// The bundle's cap for this limit.
+        cap: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -95,6 +106,18 @@ impl fmt::Display for SimError {
                 f,
                 "no free unit at cycle {cycle} for node {node} (iteration {iteration})"
             ),
+            SimError::BundleExceeded {
+                cycle,
+                group,
+                used,
+                cap,
+            } => match group {
+                Some(g) => write!(
+                    f,
+                    "{used} issues in slot group `{g}` at cycle {cycle}, cap {cap}"
+                ),
+                None => write!(f, "{used} issues at cycle {cycle}, bundle width {cap}"),
+            },
         }
     }
 }
@@ -205,6 +228,13 @@ pub fn simulate(
     }
     events.sort_unstable();
 
+    // Per-cycle issue-bundle accounting: events are cycle-sorted, so
+    // one running counter set per cycle suffices.
+    let bundle = machine.bundle();
+    let mut bundle_cycle = u64::MAX;
+    let mut bundle_issued = 0u32;
+    let mut bundle_groups: Vec<u32> = bundle.map_or_else(Vec::new, |b| vec![0; b.groups.len()]);
+
     let mut makespan = 0u64;
     for (cycle, node, iteration) in events {
         let id = swp_ddg::NodeId::from_index(node);
@@ -212,6 +242,35 @@ pub fn simulate(
         let fu_type = machine.fu_type(class).map_err(|_| SimError::UnknownClass {
             class: class.index(),
         })?;
+        if let Some(b) = bundle {
+            if cycle != bundle_cycle {
+                bundle_cycle = cycle;
+                bundle_issued = 0;
+                bundle_groups.iter_mut().for_each(|c| *c = 0);
+            }
+            bundle_issued += 1;
+            if bundle_issued > b.width {
+                return Err(SimError::BundleExceeded {
+                    cycle,
+                    group: None,
+                    used: bundle_issued,
+                    cap: b.width,
+                });
+            }
+            for (gi, g) in b.groups.iter().enumerate() {
+                if g.classes.contains(&class.index()) {
+                    bundle_groups[gi] += 1;
+                    if bundle_groups[gi] > g.cap {
+                        return Err(SimError::BundleExceeded {
+                            cycle,
+                            group: Some(g.name.clone()),
+                            used: bundle_groups[gi],
+                            cap: g.cap,
+                        });
+                    }
+                }
+            }
+        }
         let rt = &fu_type.reservation;
         let fits = |occ: &Vec<Vec<Vec<Vec<u64>>>>, fu: u32| {
             (0..rt.stages())
@@ -365,6 +424,29 @@ mod tests {
             simulate(&m, &g, &s, 1, UnitPolicy::Dynamic),
             Err(SimError::NoFreeUnit { .. })
         ));
+    }
+
+    #[test]
+    fn bundle_width_enforced_in_the_trace() {
+        use crate::machine::BundleSpec;
+        let (g, m) = fp_pair();
+        let m = m.with_bundle(BundleSpec::width(1)).unwrap();
+        // Two issues in the same cycle on different units: tables clean,
+        // width-1 bundle overflows at cycle 0 (the simulator checks
+        // resources only, so the violated dependence is irrelevant here).
+        let s = PipelinedSchedule::new(4, vec![0, 0], vec![Some(0), Some(1)]);
+        match simulate(&m, &g, &s, 3, UnitPolicy::Fixed) {
+            Err(SimError::BundleExceeded {
+                cycle: 0,
+                group: None,
+                used: 2,
+                cap: 1,
+            }) => {}
+            other => panic!("expected bundle overflow, got {other:?}"),
+        }
+        // Staggered issues run clean.
+        let ok = PipelinedSchedule::new(4, vec![0, 2], vec![Some(0), Some(1)]);
+        assert!(simulate(&m, &g, &ok, 3, UnitPolicy::Fixed).is_ok());
     }
 
     #[test]

@@ -86,6 +86,7 @@ fn process(shared: &Shared, job: &Job) -> Reply {
         // stay interchangeable with the harness's warm records.
         warm: true,
         layout: Default::default(),
+        max_live: None,
     };
     let key = CacheKey {
         ddg: ddg_fingerprint(&ddg),

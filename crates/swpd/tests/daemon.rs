@@ -42,6 +42,7 @@ fn slow_request(id: &str) -> SolveRequest {
         max_count: 1,
         max_latency: 6,
         max_distance: 2,
+        ..GenConfig::default()
     };
     let mut r = SolveRequest::new(id, write_regression(&gen_case(&cfg, 1), None));
     r.heuristic = Some(false);

@@ -148,6 +148,81 @@ fn heuristic_incumbent_does_not_change_achieved_period() {
 }
 
 #[test]
+fn family_kernels_agree_across_all_engines() {
+    // VLIW issue-bundle and register-pressure kernels: the ILP, the CP
+    // backend, and the portfolio racer must land on the same proven
+    // period, and every accepted schedule must pass the independent
+    // checker (and the pressure validator when a cap is in force).
+    use swp::core::{Budget, Engine};
+    use swp::fuzz::{gen_cases, GenConfig, MachineFamily};
+    for (family, seed) in [
+        (MachineFamily::Vliw, 77u64),
+        (MachineFamily::RegPressure, 88),
+    ] {
+        let config = GenConfig {
+            seed,
+            max_nodes: 6,
+            family,
+            ..GenConfig::default()
+        };
+        let mut compared = 0usize;
+        for case in gen_cases(&config, 12).into_iter().filter(|c| c.guaranteed) {
+            let mut proven_periods = Vec::new();
+            for engine in [Engine::Ilp, Engine::Cp, Engine::Portfolio] {
+                let scheduler = RateOptimalScheduler::new(
+                    case.machine.clone(),
+                    SchedulerConfig {
+                        time_limit_per_t: None,
+                        time_limit_total: None,
+                        engine,
+                        max_live: case.max_live,
+                        ..Default::default()
+                    },
+                );
+                let budget = Budget::with_tick_limit(2_000_000);
+                let r = scheduler
+                    .schedule_with(&case.ddg, &budget)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "{}: guaranteed {family:?} case failed on {engine:?}: {e}",
+                            case.name
+                        )
+                    });
+                assert_eq!(
+                    r.schedule.validate(&case.ddg, &case.machine),
+                    Ok(()),
+                    "{} on {engine:?}",
+                    case.name
+                );
+                if let Some(limit) = case.max_live {
+                    assert_eq!(
+                        r.schedule.validate_pressure(&case.ddg, limit),
+                        Ok(()),
+                        "{} on {engine:?}",
+                        case.name
+                    );
+                }
+                if r.is_proven_optimal() {
+                    proven_periods.push(r.schedule.initiation_interval());
+                }
+            }
+            if proven_periods.len() > 1 {
+                compared += 1;
+                assert!(
+                    proven_periods.windows(2).all(|w| w[0] == w[1]),
+                    "{}: engines disagree on the proven period: {proven_periods:?}",
+                    case.name
+                );
+            }
+        }
+        assert!(
+            compared > 0,
+            "{family:?}: the campaign produced no cross-engine comparisons"
+        );
+    }
+}
+
+#[test]
 fn optimality_tags_are_honest_across_a_corpus() {
     // Table-4-style reporting: under a deterministic tick budget each
     // result must carry an honest tag — `Proven` only when every smaller
